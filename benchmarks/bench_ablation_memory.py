@@ -1,0 +1,57 @@
+"""Ablations over the memory-side modelling choices (DESIGN.md §5).
+
+Quantifies the error budget of our NativeMachine construction: each
+DS-10L effect enabled alone, the page-mapping policy sweep (the
+paper's Section 4 irreducible error source), and victim-buffer sizing.
+"""
+
+from repro.validation.ablations import (
+    ablate_native_effects,
+    paging_policy_study,
+    victim_buffer_sweep,
+)
+
+
+def test_native_effect_ablation(benchmark, harness):
+    result = benchmark.pedantic(
+        ablate_native_effects, args=(harness,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    contribution = result.contribution
+    # Slowing effects (the native machine pays these).
+    assert contribution["pal_tlb_misses"] <= 0.5
+    assert contribution["store_port_contention"] <= 0.5
+    # Speeding effects (the native machine benefits from these).
+    assert contribution["controller_page_opt"] >= -0.5
+    assert contribution["split_memory_bus"] >= -0.5
+    # The combination is what defines the macro error gap: nonzero.
+    assert abs(result.combined) > 0.5
+
+
+def test_paging_policy_study(benchmark, harness):
+    result = benchmark.pedantic(
+        paging_policy_study, args=(harness,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # The policies genuinely move memory-bound performance — the
+    # paper's point that unknown page mappings are irreducible error.
+    hms = [result.hm(policy) for policy in result.ipcs]
+    spread = (max(hms) - min(hms)) / min(hms) * 100
+    print(f"paging-policy spread: {spread:.1f}% of HM IPC")
+    assert spread >= 0.0
+    assert len(result.ipcs) == 3
+
+
+def test_victim_buffer_sweep(benchmark, harness):
+    result = benchmark.pedantic(
+        victim_buffer_sweep, args=(harness,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    by_size = {entries: gain for entries, _, gain in result.rows}
+    # The buffer helps conflict-prone codes, monotonically-ish in size.
+    assert by_size[8] >= by_size[2] - 0.3
+    assert by_size[32] >= by_size[8] - 0.3
+    assert by_size[8] >= -0.1

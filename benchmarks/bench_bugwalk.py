@@ -1,0 +1,46 @@
+"""Extension: per-bug error attribution (Section 3.4 quantified).
+
+The paper narrates which microbenchmark exposed which sim-initial bug;
+this bench injects each bug alone and measures its isolated
+contribution to microbenchmark error — the "debugging story" of
+Section 3.4 as a reproducible experiment.
+
+Runs a seven-microbenchmark subset of the most diagnostic workloads by
+default; REPRO_FULL=1 uses all 21.
+"""
+
+from conftest import full_scale
+
+from repro.validation.experiments import bug_walk
+from repro.workloads.suite import micro_names
+
+_SUBSET = ("C-Ca", "C-Cb", "C-R", "C-S1", "E-DM1", "M-D", "M-L2")
+
+
+def test_bug_walk(benchmark, harness):
+    names = micro_names() if full_scale() else list(_SUBSET)
+    result = benchmark.pedantic(
+        bug_walk, args=(harness, names), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # --- Shape assertions ------------------------------------------------
+    # The late-branch-recovery bug (the missing slot-stage adder) is
+    # the paper's largest single error source (C-C errors beyond
+    # -100%): it must dominate the walk.
+    worst = max(result.mean_error, key=result.mean_error.get)
+    assert result.mean_error["late_branch_recovery"] >= (
+        0.5 * result.mean_error[worst]
+    )
+    assert result.mean_error["late_branch_recovery"] > (
+        3 * result.baseline_error
+    )
+    # The generic-FU bug shows up strongly (E-DM1 +85.7%).
+    assert result.mean_error["wrong_fu_mix"] > result.baseline_error + 3
+    # The jmp undercharge perturbs the switch benchmarks.
+    assert result.mean_error["jmp_undercharge"] > result.baseline_error
+    # Every injected bug leaves the simulator at least as wrong as the
+    # validated baseline (they are bugs, not features).
+    for bug, error in result.mean_error.items():
+        assert error >= result.baseline_error - 1.0, bug

@@ -1,0 +1,60 @@
+"""Section 4.2: DRAM calibration sweep.
+
+Sweeps SDRAM parameters (RAS/CAS/precharge/controller, open vs closed
+page) for sim-alpha against the native machine's M-M / STREAM /
+lmbench measurements, exactly the paper's memory-approximation
+procedure.  The paper's winner: open page, RAS=2, CAS=4, precharge=2,
+controller=2, with single-digit residuals on M-M and stream.
+
+The default sweep covers a 24-configuration neighbourhood including
+the paper's winner; REPRO_FULL=1 runs the full 216-point grid.
+"""
+
+from conftest import full_scale
+
+from repro.dram.config import DS10L_CALIBRATED, parameter_grid
+from repro.reporting.paper_data import CALIBRATION_TARGETS
+from repro.validation.calibrate import calibrate_dram
+
+
+def _configs():
+    if full_scale():
+        return list(parameter_grid())
+    # A neighbourhood around the paper's winner.  RAS/CAS below the
+    # physical values the paper swept are excluded: an aliased
+    # closed-page point with RAS+CAS == the open-page CAS would be
+    # timing-indistinguishable on row hits and trivially win.
+    return list(parameter_grid(
+        ras_values=(2, 3),
+        cas_values=(4, 5),
+        precharge_values=(2, 3),
+        controller_values=(2, 4),
+        policies=("open", "closed"),
+    ))
+
+
+def test_dram_calibration(benchmark, harness):
+    configs = _configs()
+    assert DS10L_CALIBRATED in configs
+    result = benchmark.pedantic(
+        calibrate_dram, args=(harness, configs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render(top=8))
+    print(f"\npaper winner/residuals: {CALIBRATION_TARGETS}")
+    print(f"our best: {result.best} (mean |%diff| {result.best_error:.1f})")
+    print(f"our residuals: { {k: round(v, 1) for k, v in result.residuals().items()} }")
+
+    # --- Shape assertions ------------------------------------------------
+    # The best configuration is an open-page one, as the paper found.
+    assert result.best.page_policy == "open"
+    # The paper's exact winner is competitive: within 2 points of the
+    # best mean error in the sweep.
+    paper_rank = next(
+        error for config, error, _ in result.ranking
+        if config == DS10L_CALIBRATED
+    )
+    assert paper_rank <= result.best_error + 2.0
+    # Residual error after calibration is small but nonzero, like the
+    # paper's 2.8 / -6.5 / 13 percent.
+    assert result.best_error < 20.0

@@ -1,0 +1,59 @@
+"""Section 7 recommendations as experiments.
+
+The paper's closing recommendations — common baselines, consistent
+parameters, quantified stability — each measured with this package:
+
+* the ISCA-27 "five gcc IPCs from 0.9 to 3.5" spread is reproduced by
+  running one benchmark under five plausible research-group simulators;
+* an optimization's reported benefit is shown to move with ad-hoc
+  (uncalibrated) DRAM parameter choices;
+* Table 5's rows are condensed into stability scores.
+"""
+
+from repro.validation.experiments import table5_stability
+from repro.validation.recommendations import (
+    baseline_spread,
+    parameter_sensitivity,
+    stability_score,
+)
+
+
+def test_common_baselines_spread(benchmark, harness):
+    result = benchmark.pedantic(
+        baseline_spread, args=(harness, "gcc95"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    print(f"spread ratio: {result.spread_ratio:.2f}x "
+          f"(paper observed ~3.9x across ISCA-27 studies)")
+    # The phenomenon: the same benchmark spans a multi-x IPC range.
+    assert result.spread_ratio > 2.5
+
+
+def test_consistent_parameters(benchmark, harness):
+    result = benchmark.pedantic(
+        parameter_sensitivity, args=(harness,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    low, high = result.benefit_range
+    print(f"reported benefit ranges from {low:.2f}% to {high:.2f}% "
+          f"depending on the ad-hoc background")
+    # The same optimization reports visibly different benefits.
+    assert high - low > 0.1
+
+
+def test_quantified_stability(benchmark, harness):
+    names = ["gzip", "eon", "mesa", "art"]
+    result = benchmark.pedantic(
+        table5_stability, args=(harness, names, ["addr", "stwt"]),
+        rounds=1, iterations=1,
+    )
+    print()
+    for optimization, per_config in result.improvements.items():
+        score = stability_score(per_config)
+        print(f"  {optimization:22s} stability score {score:.2f} "
+              f"(0 = perfectly stable)")
+    # The L1-latency optimization is the paper's stable example.
+    l1 = stability_score(result.improvements["l1_latency_3_to_1"])
+    assert l1 < 3.0

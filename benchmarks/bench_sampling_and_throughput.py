@@ -1,0 +1,53 @@
+"""Extension benches: the DCPI sampling-interval trade-off (Section
+2.3) and raw engine throughput (how fast the timing models replay
+instructions — the practical cost of the methodology)."""
+
+from repro.core.simalpha import SimAlpha
+from repro.simulators.eightway import EightWaySim
+from repro.simulators.simoutorder import SimOutOrder
+from repro.validation.experiments import sampling_interval_study
+
+
+def test_sampling_interval_study(benchmark):
+    result = benchmark.pedantic(
+        sampling_interval_study, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # The paper chose 40K cycles as the best dilation/quantisation
+    # trade-off; our model reproduces that sweet spot.
+    assert result.best_interval() == 40_000
+    dilations = [row[1] for row in result.rows]
+    quantisations = [row[2] for row in result.rows]
+    assert dilations == sorted(dilations, reverse=True)
+    assert quantisations == sorted(quantisations)
+
+
+def test_engine_throughput_simalpha(benchmark, harness):
+    trace = harness.workloads.trace("gzip")
+
+    def run():
+        return SimAlpha().run_trace(trace, "gzip")
+
+    result = benchmark(run)
+    assert result.instructions == len(trace)
+
+
+def test_engine_throughput_simoutorder(benchmark, harness):
+    trace = harness.workloads.trace("gzip")
+
+    def run():
+        return SimOutOrder().run_trace(trace, "gzip")
+
+    result = benchmark(run)
+    assert result.instructions == len(trace)
+
+
+def test_engine_throughput_eightway(benchmark, harness):
+    trace = harness.workloads.trace("gzip")
+
+    def run():
+        return EightWaySim().run_trace(trace, "gzip")
+
+    result = benchmark(run)
+    assert result.instructions == len(trace)

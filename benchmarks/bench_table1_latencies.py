@@ -1,0 +1,19 @@
+"""Table 1: instruction latencies.
+
+Regenerates the paper's latency table by measuring dependent-issue
+spacing per instruction class on sim-alpha and checking it against the
+configured (published) values.
+"""
+
+from repro.reporting.paper_data import TABLE1_LATENCIES
+from repro.validation.experiments import table1_latencies
+
+
+def test_table1_latencies(benchmark):
+    result = benchmark.pedantic(table1_latencies, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    print(f"paper Table 1 reference: {TABLE1_LATENCIES}")
+    # The simulator must execute each class at exactly its configured
+    # latency — this is the paper's most basic validation.
+    assert result.max_deviation() < 0.15

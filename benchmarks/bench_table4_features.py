@@ -1,0 +1,56 @@
+"""Table 4: effect of individual low-level features on performance.
+
+Removes each of the ten features from sim-alpha one at a time over the
+macrobenchmarks.  The paper's headline: four features matter most —
+the jump adder (-7.8%), speculative predictor update (-5.9%), load-use
+speculation (-5.8%), and store-wait bits (-4.3%) — while removing the
+constraining features (maps/slot/trap) *gains* a little.
+
+Runs a six-benchmark subset by default; set REPRO_FULL=1 for all ten.
+"""
+
+from conftest import full_scale
+
+from repro.reporting.paper_data import TABLE4
+from repro.reporting.tables import render_table
+from repro.validation.experiments import table4_features
+from repro.workloads.suite import spec2000_names
+
+_SUBSET = ("gzip", "vpr", "eon", "mesa", "art", "parser")
+
+
+def test_table4_features(benchmark, harness):
+    names = spec2000_names() if full_scale() else list(_SUBSET)
+    result = benchmark.pedantic(
+        table4_features, args=(harness, names), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    comparison = [
+        (column.feature, TABLE4[column.feature][1], column.mean_change,
+         TABLE4[column.feature][2], column.stddev)
+        for column in result.columns
+    ]
+    print()
+    print(render_table(
+        ["feature", "paper %chg", "ours", "paper std", "ours"],
+        comparison,
+        title="Table 4 shape comparison (paper vs measured)",
+    ))
+
+    # --- Shape assertions ------------------------------------------------
+    # The jump adder is the single most valuable feature (paper -7.8%).
+    addr = result.column("addr").mean_change
+    assert addr < -3.0
+    assert addr == min(c.mean_change for c in result.columns)
+    # Store-wait and speculative update are major contributors.
+    assert result.column("stwt").mean_change < -2.0
+    assert result.column("spec").mean_change < -1.0
+    # The small features stay small (paper: |x| < 1%).
+    for feature in ("eret", "vbuf", "pref"):
+        assert abs(result.column(feature).mean_change) < 2.0
+    # Removing mbox traps helps (a constraining feature; paper +0.31,
+    # and our trap sources are stronger on the art-style proxies).
+    assert result.column("trap").mean_change > 0.0
+    # Variability across benchmarks is real (paper: all stddevs >= 1%).
+    assert result.column("addr").stddev > 1.0

@@ -1,0 +1,38 @@
+"""Extension: warm-up / measurement-length study.
+
+The paper runs everything to completion and iterates microbenchmarks
+"for numerous iterations" precisely because short measurements carry
+cold-start bias.  This bench quantifies that: windowed IPC until
+steady state, and the CPI error a truncated measurement would inject
+— connecting measurement length to the paper's error budget.
+"""
+
+from repro.validation.warmup import warmup_study
+
+
+def test_warmup_profiles(benchmark, harness):
+    def run():
+        return {
+            workload: warmup_study(workload, harness=harness,
+                                   window_size=4096)
+            for workload in ("gzip", "mesa", "C-Ca")
+        }
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for workload, profile in profiles.items():
+        settled = profile.settled_instructions
+        one_window_error = profile.truncation_error(1)
+        print(f"{workload:6s} steady IPC {profile.steady_ipc:5.2f}  "
+              f"settles after {settled} instructions  "
+              f"1-window truncation error {one_window_error:+.1f}%")
+
+    for workload, profile in profiles.items():
+        # Cold start biases a short measurement low...
+        assert profile.window_ipcs[0] < profile.steady_ipc, workload
+        # ...and every workload settles inside its trace.
+        assert profile.settled_window is not None, workload
+    # Truncation error at one window is material (> 2%) somewhere —
+    # the reason validation runs must be long.
+    worst = max(abs(p.truncation_error(1)) for p in profiles.values())
+    assert worst > 2.0

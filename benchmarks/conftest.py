@@ -1,0 +1,25 @@
+"""Shared fixtures for the experiment benches.
+
+One :class:`~repro.validation.harness.Harness` (and so one set of
+functional traces) is shared across all benches in a session.  Set
+``REPRO_FULL=1`` to run the heavy sweeps (Tables 4/5, calibration, bug
+walk) at full paper scale instead of the representative subsets.
+"""
+
+import os
+
+import pytest
+
+from repro.validation.harness import Harness
+
+__all__ = ["full_scale"]
+
+
+def full_scale() -> bool:
+    """Whether to run sweeps at full paper scale."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    return Harness()

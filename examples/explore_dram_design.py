@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Explore the DRAM design space with the Section 4.2 machinery.
+
+The paper calibrated RAS/CAS/precharge/controller latency and the page
+policy against M-M, STREAM, and lmbench.  This example uses the same
+harness to answer a *design* question instead: how much does the page
+policy matter per workload class, and where does the open-page policy
+stop paying?
+
+Run:
+    python examples/explore_dram_design.py
+"""
+
+from dataclasses import replace
+
+from repro.dram import DramConfig
+from repro.reporting import render_table
+from repro.validation import Harness
+from repro.validation.calibrate import sim_alpha_with_dram
+
+
+def main() -> None:
+    harness = Harness()
+    harness.workloads.register_calibration()
+
+    workloads = [
+        ("stream-copy", "sequential bandwidth"),
+        ("stream-triad", "3-array bandwidth"),
+        ("lmbench-memory", "dependent latency"),
+        ("M-M", "row-hostile latency"),
+    ]
+
+    policies = {
+        "open": DramConfig(page_policy="open"),
+        "closed": DramConfig(page_policy="closed"),
+        "open, slow CAS": DramConfig(page_policy="open", cas_cycles=6),
+        "closed, fast RAS": DramConfig(page_policy="closed", ras_cycles=1),
+    }
+
+    rows = []
+    cycles = {}
+    for label, config in policies.items():
+        row = [label]
+        for name, _ in workloads:
+            result = harness.run_one(
+                lambda c=config, l=label: sim_alpha_with_dram(c, l), name
+            )
+            cycles[(label, name)] = result.cycles
+            row.append(result.ipc)
+        rows.append(row)
+
+    print(render_table(
+        ["DRAM policy"] + [name for name, _ in workloads],
+        rows,
+        title="IPC by DRAM configuration and workload",
+    ))
+
+    print("\nRelative cost of the closed-page policy per workload:")
+    for name, description in workloads:
+        open_cycles = cycles[("open", name)]
+        closed_cycles = cycles[("closed", name)]
+        delta = (closed_cycles - open_cycles) / open_cycles * 100
+        print(f"  {name:16s} ({description:22s}): {delta:+6.1f}% cycles")
+
+    print(
+        "\nStreaming kernels reuse open rows, so the closed-page policy"
+        "\ncosts them the most; the row-hostile M-M chase barely cares —"
+        "\nwhich is why the paper needed all three workload classes to"
+        "\npin the parameters down."
+    )
+
+
+if __name__ == "__main__":
+    main()

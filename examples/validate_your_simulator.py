@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Apply the paper's validation methodology to *your* simulator.
+
+Scenario: you built a research simulator by taking a validated model
+and simplifying the parts you believed didn't matter — no load-use
+speculation, no I-cache prefetch, a single flat cluster.  This script
+walks the paper's methodology to find out what those choices cost:
+
+1. run the microbenchmark suite against the reference machine,
+2. localise which *pipeline behaviours* the errors point at,
+3. check whether a conclusion you might publish (an optimization's
+   benefit) would survive on a validated simulator — the paper's
+   "stability" question.
+
+Run:
+    python examples/validate_your_simulator.py
+"""
+
+from dataclasses import replace
+
+from repro import FeatureSet, MachineConfig, NativeMachine, SimAlpha
+from repro.memory.cache import CacheConfig
+from repro.validation import Harness, percent_change, percent_error_cpi
+
+#: "Your" simulator: a typical academic level of detail.
+MY_FEATURES = FeatureSet().without("luse").without("pref").without("slot")
+
+
+def my_simulator(name: str = "my-sim", **memory_changes) -> SimAlpha:
+    config = MachineConfig(name=name, features=MY_FEATURES)
+    if memory_changes:
+        config = replace(
+            config, memory=replace(config.memory, **memory_changes)
+        )
+    return SimAlpha(config)
+
+
+def main() -> None:
+    harness = Harness()
+
+    # Step 1: microbenchmark validation (paper Section 3).
+    print("Step 1: microbenchmark error vs the reference machine")
+    suite = ["C-Ca", "C-S1", "E-I", "E-D3", "M-I", "M-D", "M-IP"]
+    errors = {}
+    for name in suite:
+        reference = harness.run_one(NativeMachine, name)
+        mine = harness.run_one(my_simulator, name)
+        errors[name] = percent_error_cpi(mine.cpi, reference.cpi)
+        print(f"  {name:6s} reference IPC {reference.ipc:5.2f}   "
+              f"my-sim IPC {mine.ipc:5.2f}   error {errors[name]:+6.1f}%")
+
+    # Step 2: the suite localises the damage (paper Section 3.4 style).
+    print("\nStep 2: what the error pattern says")
+    if errors["M-D"] < -5:
+        print("  M-D (load-to-use chain) underestimates: your consumers")
+        print("  wait for the tag check -> you removed load-use speculation.")
+    if errors["M-IP"] < -5:
+        print("  M-IP (I-cache-flushing loop) underestimates: sequential")
+        print("  refills stall -> you removed I-cache prefetch.")
+
+    # Step 3: stability of a conclusion (paper Section 5.3).
+    print("\nStep 3: would your published speedup survive validation?")
+    print("  optimization under study: 1-cycle L1 D-cache (vs 3)")
+    macro = ["gzip", "eon", "mesa"]
+
+    def hm_speedup(factory_base, factory_fast):
+        base = [harness.run_one(factory_base, n).ipc for n in macro]
+        fast = [harness.run_one(factory_fast, n).ipc for n in macro]
+        base_hm = len(base) / sum(1 / v for v in base)
+        fast_hm = len(fast) / sum(1 / v for v in fast)
+        return percent_change(fast_hm, base_hm)
+
+    mine = hm_speedup(
+        my_simulator, lambda: my_simulator("my-sim-fast", l1d_load_to_use=1)
+    )
+    validated = hm_speedup(
+        SimAlpha,
+        lambda: SimAlpha(replace(
+            MachineConfig(name="alpha-fast"),
+            memory=replace(MachineConfig().memory, l1d_load_to_use=1),
+        )),
+    )
+    print(f"  speedup on my-sim      : {mine:+.2f}%")
+    print(f"  speedup on sim-alpha   : {validated:+.2f}%")
+    if mine > validated + 1:
+        print("  -> your simulator OVERSTATES the benefit: without")
+        print("     load-use speculation every hit already pays 2 extra")
+        print("     cycles, so cutting the latency looks better than it")
+        print("     is on a machine that hides it (the paper's Table 5")
+        print("     found exactly this: 9.85% on sim-stripped vs ~5.5%).")
+    else:
+        print("  -> the conclusion is stable across the two simulators.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Write your own microbenchmark in assembly and time it everywhere.
+
+The paper's methodology lives and dies by targeted microbenchmarks;
+this example shows the two ways to write one — the text assembler and
+the ProgramBuilder API — and runs the result across the simulator
+family.
+
+Run:
+    python examples/write_a_workload.py
+"""
+
+from repro import (
+    NativeMachine,
+    SimAlpha,
+    SimOutOrder,
+    make_sim_initial,
+    make_sim_stripped,
+)
+from repro.functional import run_program
+from repro.isa import Opcode, ProgramBuilder, assemble
+
+#: A store-to-load microbenchmark in text assembly: every iteration
+#: stores to a slot and immediately reloads it — store-wait predictor
+#: and replay-trap behaviour in six instructions.
+STORE_LOAD_KERNEL = """
+    .word slot 0
+    lda   r9, =slot
+    lda   r1, #0
+loop:
+    addq  r3, r3, #1
+    stq   r3, 0(r9)
+    ldq   r4, 0(r9)
+    addq  r1, r1, #1
+    cmplt r2, r1, #2000
+    bne   r2, loop
+    halt
+"""
+
+
+def builder_variant() -> "Program":
+    """The same kernel via the ProgramBuilder API, with the load hoisted
+    away from the store so no conflict exists (a control)."""
+    b = ProgramBuilder("no-conflict")
+    slot_a = b.alloc_words([0])
+    slot_b = b.alloc_words([0])
+    b.load_imm("r9", slot_a)
+    b.load_imm("r10", slot_b)
+    b.load_imm("r1", 0)
+    b.label("loop")
+    b.emit(Opcode.ADDQ, dest="r3", srcs=("r3",), imm=1)
+    b.emit(Opcode.STQ, srcs=("r3",), base="r9", disp=0)
+    b.emit(Opcode.LDQ, dest="r4", base="r10", disp=0)  # different slot
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=2000)
+    b.branch(Opcode.BNE, "r2", "loop")
+    b.halt()
+    return b.build()
+
+
+def main() -> None:
+    conflict = assemble(STORE_LOAD_KERNEL, name="store-load")
+    conflict.name = "store-load"
+    control = builder_variant()
+
+    simulators = [
+        NativeMachine(),
+        SimAlpha(),
+        make_sim_initial(),
+        make_sim_stripped(),
+        SimOutOrder(),
+    ]
+
+    for program in (conflict, control):
+        trace = run_program(program)
+        print(f"\n{program.name} ({len(trace)} instructions):")
+        for simulator in simulators:
+            result = simulator.run_trace(trace, program.name)
+            extras = ""
+            if result.stats.store_replay_traps:
+                extras = (f"  [{result.stats.store_replay_traps} store "
+                          f"replay traps, "
+                          f"{result.stats.store_wait_holds} holds]")
+            print(f"  {result.simulator:14s} IPC {result.ipc:5.2f}{extras}")
+
+    print(
+        "\nThe conflicting kernel exposes the store-wait machinery on"
+        "\nthe validated simulators; the stripped one just eats traps."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e . --no-use-pep517 --no-build-isolation`` works on
+offline machines that lack the ``wheel`` package (PEP 517 editable
+installs require building a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""repro — a reproduction of *Measuring Experimental Error in
+Microprocessor Simulation* (Desikan, Burger & Keckler, ISCA 2001).
+
+The package provides:
+
+* :mod:`repro.core` — the sim-alpha family: a validated Alpha 21264
+  pipeline model with the paper's ten feature flags, the sim-initial
+  bug set, and the sim-stripped configuration;
+* :mod:`repro.simulators` — the reference NativeMachine (DS-10L
+  stand-in) with DCPI-style measurement, SimpleScalar's sim-outorder,
+  and the 8-way in-house simulator of the Figure 2 study;
+* :mod:`repro.workloads` — the 21-entry microbenchmark suite, SPEC2000
+  and SPEC95 proxies, and the STREAM/lmbench calibration kernels;
+* :mod:`repro.validation` — metrics, the run harness, and a driver per
+  table/figure (Tables 1-5, Figure 2, the Section 4.2 DRAM
+  calibration, plus extension studies);
+* substrates: :mod:`repro.isa`, :mod:`repro.functional`,
+  :mod:`repro.predictors`, :mod:`repro.memory`, :mod:`repro.dram`.
+
+Quickstart::
+
+    from repro import SimAlpha, NativeMachine, build_microbenchmark
+    from repro.functional import run_program
+
+    program = build_microbenchmark("C-R")
+    trace = run_program(program)
+    print(NativeMachine().run_trace(trace, "C-R"))
+    print(SimAlpha().run_trace(trace, "C-R"))
+"""
+
+from repro.core import (
+    BugSet,
+    FeatureSet,
+    MachineConfig,
+    NativeEffects,
+    RegFileConfig,
+    SimAlpha,
+    make_sim_initial,
+    make_sim_minus_feature,
+    make_sim_stripped,
+    make_sim_with_bugs,
+)
+from repro.result import RunStats, SimResult
+from repro.simulators import (
+    DcpiProfiler,
+    EightWaySim,
+    NativeMachine,
+    SimOutOrder,
+)
+from repro.validation import Harness
+from repro.workloads import (
+    build_macro,
+    build_microbenchmark,
+    build_spec2000,
+    build_spec95,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BugSet",
+    "FeatureSet",
+    "MachineConfig",
+    "NativeEffects",
+    "RegFileConfig",
+    "SimAlpha",
+    "make_sim_initial",
+    "make_sim_minus_feature",
+    "make_sim_stripped",
+    "make_sim_with_bugs",
+    "RunStats",
+    "SimResult",
+    "DcpiProfiler",
+    "EightWaySim",
+    "NativeMachine",
+    "SimOutOrder",
+    "Harness",
+    "build_macro",
+    "build_microbenchmark",
+    "build_spec2000",
+    "build_spec95",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: the validated 21264 simulator
+family (sim-alpha, sim-initial, sim-stripped) over one pipeline engine.
+"""
+
+from repro.core.bugs import ALL_BUGS, BugSet
+from repro.core.config import MachineConfig, NativeEffects, RegFileConfig
+from repro.core.features import (
+    ALL_FEATURES,
+    CONSTRAINING_FEATURES,
+    OPTIMIZING_FEATURES,
+    FeatureSet,
+)
+from repro.core.pipeline import AlphaPipeline
+from repro.core.simalpha import SimAlpha
+from repro.core.siminitial import make_sim_initial, make_sim_with_bugs
+from repro.core.simstripped import make_sim_minus_feature, make_sim_stripped
+
+__all__ = [
+    "ALL_BUGS",
+    "BugSet",
+    "MachineConfig",
+    "NativeEffects",
+    "RegFileConfig",
+    "ALL_FEATURES",
+    "CONSTRAINING_FEATURES",
+    "OPTIMIZING_FEATURES",
+    "FeatureSet",
+    "AlphaPipeline",
+    "SimAlpha",
+    "make_sim_initial",
+    "make_sim_with_bugs",
+    "make_sim_minus_feature",
+    "make_sim_stripped",
+]

@@ -1,0 +1,92 @@
+"""The ten low-level 21264 features the paper ablates (Section 5.1).
+
+Seven *performance-optimizing* features::
+
+    addr  an extra adder for quick computation of jump targets in the
+          front end (lets the branch predictor override the line
+          predictor in the slot stage instead of waiting for execute)
+    eret  early retirement of no-op instructions in the map stage
+    luse  load-use speculation
+    pref  instruction cache hardware prefetching
+    spec  speculative update of the line and branch predictors
+    stwt  the store-wait predictor
+    vbuf  the level-one data cache victim buffer
+
+Three *performance-constraining* features (necessary for high clock
+rates, but reduce IPC)::
+
+    maps  a three-cycle stall if the number of available physical
+          registers drops below eight
+    slot  slotting restrictions in the pipeline
+    trap  mbox traps, which flush the pipeline on MSHR conflicts and
+          concurrent references to two blocks that map to the same
+          place in the cache
+
+``sim-stripped`` is sim-alpha with all ten removed — "the level of
+detail ... typically seen in simulators in the architecture community".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+__all__ = [
+    "FeatureSet",
+    "OPTIMIZING_FEATURES",
+    "CONSTRAINING_FEATURES",
+    "ALL_FEATURES",
+]
+
+OPTIMIZING_FEATURES = ("addr", "eret", "luse", "pref", "spec", "stwt", "vbuf")
+CONSTRAINING_FEATURES = ("maps", "slot", "trap")
+ALL_FEATURES = OPTIMIZING_FEATURES + CONSTRAINING_FEATURES
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """Which of the ten features a simulator configuration models."""
+
+    addr: bool = True
+    eret: bool = True
+    luse: bool = True
+    pref: bool = True
+    spec: bool = True
+    stwt: bool = True
+    vbuf: bool = True
+    maps: bool = True
+    slot: bool = True
+    trap: bool = True
+
+    def without(self, name: str) -> "FeatureSet":
+        """A copy with feature ``name`` disabled (Table 4 columns)."""
+        if name not in ALL_FEATURES:
+            raise ValueError(
+                f"unknown feature {name!r}; expected one of {ALL_FEATURES}"
+            )
+        return replace(self, **{name: False})
+
+    def with_only(self, *names: str) -> "FeatureSet":
+        """A copy with exactly ``names`` enabled, everything else off."""
+        for name in names:
+            if name not in ALL_FEATURES:
+                raise ValueError(f"unknown feature {name!r}")
+        values = {name: (name in names) for name in ALL_FEATURES}
+        return FeatureSet(**values)
+
+    @classmethod
+    def stripped(cls) -> "FeatureSet":
+        """All ten features removed (the sim-stripped configuration)."""
+        return cls(**{name: False for name in ALL_FEATURES})
+
+    def enabled(self) -> tuple:
+        """Names of enabled features, in canonical order."""
+        return tuple(f.name for f in fields(self) if getattr(self, f.name))
+
+    def describe(self) -> str:
+        on = self.enabled()
+        if len(on) == len(ALL_FEATURES):
+            return "all features"
+        if not on:
+            return "stripped"
+        off = [name for name in ALL_FEATURES if name not in on]
+        return "minus " + "+".join(off)

@@ -1,0 +1,34 @@
+"""sim-stripped: sim-alpha with the low-level features removed.
+
+Paper Section 5.1: "a version of sim-alpha with many of the low-level
+features removed.  We chose the level of detail to match what is
+typically seen in simulators in the architecture community: pipeline
+organization, functional unit latencies, etc., but few low-level
+limitations."  All seven performance-optimizing and all three
+performance-constraining features are off; the paper found it
+*under*-estimates the DS-10L by 40% on average, because losing the
+optimizations outweighs shedding the constraints.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MachineConfig
+from repro.core.features import FeatureSet
+from repro.core.simalpha import SimAlpha
+
+__all__ = ["make_sim_stripped", "make_sim_minus_feature"]
+
+
+def make_sim_stripped() -> SimAlpha:
+    """The fully stripped configuration (all ten features removed)."""
+    config = MachineConfig(name="sim-stripped", features=FeatureSet.stripped())
+    return SimAlpha(config)
+
+
+def make_sim_minus_feature(feature: str) -> SimAlpha:
+    """sim-alpha minus a single feature (the Table 4 / Table 5 columns)."""
+    config = MachineConfig(
+        name=f"sim-alpha-no-{feature}",
+        features=FeatureSet().without(feature),
+    )
+    return SimAlpha(config)

@@ -1,0 +1,12 @@
+"""SDRAM timing model and the Section 4.2 calibration parameter space."""
+
+from repro.dram.config import DS10L_CALIBRATED, DramConfig, parameter_grid
+from repro.dram.sdram import DramStats, Sdram
+
+__all__ = [
+    "DS10L_CALIBRATED",
+    "DramConfig",
+    "parameter_grid",
+    "DramStats",
+    "Sdram",
+]

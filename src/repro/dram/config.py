@@ -1,0 +1,73 @@
+"""SDRAM timing configuration.
+
+Paper Section 4.2 tunes exactly these knobs against M-M, stream, and
+lmbench: "Our experiments showed that the open page policy with a
+2-cycle RAS, 4-cycle CAS, 2-cycle precharge, and total of 2 cycles of
+memory controller latency produced the least overall error."  Timing
+parameters are in *memory-bus* cycles; the simulated DRAM runs "at
+approximately 25% the processor speed", so each memory cycle costs
+``cpu_cycles_per_dram_cycle`` CPU cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List
+
+__all__ = ["DramConfig", "DS10L_CALIBRATED", "parameter_grid"]
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    ras_cycles: int = 2
+    cas_cycles: int = 4
+    precharge_cycles: int = 2
+    #: Total controller overhead (paper: 0 or 1 cycles each way between
+    #: processor and DRAM; calibrated total = 2).
+    controller_cycles: int = 2
+    page_policy: str = "open"  # "open" or "closed"
+    banks: int = 4
+    row_bytes: int = 4096
+    #: DRAM clock ratio: the DS-10L memory system runs at ~25% of the
+    #: 466MHz core.
+    cpu_cycles_per_dram_cycle: int = 4
+    #: Burst transfer length for one 64-byte cache block on the 64-bit
+    #: memory bus: 8 beats.
+    burst_cycles: int = 8
+
+    def __post_init__(self) -> None:
+        if self.page_policy not in ("open", "closed"):
+            raise ValueError(f"unknown page policy {self.page_policy!r}")
+        if self.banks & (self.banks - 1):
+            raise ValueError("bank count must be a power of two")
+        if self.row_bytes & (self.row_bytes - 1):
+            raise ValueError("row size must be a power of two")
+
+    def with_policy(self, policy: str) -> "DramConfig":
+        return replace(self, page_policy=policy)
+
+
+#: The configuration the paper settled on for all macrobenchmark runs.
+DS10L_CALIBRATED = DramConfig()
+
+
+def parameter_grid(
+    ras_values: List[int] = (1, 2, 3),
+    cas_values: List[int] = (2, 3, 4, 5),
+    precharge_values: List[int] = (1, 2, 3),
+    controller_values: List[int] = (0, 1, 2),
+    policies: List[str] = ("open", "closed"),
+) -> Iterator[DramConfig]:
+    """The Section 4.2 calibration sweep space."""
+    for policy in policies:
+        for ras in ras_values:
+            for cas in cas_values:
+                for precharge in precharge_values:
+                    for controller in controller_values:
+                        yield DramConfig(
+                            ras_cycles=ras,
+                            cas_cycles=cas,
+                            precharge_cycles=precharge,
+                            controller_cycles=controller,
+                            page_policy=policy,
+                        )

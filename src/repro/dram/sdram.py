@@ -1,0 +1,109 @@
+"""Banked SDRAM timing model (after Cuppu et al.).
+
+sim-alpha "model[s] the DRAM latency using the simulator provided by
+Cuppu, et al."; this is our equivalent: per-bank open-row state with
+RAS/CAS/precharge timing under an open- or closed-page policy.
+
+Open-page policy: rows are left active after an access.  A subsequent
+access to the same row pays only CAS; a different row pays precharge +
+RAS + CAS.  Closed-page policy: the precharge is started immediately
+after every access, so every access pays RAS + CAS, and the precharge
+is hidden unless a back-to-back access hits the still-precharging bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dram.config import DramConfig
+
+__all__ = ["Sdram", "DramStats"]
+
+
+@dataclass
+class DramStats:
+    accesses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    bank_conflicts: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class Sdram:
+    """Timing-only SDRAM: maps physical block addresses to (bank, row)."""
+
+    def __init__(self, config: DramConfig | None = None):
+        self.config = config or DramConfig()
+        cfg = self.config
+        self._row_shift = cfg.row_bytes.bit_length() - 1
+        self._bank_mask = cfg.banks - 1
+        #: Per-bank open row (None when precharged).
+        self._open_row: Dict[int, Optional[int]] = {}
+        #: Per-bank earliest next command time (CPU cycles).
+        self._bank_free: Dict[int, float] = {}
+        self.stats = DramStats()
+
+    def _locate(self, paddr: int) -> Tuple[int, int]:
+        """Bank and row of a physical address.
+
+        Consecutive rows interleave across banks so streaming access
+        spreads load — the usual SDRAM address mapping.
+        """
+        row_number = paddr >> self._row_shift
+        return row_number & self._bank_mask, row_number >> (
+            self._bank_mask.bit_length()
+        )
+
+    def access(self, time: float, paddr: int) -> float:
+        """Issue a block read/write at ``time``; returns data-ready time
+        in CPU cycles (controller latency included)."""
+        cfg = self.config
+        scale = cfg.cpu_cycles_per_dram_cycle
+        bank, row = self._locate(paddr)
+        self.stats.accesses += 1
+
+        start = time + (cfg.controller_cycles * scale) / 2
+        bank_free = self._bank_free.get(bank, 0.0)
+        if bank_free > start:
+            self.stats.bank_conflicts += 1
+            start = bank_free
+
+        open_row = self._open_row.get(bank)
+        if cfg.page_policy == "open":
+            if open_row == row:
+                self.stats.row_hits += 1
+                latency = cfg.cas_cycles
+            else:
+                self.stats.row_misses += 1
+                latency = (
+                    (cfg.precharge_cycles if open_row is not None else 0)
+                    + cfg.ras_cycles
+                    + cfg.cas_cycles
+                )
+            self._open_row[bank] = row
+            ready = start + latency * scale
+            self._bank_free[bank] = ready
+        else:  # closed page: activate + read every time, precharge after
+            self.stats.row_misses += 1
+            latency = cfg.ras_cycles + cfg.cas_cycles
+            ready = start + latency * scale
+            self._open_row[bank] = None
+            # The bank is busy through its auto-precharge.
+            self._bank_free[bank] = ready + cfg.precharge_cycles * scale
+
+        ready += (cfg.controller_cycles * scale) / 2
+        return ready
+
+    def block_transfer_cycles(self) -> float:
+        """CPU cycles to burst one cache block over the memory bus."""
+        cfg = self.config
+        return cfg.burst_cycles * cfg.cpu_cycles_per_dram_cycle / 2
+
+    def reset(self) -> None:
+        self._open_row.clear()
+        self._bank_free.clear()
+        self.stats = DramStats()

@@ -1,0 +1,60 @@
+"""Architectural checkpoints.
+
+sim-alpha inherited SimpleScalar's "checkpoint functionality"; this is
+ours: snapshot a :class:`~repro.functional.machine.ArchState` (register
+files + memory) so long workloads can be functionally fast-forwarded
+once and timing runs started from the interesting region — the
+standard sampling workflow for slow detailed simulators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.functional.machine import ArchState
+from repro.functional.memory_image import SparseMemory
+
+__all__ = ["snapshot", "restore", "save_checkpoint", "load_checkpoint"]
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro-checkpoint-v1"
+
+
+def snapshot(state: ArchState) -> dict:
+    """A JSON-serialisable snapshot of architectural state."""
+    return {
+        "format": _FORMAT,
+        "iregs": dict(state.iregs),
+        "fregs": dict(state.fregs),
+        "memory": {
+            str(address): value for address, value in state.memory.words()
+        },
+    }
+
+
+def restore(data: dict) -> ArchState:
+    """Rebuild an :class:`ArchState` from :func:`snapshot` output."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a checkpoint (format={data.get('format')!r})"
+        )
+    memory = SparseMemory()
+    for address, value in data["memory"].items():
+        memory.store_word(int(address), value)
+    state = ArchState(memory=memory)
+    state.iregs.update(data["iregs"])
+    state.fregs.update(data["fregs"])
+    return state
+
+
+def save_checkpoint(state: ArchState, path: PathLike) -> None:
+    """Write a checkpoint file."""
+    Path(path).write_text(json.dumps(snapshot(state)))
+
+
+def load_checkpoint(path: PathLike) -> ArchState:
+    """Read a checkpoint file."""
+    return restore(json.loads(Path(path).read_text()))

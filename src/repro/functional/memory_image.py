@@ -1,0 +1,58 @@
+"""Sparse byte-addressable data memory for the functional machine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+__all__ = ["SparseMemory"]
+
+_WORD = 8
+_MASK64 = (1 << 64) - 1
+
+
+class SparseMemory:
+    """A sparse 64-bit-word memory with byte access helpers.
+
+    Storage is a dict keyed by 8-byte-aligned addresses holding unsigned
+    64-bit little-endian words.  Unwritten memory reads as zero, which
+    matches the zero-initialised heap our program builders assume.
+    """
+
+    def __init__(self, image: Dict[int, int] | None = None):
+        self._words: Dict[int, int] = {}
+        if image:
+            for address, value in image.items():
+                self.store_word(address, value)
+
+    @staticmethod
+    def _split(address: int) -> Tuple[int, int]:
+        return address & ~(_WORD - 1), address & (_WORD - 1)
+
+    def load_word(self, address: int) -> int:
+        """Load the aligned 64-bit word containing ``address``."""
+        base, _ = self._split(address)
+        return self._words.get(base, 0)
+
+    def store_word(self, address: int, value: int) -> None:
+        """Store a 64-bit word at the aligned address containing
+        ``address``."""
+        base, _ = self._split(address)
+        self._words[base] = value & _MASK64
+
+    def load_byte(self, address: int) -> int:
+        base, offset = self._split(address)
+        return (self._words.get(base, 0) >> (8 * offset)) & 0xFF
+
+    def store_byte(self, address: int, value: int) -> None:
+        base, offset = self._split(address)
+        word = self._words.get(base, 0)
+        shift = 8 * offset
+        word = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self._words[base] = word
+
+    def words(self) -> Iterable[Tuple[int, int]]:
+        """All (aligned address, word) pairs currently backed."""
+        return self._words.items()
+
+    def __len__(self) -> int:
+        return len(self._words)

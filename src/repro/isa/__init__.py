@@ -1,0 +1,54 @@
+"""Alpha-like instruction set: opcodes, registers, programs, assembler."""
+
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    INSTRUCTIONS_PER_OCTAWORD,
+    LATENCY,
+    OCTAWORD_BYTES,
+    InstrClass,
+    Instruction,
+    Opcode,
+    opcode_for_mnemonic,
+)
+from repro.isa.program import (
+    CODE_BASE,
+    DATA_BASE,
+    STACK_BASE,
+    Program,
+    ProgramBuilder,
+)
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.encoding import (
+    EncodingError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.loader import load_program, program_digest, save_program
+
+__all__ = [
+    "INSTRUCTION_BYTES",
+    "INSTRUCTIONS_PER_OCTAWORD",
+    "LATENCY",
+    "OCTAWORD_BYTES",
+    "InstrClass",
+    "Instruction",
+    "Opcode",
+    "opcode_for_mnemonic",
+    "CODE_BASE",
+    "DATA_BASE",
+    "STACK_BASE",
+    "Program",
+    "ProgramBuilder",
+    "AssemblerError",
+    "assemble",
+    "EncodingError",
+    "decode_instruction",
+    "decode_program",
+    "encode_instruction",
+    "encode_program",
+    "load_program",
+    "program_digest",
+    "save_program",
+]

@@ -1,0 +1,267 @@
+"""Program representation: linked instruction sequences plus a data image.
+
+A :class:`Program` is an ordered list of static instructions with
+resolved branch targets, a starting PC, and an initial data-memory
+image.  Programs are normally produced via :class:`ProgramBuilder`
+(labels, alignment directives, data allocation) or the text assembler
+in :mod:`repro.isa.assembler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    INSTRUCTIONS_PER_OCTAWORD,
+    OCTAWORD_BYTES,
+    Instruction,
+    Opcode,
+)
+
+__all__ = ["Program", "ProgramBuilder", "CODE_BASE", "DATA_BASE", "STACK_BASE"]
+
+#: Default virtual-address layout.  Code is low, data in the middle,
+#: stack high and growing down.  All are octaword aligned.
+CODE_BASE = 0x0001_0000
+DATA_BASE = 0x1000_0000
+STACK_BASE = 0x7FFF_0000
+
+
+@dataclass
+class Program:
+    """A fully linked program.
+
+    Attributes:
+        instructions: static instruction list; instruction ``i`` lives
+            at ``code_base + i * INSTRUCTION_BYTES``.
+        labels: label name -> instruction index.
+        data: initial data-memory image, address -> 64-bit value.
+        entry: index of the first instruction to execute.
+        code_base: virtual address of instruction 0.
+        name: human-readable workload name.
+    """
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    data: Dict[int, int] = field(default_factory=dict)
+    entry: int = 0
+    code_base: int = CODE_BASE
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code_base % OCTAWORD_BYTES != 0:
+            raise ValueError("code base must be octaword aligned")
+        self._target_index: Dict[int, int] = {}
+        for i, instr in enumerate(self.instructions):
+            if instr.target is not None:
+                if instr.target not in self.labels:
+                    raise ValueError(
+                        f"instruction {i} ({instr}) references undefined "
+                        f"label {instr.target!r}"
+                    )
+                self._target_index[i] = self.labels[instr.target]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def pc_of(self, index: int) -> int:
+        """Virtual address of the instruction at ``index``."""
+        return self.code_base + index * INSTRUCTION_BYTES
+
+    def index_of(self, pc: int) -> int:
+        """Instruction index of the given PC."""
+        offset = pc - self.code_base
+        if offset % INSTRUCTION_BYTES != 0:
+            raise ValueError(f"misaligned pc {pc:#x}")
+        index = offset // INSTRUCTION_BYTES
+        if not 0 <= index < len(self.instructions):
+            raise ValueError(f"pc {pc:#x} outside program")
+        return index
+
+    def target_index(self, index: int) -> int:
+        """Resolved target instruction index for a control instruction."""
+        return self._target_index[index]
+
+    def octaword_of(self, index: int) -> int:
+        """Aligned octaword address containing instruction ``index``."""
+        pc = self.pc_of(index)
+        return pc - (pc % OCTAWORD_BYTES)
+
+    def slot_in_octaword(self, index: int) -> int:
+        """Position (0-3) of instruction ``index`` within its octaword."""
+        return (self.pc_of(index) % OCTAWORD_BYTES) // INSTRUCTION_BYTES
+
+    @property
+    def label_at(self) -> Dict[int, str]:
+        """Reverse label map (index -> one of its labels)."""
+        return {idx: name for name, idx in self.labels.items()}
+
+    def disassemble(self) -> str:
+        """Human-readable listing with addresses and labels."""
+        label_at: Dict[int, List[str]] = {}
+        for name, idx in self.labels.items():
+            label_at.setdefault(idx, []).append(name)
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            for name in sorted(label_at.get(i, [])):
+                lines.append(f"{name}:")
+            lines.append(f"  {self.pc_of(i):#010x}  {instr}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Incremental program construction with labels and data allocation.
+
+    Example::
+
+        b = ProgramBuilder("demo")
+        b.label("loop")
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r2", srcs=("r1", "r3"))
+        b.branch(Opcode.BNE, "r2", "loop")
+        b.emit(Opcode.HALT)
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "", code_base: int = CODE_BASE):
+        self.name = name
+        self.code_base = code_base
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._data: Dict[int, int] = {}
+        self._data_cursor = DATA_BASE
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Code emission
+    # ------------------------------------------------------------------
+
+    def emit(self, opcode: Opcode, **kwargs) -> int:
+        """Append an instruction; returns its index."""
+        self._instructions.append(Instruction(opcode, **kwargs))
+        return len(self._instructions) - 1
+
+    def append(self, instr: Instruction) -> int:
+        """Append a pre-built instruction; returns its index."""
+        self._instructions.append(instr)
+        return len(self._instructions) - 1
+
+    def extend(self, instrs: Sequence[Instruction]) -> None:
+        self._instructions.extend(instrs)
+
+    def branch(self, opcode: Opcode, src: str, target: str) -> int:
+        """Append a conditional branch on ``src`` to label ``target``."""
+        if opcode.klass.is_control and opcode.klass.value == "cond_branch":
+            return self.emit(opcode, srcs=(src,), target=target)
+        raise ValueError(f"{opcode} is not a conditional branch")
+
+    def jump(self, target: str) -> int:
+        """Append an unconditional PC-relative branch."""
+        return self.emit(Opcode.BR, target=target)
+
+    def call(self, target: str) -> int:
+        """Append a ``bsr`` to ``target`` (return address in RA)."""
+        return self.emit(Opcode.BSR, dest="r26", target=target)
+
+    def ret(self) -> int:
+        """Append a ``ret`` through RA."""
+        return self.emit(Opcode.RET, srcs=("r26",))
+
+    def jmp_indirect(self, reg: str) -> int:
+        """Append an indirect ``jmp`` through ``reg``."""
+        return self.emit(Opcode.JMP, srcs=(reg,))
+
+    def load_imm(self, dest: str, value: int) -> int:
+        """Load a (possibly large) immediate into ``dest``.
+
+        Uses ``lda`` from the zero register; our functional machine
+        supports full-width immediates so one instruction suffices.
+        """
+        return self.emit(Opcode.LDA, dest=dest, srcs=("r31",), imm=value)
+
+    def unop(self, count: int = 1) -> None:
+        """Append ``count`` universal no-ops (Alpha ``unop`` padding)."""
+        for _ in range(count):
+            self.emit(Opcode.UNOP)
+
+    def halt(self) -> int:
+        return self.emit(Opcode.HALT)
+
+    # ------------------------------------------------------------------
+    # Labels and alignment
+    # ------------------------------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position; returns the name."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def fresh_label(self, stem: str = "L") -> str:
+        """Generate a unique label name (not yet bound)."""
+        self._label_counter += 1
+        return f".{stem}{self._label_counter}"
+
+    @property
+    def here(self) -> int:
+        """Index the next emitted instruction will occupy."""
+        return len(self._instructions)
+
+    def align_octaword(self, *, offset: int = 0) -> None:
+        """Pad with unops so the next instruction sits at octaword slot
+        ``offset`` (0-3).
+
+        The paper's C-Ca and C-Cb variants differ only in how the two
+        compilers padded with unops, which trains the line predictor on
+        different branches; builders use this to reproduce both layouts.
+        """
+        if not 0 <= offset < INSTRUCTIONS_PER_OCTAWORD:
+            raise ValueError(f"octaword slot offset out of range: {offset}")
+        base_slot = (self.code_base % OCTAWORD_BYTES) // INSTRUCTION_BYTES
+        current = (base_slot + len(self._instructions)) % INSTRUCTIONS_PER_OCTAWORD
+        pad = (offset - current) % INSTRUCTIONS_PER_OCTAWORD
+        self.unop(pad)
+
+    # ------------------------------------------------------------------
+    # Data allocation
+    # ------------------------------------------------------------------
+
+    def alloc(self, size_bytes: int, *, align: int = 8, name: str = "") -> int:
+        """Reserve ``size_bytes`` of zero-initialised data; returns the
+        base virtual address."""
+        if align <= 0 or align & (align - 1):
+            raise ValueError(f"alignment must be a power of two: {align}")
+        cursor = (self._data_cursor + align - 1) & ~(align - 1)
+        self._data_cursor = cursor + size_bytes
+        return cursor
+
+    def alloc_words(self, values: Sequence[int], *, align: int = 8) -> int:
+        """Reserve and initialise 64-bit words; returns the base address."""
+        base = self.alloc(8 * len(values), align=align)
+        for i, value in enumerate(values):
+            self._data[base + 8 * i] = value
+        return base
+
+    def poke(self, address: int, value: int) -> None:
+        """Set an initial 64-bit data value at ``address``."""
+        self._data[address] = value
+
+    # ------------------------------------------------------------------
+
+    def build(self, entry_label: Optional[str] = None) -> Program:
+        """Finalise into an immutable :class:`Program`."""
+        entry = self._labels[entry_label] if entry_label else 0
+        return Program(
+            instructions=list(self._instructions),
+            labels=dict(self._labels),
+            data=dict(self._data),
+            entry=entry,
+            code_base=self.code_base,
+            name=self.name,
+        )

@@ -1,0 +1,113 @@
+"""Architectural register file naming and conventions.
+
+The Alpha has 32 integer registers (``r0``-``r31``, with ``r31``
+hard-wired to zero) and 32 floating-point registers (``f0``-``f31``,
+``f31`` reading as zero).  The 21264 maps these onto 80 physical
+registers (40 integer + 40 floating point); the physical-register
+bookkeeping lives in the pipeline models, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = [
+    "INT_REGS",
+    "FP_REGS",
+    "ZERO_INT",
+    "ZERO_FP",
+    "RA",
+    "SP",
+    "ALL_REGS",
+    "is_int_reg",
+    "is_fp_reg",
+    "is_zero_reg",
+    "validate_reg",
+    "int_reg",
+    "fp_reg",
+    "scratch_int_regs",
+    "scratch_fp_regs",
+]
+
+NUM_ARCH_REGS = 32
+
+INT_REGS: List[str] = [f"r{i}" for i in range(NUM_ARCH_REGS)]
+FP_REGS: List[str] = [f"f{i}" for i in range(NUM_ARCH_REGS)]
+ALL_REGS = frozenset(INT_REGS) | frozenset(FP_REGS)
+
+#: Hard-wired zero registers.
+ZERO_INT = "r31"
+ZERO_FP = "f31"
+
+#: Return-address register (Alpha calling convention).
+RA = "r26"
+
+#: Stack pointer.
+SP = "r30"
+
+#: Registers reserved by convention and not handed out as scratch.
+_RESERVED = {ZERO_INT, ZERO_FP, RA, SP}
+
+
+def is_int_reg(name: str) -> bool:
+    """Whether ``name`` names an integer architectural register."""
+    return name.startswith("r") and name in ALL_REGS
+
+
+def is_fp_reg(name: str) -> bool:
+    """Whether ``name`` names a floating-point architectural register."""
+    return name.startswith("f") and name in ALL_REGS
+
+
+def is_zero_reg(name: str) -> bool:
+    """Whether ``name`` is one of the hard-wired zero registers."""
+    return name in (ZERO_INT, ZERO_FP)
+
+
+def validate_reg(name: str) -> str:
+    """Return ``name`` if it is a valid register, else raise ValueError."""
+    if name not in ALL_REGS:
+        raise ValueError(f"not a register: {name!r}")
+    return name
+
+
+def int_reg(index: int) -> str:
+    """The integer register with the given architectural index."""
+    if not 0 <= index < NUM_ARCH_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return f"r{index}"
+
+
+def fp_reg(index: int) -> str:
+    """The floating-point register with the given architectural index."""
+    if not 0 <= index < NUM_ARCH_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return f"f{index}"
+
+
+def scratch_int_regs(count: int, *, exclude: Iterable[str] = ()) -> List[str]:
+    """Allocate ``count`` general-purpose integer scratch registers.
+
+    Skips the zero register, RA, SP, and anything in ``exclude``.
+    Workload builders use this to avoid clobbering loop-carried state.
+    """
+    excluded = _RESERVED | set(exclude)
+    regs = [r for r in INT_REGS if r not in excluded]
+    if count > len(regs):
+        raise ValueError(
+            f"requested {count} scratch integer registers, "
+            f"only {len(regs)} available"
+        )
+    return regs[:count]
+
+
+def scratch_fp_regs(count: int, *, exclude: Iterable[str] = ()) -> List[str]:
+    """Allocate ``count`` floating-point scratch registers."""
+    excluded = _RESERVED | set(exclude)
+    regs = [f for f in FP_REGS if f not in excluded]
+    if count > len(regs):
+        raise ValueError(
+            f"requested {count} scratch fp registers, "
+            f"only {len(regs)} available"
+        )
+    return regs[:count]

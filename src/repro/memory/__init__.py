@@ -1,0 +1,45 @@
+"""On-chip and off-chip memory system substrate."""
+
+from repro.memory.bus import Bus, BusConfig, BusStats
+from repro.memory.cache import AccessResult, Cache, CacheConfig, CacheStats
+from repro.memory.hierarchy import (
+    IFetchResult,
+    LoadResult,
+    MemoryHierarchy,
+    MemoryHierarchyConfig,
+)
+from repro.memory.mshr import MafConfig, MafOutcome, MafStats, MissAddressFile
+from repro.memory.paging import PageMapper, PagingConfig
+from repro.memory.tlb import PageWalkModel, Tlb, TlbConfig, TlbStats
+from repro.memory.victim import (
+    VictimBuffer,
+    VictimBufferConfig,
+    VictimBufferStats,
+)
+
+__all__ = [
+    "Bus",
+    "BusConfig",
+    "BusStats",
+    "AccessResult",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "IFetchResult",
+    "LoadResult",
+    "MemoryHierarchy",
+    "MemoryHierarchyConfig",
+    "MafConfig",
+    "MafOutcome",
+    "MafStats",
+    "MissAddressFile",
+    "PageMapper",
+    "PagingConfig",
+    "PageWalkModel",
+    "Tlb",
+    "TlbConfig",
+    "TlbStats",
+    "VictimBuffer",
+    "VictimBufferConfig",
+    "VictimBufferStats",
+]

@@ -1,0 +1,60 @@
+"""Bus occupancy models.
+
+The DS-10L has two dedicated off-chip connections: a 128-bit channel to
+the backside L2, and a 64-bit memory bus (which on the real board runs
+through the C-chip/D-chip controller to a 128-bit, 75MHz array bus —
+the paper lists that split bus among its un-modelled components; our
+NativeMachine adds it, sim-alpha uses the single-bus simplification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BusConfig", "Bus", "BusStats"]
+
+
+@dataclass
+class BusConfig:
+    width_bytes: int = 16
+    #: CPU cycles per bus cycle (the 186MHz L2 bus at 466MHz core is
+    #: ~2.5; the memory bus is slower).
+    cpu_cycles_per_bus_cycle: float = 2.5
+    name: str = "bus"
+
+
+@dataclass
+class BusStats:
+    transfers: int = 0
+    busy_cycles: float = 0.0
+    contention_cycles: float = 0.0
+
+
+class Bus:
+    """A single-master-at-a-time bus tracked by next-free time."""
+
+    def __init__(self, config: BusConfig | None = None):
+        self.config = config or BusConfig()
+        self._next_free = 0.0
+        self.stats = BusStats()
+
+    def occupancy(self, payload_bytes: int) -> float:
+        """CPU cycles the bus is held for a transfer of ``payload_bytes``."""
+        cfg = self.config
+        beats = max(1, -(-payload_bytes // cfg.width_bytes))  # ceil div
+        return beats * cfg.cpu_cycles_per_bus_cycle
+
+    def request(self, time: float, payload_bytes: int) -> float:
+        """Acquire the bus at or after ``time``; returns transfer-complete
+        time and accounts contention."""
+        start = max(time, self._next_free)
+        hold = self.occupancy(payload_bytes)
+        self.stats.transfers += 1
+        self.stats.busy_cycles += hold
+        self.stats.contention_cycles += start - time
+        self._next_free = start + hold
+        return start + hold
+
+    def reset(self) -> None:
+        self._next_free = 0.0
+        self.stats = BusStats()

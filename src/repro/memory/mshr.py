@@ -1,0 +1,109 @@
+"""Miss address file (MAF) — miss status holding registers with
+combining targets.
+
+The 21264 tracks outstanding off-chip misses in an eight-entry MAF
+(Kroft-style MSHRs).  A second miss to a block already outstanding
+*combines* with the existing entry — it completes when the original
+fill returns, without consuming a new entry or issuing a new request.
+A miss arriving when all entries are busy must stall (or, with mbox
+traps enabled, flush).
+
+The real chip shares one 8-entry MAF among the three caches; sim-alpha
+(per paper Section 4.1) gives each cache its own 8-entry MAF — the
+hierarchy composes either arrangement from this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["MafConfig", "MissAddressFile", "MafStats", "MafOutcome"]
+
+
+@dataclass
+class MafConfig:
+    entries: int = 8
+
+
+@dataclass
+class MafStats:
+    allocations: int = 0
+    combines: int = 0
+    full_stalls: int = 0
+
+
+@dataclass(frozen=True)
+class MafOutcome:
+    """Result of presenting a miss to the MAF.
+
+    ``start_time`` is when the miss request may actually issue (equal to
+    the request time unless the MAF was full); ``combined_fill`` is the
+    completion time of an in-flight request for the same block, or None
+    when a fresh entry was allocated; ``stalled`` reports a full-MAF
+    stall (the mbox-trap trigger when traps are modelled).
+    """
+
+    start_time: float
+    combined_fill: float | None
+    stalled: bool
+
+
+class MissAddressFile:
+    """Time-based MAF: entries are (block, fill_time) pairs."""
+
+    def __init__(self, config: MafConfig | None = None):
+        self.config = config or MafConfig()
+        self._inflight: Dict[int, float] = {}
+        self.stats = MafStats()
+
+    def _expire(self, now: float) -> None:
+        if len(self._inflight) > self.config.entries * 4:
+            # Opportunistic cleanup; correctness never depends on it.
+            self._inflight = {
+                b: t for b, t in self._inflight.items() if t > now
+            }
+
+    def _busy_entries(self, now: float) -> List[Tuple[int, float]]:
+        return [(b, t) for b, t in self._inflight.items() if t > now]
+
+    def outstanding(self, now: float) -> int:
+        """Number of entries still tracking in-flight fills at ``now``."""
+        return len(self._busy_entries(now))
+
+    def present_miss(self, now: float, block: int) -> MafOutcome:
+        """Present a miss for ``block`` at time ``now``.
+
+        The caller must follow up with :meth:`record_fill` once it has
+        computed the fill completion time for a fresh allocation.
+        """
+        self._expire(now)
+        fill = self._inflight.get(block)
+        if fill is not None and fill > now:
+            self.stats.combines += 1
+            return MafOutcome(now, fill, False)
+
+        busy = self._busy_entries(now)
+        if len(busy) >= self.config.entries:
+            # Stall until the earliest outstanding fill frees an entry.
+            self.stats.full_stalls += 1
+            start = min(t for _, t in busy)
+            return MafOutcome(start, None, True)
+        return MafOutcome(now, None, False)
+
+    def record_fill(self, block: int, fill_time: float) -> None:
+        """Register that the fill for ``block`` completes at ``fill_time``."""
+        self.stats.allocations += 1
+        self._inflight[block] = fill_time
+
+    def inflight_blocks(self, now: float) -> List[int]:
+        """Blocks with fills still outstanding at ``now``."""
+        return [b for b, t in self._inflight.items() if t > now]
+
+    def fill_time(self, block: int, now: float) -> float | None:
+        """Outstanding fill time for ``block``, or None if not in
+        flight.  Used to resolve tag-hit-but-data-in-flight races."""
+        fill = self._inflight.get(block)
+        if fill is not None and fill > now:
+            return fill
+        return None

@@ -1,0 +1,64 @@
+"""Eight-entry victim buffer for the L1 data cache.
+
+Blocks evicted from the D-cache park here; a miss that hits in the
+victim buffer is serviced at a short latency instead of going to the
+L2, and the block is swapped back into the cache.  This is the paper's
+``vbuf`` feature (Table 4 measures its contribution at ~0.4%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["VictimBufferConfig", "VictimBuffer", "VictimBufferStats"]
+
+
+@dataclass
+class VictimBufferConfig:
+    entries: int = 8
+    #: Extra load-to-use cycles for a victim-buffer hit relative to an
+    #: L1 hit (the swap costs a couple of cycles but avoids the L2 trip).
+    hit_penalty: int = 2
+
+
+@dataclass
+class VictimBufferStats:
+    probes: int = 0
+    hits: int = 0
+    inserts: int = 0
+
+
+class VictimBuffer:
+    """FIFO buffer of recently evicted (block address, dirty) pairs."""
+
+    def __init__(self, config: VictimBufferConfig | None = None):
+        self.config = config or VictimBufferConfig()
+        self._entries: List[List] = []  # [block, dirty], FIFO order
+        self.stats = VictimBufferStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, block: int, dirty: bool) -> Optional[tuple]:
+        """Park an evicted block; returns a displaced (block, dirty) if
+        the buffer overflowed (that victim must be written back)."""
+        self.stats.inserts += 1
+        self._entries.append([block, dirty])
+        if len(self._entries) > self.config.entries:
+            old_block, old_dirty = self._entries.pop(0)
+            return (old_block, old_dirty)
+        return None
+
+    def probe_and_extract(self, block: int) -> Optional[bool]:
+        """If ``block`` is buffered, remove and return its dirty bit.
+
+        Extraction models the swap back into the D-cache.
+        """
+        self.stats.probes += 1
+        for i, (entry_block, dirty) in enumerate(self._entries):
+            if entry_block == block:
+                self.stats.hits += 1
+                self._entries.pop(i)
+                return dirty
+        return None

@@ -1,0 +1,43 @@
+"""The seven 21264 predictors plus the SimpleScalar-style BTB/2-level.
+
+The 21264 "relies heavily on control and dependence speculation, using
+five distinct predictors to keep the instruction pipe as full as
+possible" in its front end (line, way, local, global, choice), plus two
+more in the issue stage (load-use and store-wait).
+"""
+
+from repro.predictors.btb import BranchTargetBuffer, BtbConfig
+from repro.predictors.line import LinePredictor, LinePredictorConfig
+from repro.predictors.loaduse import LoadUseConfig, LoadUsePredictor
+from repro.predictors.ras import RasConfig, ReturnAddressStack
+from repro.predictors.saturating import CounterTable, SaturatingCounter
+from repro.predictors.storewait import StoreWaitConfig, StoreWaitPredictor
+from repro.predictors.tournament import (
+    PredictorStats,
+    TournamentConfig,
+    TournamentPredictor,
+)
+from repro.predictors.twolevel import TwoLevelConfig, TwoLevelPredictor
+from repro.predictors.way import WayPredictor, WayPredictorConfig
+
+__all__ = [
+    "BranchTargetBuffer",
+    "BtbConfig",
+    "LinePredictor",
+    "LinePredictorConfig",
+    "LoadUseConfig",
+    "LoadUsePredictor",
+    "RasConfig",
+    "ReturnAddressStack",
+    "CounterTable",
+    "SaturatingCounter",
+    "StoreWaitConfig",
+    "StoreWaitPredictor",
+    "PredictorStats",
+    "TournamentConfig",
+    "TournamentPredictor",
+    "TwoLevelConfig",
+    "TwoLevelPredictor",
+    "WayPredictor",
+    "WayPredictorConfig",
+]

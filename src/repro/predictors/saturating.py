@@ -1,0 +1,85 @@
+"""Saturating counters and counter tables.
+
+Every predictor in the 21264 front end is built from saturating
+counters: the local predictor uses 3-bit counters, the global and
+choice predictors 2-bit counters, and the issue stage's load-use
+predictor a single 4-bit counter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["SaturatingCounter", "CounterTable"]
+
+
+class SaturatingCounter:
+    """An n-bit up/down saturating counter."""
+
+    __slots__ = ("bits", "maximum", "value")
+
+    def __init__(self, bits: int, initial: int = 0):
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(
+                f"initial value {initial} out of range for {bits}-bit counter"
+            )
+        self.value = initial
+
+    def increment(self, amount: int = 1) -> int:
+        self.value = min(self.maximum, self.value + amount)
+        return self.value
+
+    def decrement(self, amount: int = 1) -> int:
+        self.value = max(0, self.value - amount)
+        return self.value
+
+    @property
+    def msb(self) -> bool:
+        """The counter's most significant bit (the usual predict bit)."""
+        return self.value > self.maximum // 2
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"
+
+
+class CounterTable:
+    """A direct-mapped table of n-bit saturating counters.
+
+    Stored as a flat list of ints for speed; the index mask is applied
+    internally so callers can pass raw hash values.
+    """
+
+    __slots__ = ("bits", "maximum", "mask", "table")
+
+    def __init__(self, entries: int, bits: int, initial: int = 0):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"table entries must be a power of two: {entries}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError("initial value out of counter range")
+        self.mask = entries - 1
+        self.table: List[int] = [initial] * entries
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def read(self, index: int) -> int:
+        return self.table[index & self.mask]
+
+    def predict_taken(self, index: int) -> bool:
+        """MSB of the indexed counter."""
+        return self.table[index & self.mask] > self.maximum // 2
+
+    def update(self, index: int, taken: bool, *, step: int = 1) -> None:
+        """Train the indexed counter toward ``taken``."""
+        i = index & self.mask
+        value = self.table[i]
+        if taken:
+            self.table[i] = min(self.maximum, value + step)
+        else:
+            self.table[i] = max(0, value - step)

@@ -1,0 +1,60 @@
+"""Two-level adaptive branch predictor (sim-outorder's default).
+
+The paper configures sim-outorder with "the 2-level adaptive branch
+predictor along with the BTB [containing] a similar quantity of state
+to the Alpha's tournament and line predictors."  SimpleScalar's 2-level
+predictor XORs (or concatenates) a global history with the branch PC to
+index a pattern table of 2-bit counters; the gshare-style XOR variant
+is implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.predictors.saturating import CounterTable
+from repro.predictors.tournament import PredictorStats
+
+__all__ = ["TwoLevelConfig", "TwoLevelPredictor"]
+
+
+@dataclass
+class TwoLevelConfig:
+    history_bits: int = 12
+    pattern_entries: int = 4096
+    counter_bits: int = 2
+    xor_pc: bool = True
+
+
+class TwoLevelPredictor:
+    """gshare-style two-level adaptive direction predictor."""
+
+    def __init__(self, config: TwoLevelConfig | None = None):
+        self.config = config or TwoLevelConfig()
+        self._table = CounterTable(
+            self.config.pattern_entries,
+            self.config.counter_bits,
+            initial=(1 << self.config.counter_bits) // 2,
+        )
+        self._hist_mask = (1 << self.config.history_bits) - 1
+        self._history = 0
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        if self.config.xor_pc:
+            return (pc >> 2) ^ self._history
+        return ((pc >> 2) << self.config.history_bits) | self._history
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict_taken(self._index(pc))
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``; train with the true outcome."""
+        index = self._index(pc)
+        prediction = self._table.predict_taken(index)
+        self.stats.lookups += 1
+        if prediction != taken:
+            self.stats.mispredictions += 1
+        self._table.update(index, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._hist_mask
+        return prediction

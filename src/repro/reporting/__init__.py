@@ -1,0 +1,12 @@
+"""Table/chart rendering and the paper's published numbers."""
+
+from repro.reporting.barchart import render_grouped_bars
+from repro.reporting.tables import format_value, render_table
+from repro.reporting import paper_data
+
+__all__ = [
+    "render_grouped_bars",
+    "format_value",
+    "render_table",
+    "paper_data",
+]

@@ -1,0 +1,58 @@
+"""ASCII bar charts, for regenerating the paper's Figure 2.
+
+Figure 2 overlays two simulators' IPCs as grouped bars (the tall
+in-house bars with sim-alpha's dark bars inside them).  A terminal
+rendering keeps the reproduction self-contained: horizontal bars,
+grouped by benchmark, one row per (simulator, configuration) series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_grouped_bars"]
+
+
+def render_grouped_bars(
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 48,
+    unit: str = "IPC",
+    title: str = "",
+) -> str:
+    """Render grouped horizontal bars.
+
+    ``groups`` are the outer categories (benchmarks); ``series`` maps a
+    label (e.g. "8-way 1cyc full") to one value per group.  All bars
+    share one scale so cross-series comparison is faithful.
+    """
+    if not groups:
+        raise ValueError("no groups to draw")
+    for label, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    peak = max(max(values) for values in series.values())
+    if peak <= 0:
+        raise ValueError("all values are non-positive")
+    label_width = max(len(label) for label in series)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    scale = f"0 {'-' * (width - 2)} {peak:.2f} {unit}"
+    lines.append(" " * (label_width + 2) + scale)
+    for index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for label, values in series.items():
+            value = values[index]
+            filled = int(round(value / peak * width))
+            bar = "█" * filled
+            lines.append(
+                f"  {label.ljust(label_width)} {bar} {value:.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Published numbers from the paper, for shape comparison.
+
+The benches print our measured values next to these.  We do not expect
+absolute agreement — our reference machine is itself a model (see
+DESIGN.md) — but signs, orderings, and rough magnitudes should match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "TABLE1_LATENCIES",
+    "TABLE2_NATIVE_IPC",
+    "TABLE2_INITIAL_ERROR",
+    "TABLE2_VALIDATED_ERROR",
+    "TABLE2_OUTORDER_DIFF",
+    "TABLE2_MEAN_ERRORS",
+    "TABLE3",
+    "TABLE3_MEANS",
+    "TABLE4",
+    "TABLE5",
+    "FIGURE2_CRUZ_IPC",
+    "FIGURE2_BENCHMARKS",
+    "CALIBRATION_TARGETS",
+]
+
+#: Table 1 — instruction latencies in cycles.
+TABLE1_LATENCIES: Dict[str, int] = {
+    "integer ALU": 1,
+    "integer multiply": 7,
+    "integer load (cache hit)": 3,
+    "FP add, multiply": 4,
+    "FP divide (single)": 12,
+    "FP sqrt (single)": 18,
+    "FP divide (double)": 15,
+    "FP sqrt (double)": 33,
+    "FP load (cache hit)": 4,
+    "unconditional jump": 3,
+}
+
+#: Table 2 — native (DS-10L) IPC per microbenchmark.
+TABLE2_NATIVE_IPC: Dict[str, float] = {
+    "C-Ca": 1.80, "C-Cb": 1.87, "C-R": 2.65, "C-S1": 0.56, "C-S2": 0.85,
+    "C-S3": 0.95, "C-O": 1.75, "E-I": 4.00, "E-F": 1.01, "E-D1": 1.03,
+    "E-D2": 2.16, "E-D3": 2.72, "E-D4": 2.79, "E-D5": 3.30, "E-D6": 3.11,
+    "E-DM1": 0.15, "M-I": 2.98, "M-D": 1.66, "M-L2": 0.36, "M-M": 0.07,
+    "M-IP": 1.75,
+}
+
+#: Table 2 — % CPI error of sim-initial vs the DS-10L.
+TABLE2_INITIAL_ERROR: Dict[str, float] = {
+    "C-Ca": -498.1, "C-Cb": -260.4, "C-R": -198.4, "C-S1": 31.2,
+    "C-S2": -3.6, "C-S3": -8.5, "C-O": -273.6, "E-I": -20.9, "E-F": -0.1,
+    "E-D1": 0.3, "E-D2": -0.0, "E-D3": 9.3, "E-D4": 3.6, "E-D5": -2.1,
+    "E-D6": 6.1, "E-DM1": 85.7, "M-I": -24.2, "M-D": -32.9, "M-L2": -4.0,
+    "M-M": -8.2, "M-IP": -97.9,
+}
+
+#: Table 2 — % CPI error of validated sim-alpha vs the DS-10L.
+TABLE2_VALIDATED_ERROR: Dict[str, float] = {
+    "C-Ca": 4.3, "C-Cb": 0.6, "C-R": 0.3, "C-S1": 6.4, "C-S2": 2.1,
+    "C-S3": 0.5, "C-O": -0.6, "E-I": -0.4, "E-F": 0.2, "E-D1": 0.4,
+    "E-D2": 0.0, "E-D3": 11.5, "E-D4": 0.3, "E-D5": 5.8, "E-D6": 1.3,
+    "E-DM1": -0.3, "M-I": 0.6, "M-D": 0.4, "M-L2": -0.9, "M-M": 4.2,
+    "M-IP": 0.5,
+}
+
+#: Table 2 — % difference of sim-outorder vs the DS-10L.
+TABLE2_OUTORDER_DIFF: Dict[str, float] = {
+    "C-Ca": 28.2, "C-Cb": 37.8, "C-R": 25.2, "C-S1": 36.1, "C-S2": 36.5,
+    "C-S3": 42.2, "C-O": 3.0, "E-I": -0.4, "E-F": 0.2, "E-D1": 0.4,
+    "E-D2": 2.6, "E-D3": 14.8, "E-D4": 30.2, "E-D5": 17.6, "E-D6": 22.2,
+    "E-DM1": -0.3, "M-I": 0.7, "M-D": -31.1, "M-L2": 35.6, "M-M": -0.3,
+    "M-IP": -43.1,
+}
+
+#: Table 2 — mean absolute errors per simulator column.
+TABLE2_MEAN_ERRORS = {
+    "sim-initial": 74.7,
+    "sim-alpha": 2.0,
+    "sim-outorder": 19.5,
+}
+
+#: Table 3 — per-benchmark (native IPC, sim-alpha %err,
+#: sim-stripped %diff, sim-outorder %diff).
+TABLE3: Dict[str, Tuple[float, float, float, float]] = {
+    "gzip": (1.53, -22.0, -51.5, 28.6),
+    "vpr": (1.02, -4.6, -44.1, 34.0),
+    "gcc": (1.04, -18.1, -42.3, 37.2),
+    "parser": (1.18, -23.1, -42.0, 37.1),
+    "eon": (1.21, -0.9, -34.1, 38.3),
+    "twolf": (1.10, -6.1, -42.1, 32.3),
+    "mesa": (1.57, -38.4, -62.1, 36.8),
+    "art": (0.48, 43.0, 39.8, 76.9),
+    "equake": (1.02, -10.9, -32.7, 34.6),
+    "lucas": (1.57, -14.7, -10.0, 11.5),
+}
+
+#: Table 3 — aggregate row: (harmonic-mean IPC or mean |error|).
+TABLE3_MEANS = {
+    "native_hm_ipc": 1.05,
+    "sim-alpha_hm_ipc": 1.05,
+    "sim-alpha_mean_abs_error": 18.19,
+    "sim-stripped_hm_ipc": 0.92,
+    "sim-stripped_mean_abs_error": 40.07,
+    "sim-outorder_hm_ipc": 1.95,
+    "sim-outorder_mean_abs_error": 36.72,
+}
+
+#: Table 4 — per removed feature: (HM IPC, mean % change, std dev).
+TABLE4: Dict[str, Tuple[float, float, float]] = {
+    "ref": (1.05, 0.0, 0.0),
+    "addr": (0.98, -7.78, 5.81),
+    "eret": (1.10, -0.67, 1.09),
+    "luse": (0.99, -5.79, 2.52),
+    "pref": (1.05, -0.29, 1.27),
+    "spec": (0.99, -5.92, 5.07),
+    "stwt": (1.00, -4.25, 5.60),
+    "vbuf": (1.05, -0.37, 1.07),
+    "maps": (1.07, 2.11, 2.85),
+    "slot": (1.05, 0.36, 1.64),
+    "trap": (1.05, 0.31, 0.99),
+}
+
+#: Table 5 — % improvement per optimization per configuration.
+#: Rows: optimization, columns: configuration.
+TABLE5: Dict[str, Dict[str, float]] = {
+    "l1_latency_3_to_1": {
+        "sim-alpha": 5.53, "addr": 5.45, "eret": 5.98, "luse": float("nan"),
+        "pref": 6.25, "spec": 5.45, "stwt": 6.49, "vbuf": 6.42,
+        "maps": 5.90, "slot": 5.25, "trap": 5.95,
+        "sim-stripped": 9.85, "sim-outorder": 5.78,
+    },
+    "l1_size_64_to_128": {
+        "sim-alpha": 2.04, "addr": 1.72, "eret": 2.03, "luse": 1.70,
+        "pref": 2.23, "spec": 1.96, "stwt": 2.43, "vbuf": 2.14,
+        "maps": 2.02, "slot": 1.55, "trap": 1.38,
+        "sim-stripped": 1.70, "sim-outorder": 0.66,
+    },
+    "regs_40_to_80": {
+        "sim-alpha": 0.63, "addr": 0.91, "eret": 0.53, "luse": 0.63,
+        "pref": 0.98, "spec": 1.07, "stwt": 1.44, "vbuf": 0.55,
+        "maps": 0.88, "slot": 1.27, "trap": 0.95,
+        "sim-stripped": 1.70, "sim-outorder": 0.64,
+    },
+}
+
+#: Figure 2 — Cruz et al.'s 8-way simulator IPCs (approximate values
+#: read off the figure) per (benchmark, regfile config).
+FIGURE2_BENCHMARKS = (
+    "go", "compress", "gcc95", "ijpeg", "perl",
+    "swim", "mgrid", "applu", "turb3d", "fpppp", "wave5",
+)
+
+FIGURE2_CRUZ_IPC: Dict[str, Tuple[float, float, float]] = {
+    # (1-cycle full bypass, 2-cycle full bypass, 2-cycle partial)
+    "go": (2.6, 2.5, 1.9),
+    "compress": (2.9, 2.8, 2.1),
+    "gcc95": (2.8, 2.7, 2.0),
+    "ijpeg": (3.6, 3.5, 2.6),
+    "perl": (2.9, 2.8, 2.1),
+    "swim": (3.4, 3.3, 2.5),
+    "mgrid": (3.8, 3.7, 2.8),
+    "applu": (3.5, 3.4, 2.6),
+    "turb3d": (3.7, 3.6, 2.8),
+    "fpppp": (3.2, 3.1, 2.4),
+    "wave5": (3.4, 3.3, 2.5),
+}
+
+#: Section 4.2 — calibration: the winning DRAM configuration and the
+#: residual execution-time differences.
+CALIBRATION_TARGETS = {
+    "winner": {
+        "page_policy": "open",
+        "ras_cycles": 2,
+        "cas_cycles": 4,
+        "precharge_cycles": 2,
+        "controller_cycles": 2,
+    },
+    "residuals_percent": {"M-M": 2.8, "stream": -6.5, "lmbench": 13.0},
+}

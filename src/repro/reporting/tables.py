@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the experiment drivers and benches."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value, *, precision: int = 2) -> str:
+    """Render one cell: floats get fixed precision, NaN shows as n/a."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    The first column is left-aligned (row labels); the rest are
+    right-aligned (numbers).
+    """
+    string_rows: List[List[str]] = [
+        [format_value(cell, precision=precision) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts.extend(cell.rjust(widths[i + 1])
+                     for i, cell in enumerate(cells[1:]))
+        return "  ".join(parts)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Simulation result records and the simulator protocol.
+
+Every timing model (sim-alpha and its variants, sim-outorder, the
+8-way study simulator, the NativeMachine) consumes a dynamic trace and
+produces a :class:`SimResult`.  The validation harness compares
+results purely through this record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Protocol, Sequence
+
+from repro.functional.trace import DynInstr
+
+__all__ = ["RunStats", "SimResult", "Simulator"]
+
+
+@dataclass
+class RunStats:
+    """Event counts accumulated during one timing run."""
+
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    line_mispredicts: int = 0
+    way_mispredicts: int = 0
+    ras_mispredicts: int = 0
+    jmp_mispredicts: int = 0
+    loaduse_mispredicts: int = 0
+    store_replay_traps: int = 0
+    load_order_traps: int = 0
+    mbox_traps: int = 0
+    store_wait_holds: int = 0
+    icache_misses: int = 0
+    dcache_misses: int = 0
+    l2_misses: int = 0
+    victim_hits: int = 0
+    itlb_misses: int = 0
+    dtlb_misses: int = 0
+    maf_stalls: int = 0
+    maps_stalls: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def replay_traps(self) -> int:
+        """All pipeline-flushing replay traps."""
+        return self.store_replay_traps + self.load_order_traps + self.mbox_traps
+
+
+@dataclass
+class SimResult:
+    """Outcome of timing one workload on one simulator configuration."""
+
+    simulator: str
+    workload: str
+    cycles: float
+    instructions: int
+    stats: RunStats = field(default_factory=RunStats)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.simulator} on {self.workload}: "
+            f"{self.instructions} instructions in {self.cycles:.0f} cycles "
+            f"(IPC {self.ipc:.2f})"
+        )
+
+
+class Simulator(Protocol):
+    """The interface the validation harness drives."""
+
+    name: str
+
+    def run_trace(self, trace: Sequence[DynInstr], workload: str) -> SimResult:
+        """Time a pre-computed dynamic trace."""
+        ...

@@ -1,0 +1,26 @@
+"""Timing simulators beyond the sim-alpha family: the reference
+machine, DCPI measurement, SimpleScalar's sim-outorder, and the 8-way
+in-house simulator from the Figure 2 stability study."""
+
+from repro.simulators.base import RunStats, SimResult, Simulator
+from repro.simulators.dcpi import SAMPLING_INTERVALS, DcpiProfiler
+from repro.simulators.eightway import EightWayConfig, EightWaySim
+from repro.simulators.perfect import PerfectConfig, PerfectMachine
+from repro.simulators.refmachine import NativeMachine, make_native_machine
+from repro.simulators.simoutorder import OutOrderConfig, SimOutOrder
+
+__all__ = [
+    "RunStats",
+    "SimResult",
+    "Simulator",
+    "SAMPLING_INTERVALS",
+    "DcpiProfiler",
+    "EightWayConfig",
+    "EightWaySim",
+    "PerfectConfig",
+    "PerfectMachine",
+    "NativeMachine",
+    "make_native_machine",
+    "OutOrderConfig",
+    "SimOutOrder",
+]

@@ -1,0 +1,11 @@
+"""Common simulator interfaces and result records.
+
+The concrete definitions live in :mod:`repro.result` (a leaf module) so
+that the pipeline engines and the simulator package can both import
+them without a cycle; this module re-exports them under the historical
+name.
+"""
+
+from repro.result import RunStats, SimResult, Simulator
+
+__all__ = ["RunStats", "SimResult", "Simulator"]

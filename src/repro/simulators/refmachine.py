@@ -1,0 +1,81 @@
+"""The NativeMachine: our stand-in for the Compaq DS-10L workstation.
+
+The paper measures simulator error against real hardware — a 466MHz
+Alpha 21264 in a DS-10L with a 2MB direct-mapped L2 and 256MB of
+memory.  No Alpha hardware is available here (see DESIGN.md), so the
+reference is the *highest-fidelity configuration of our own model*: the
+validated feature set **plus** every behaviour the paper explicitly
+says sim-alpha does not capture (Section 4.1 and the Table 3
+discussion):
+
+* OS page colouring ("possible sources of this error include page
+  coloring ... not modeled in the simulator");
+* memory-controller page-hit optimizations ("or memory controller
+  optimizations to increase page hits") — modelled as a controller
+  open-row cache standing in for the C-chip/D-chip scheduling;
+* the single 8-entry MAF shared among the three caches (sim-alpha gives
+  each cache its own);
+* store/port contention ("Instead of forcing stores in the store-queue
+  to wait until an idle L1 data cache cycle is available, we assume
+  that writes can complete unimpeded" — the native machine does not);
+* PAL-code TLB miss handling that stalls the program (sim-alpha walks
+  page tables in hardware without stalling);
+* write-back bus traffic;
+* additional replay-trap sources (the `art` anomaly: 52M native traps
+  vs 43M simulated).
+
+Because the microbenchmarks are cache/TLB resident, these effects
+barely touch them — so sim-alpha's microbenchmark error against this
+reference is small, while the memory-bound macrobenchmarks diverge.
+That is precisely the error structure the paper reports, arising here
+from mechanism rather than curve-fitting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import MachineConfig, NativeEffects
+from repro.core.simalpha import SimAlpha
+from repro.functional.trace import DynInstr
+from repro.result import SimResult
+
+__all__ = ["NativeMachine", "make_native_machine"]
+
+
+def make_native_machine(name: str = "DS-10L") -> SimAlpha:
+    """Build the reference-machine configuration."""
+    config = MachineConfig(name=name, native=NativeEffects.ds10l())
+    return SimAlpha(config)
+
+
+class NativeMachine:
+    """Reference machine with DCPI-style measurement built in.
+
+    ``measure=True`` routes results through the sampling profiler in
+    :mod:`repro.simulators.dcpi`, reproducing the paper's measurement
+    path (hardware-counter sampling at a configurable interval) rather
+    than reading exact cycle counts out of the model.
+    """
+
+    def __init__(self, *, measure: bool = True, sampling_interval: int = 40_000):
+        self._machine = make_native_machine()
+        self.measure = measure
+        self.sampling_interval = sampling_interval
+
+    @property
+    def name(self) -> str:
+        return self._machine.name
+
+    @property
+    def config(self) -> MachineConfig:
+        return self._machine.config
+
+    def run_trace(self, trace: Sequence[DynInstr], workload: str = "") -> SimResult:
+        result = self._machine.run_trace(trace, workload)
+        if not self.measure:
+            return result
+        from repro.simulators.dcpi import DcpiProfiler
+
+        profiler = DcpiProfiler(interval_cycles=self.sampling_interval)
+        return profiler.measure(result)

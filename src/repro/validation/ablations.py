@@ -1,0 +1,179 @@
+"""Ablation studies over the modelling choices DESIGN.md calls out.
+
+The NativeMachine differs from sim-alpha by a specific set of
+mechanisms (page mapping, controller row cache, MAF sharing, port
+contention, TLB handling...).  These drivers measure each choice's
+contribution so the model's error budget is itself quantified —
+applying the paper's own discipline to our reproduction of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig, NativeEffects
+from repro.core.simalpha import SimAlpha
+from repro.memory.victim import VictimBufferConfig
+from repro.reporting.tables import render_table
+from repro.validation.harness import Harness
+from repro.validation.metrics import harmonic_mean, percent_change
+
+__all__ = [
+    "NativeEffectAblation",
+    "ablate_native_effects",
+    "PagingPolicyStudy",
+    "paging_policy_study",
+    "victim_buffer_sweep",
+    "VictimBufferSweep",
+]
+
+_EFFECT_NAMES = (
+    "page_coloring",
+    "controller_page_opt",
+    "shared_maf",
+    "store_port_contention",
+    "pal_tlb_misses",
+    "writeback_traffic",
+    "split_memory_bus",
+    "extra_replay_traps",
+)
+
+
+@dataclass
+class NativeEffectAblation:
+    #: contribution[effect] = % IPC change of enabling that effect
+    #: alone on top of plain sim-alpha (negative = effect slows the
+    #: machine, positive = speeds it).
+    contribution: Dict[str, float]
+    combined: float
+
+    def render(self) -> str:
+        rows = sorted(self.contribution.items(), key=lambda kv: kv[1])
+        rows.append(("ALL (NativeMachine)", self.combined))
+        return render_table(
+            ["native effect (alone)", "HM IPC change %"],
+            rows,
+            title="Ablation: the DS-10L effects sim-alpha does not model",
+        )
+
+
+def ablate_native_effects(
+    harness: Optional[Harness] = None,
+    benchmarks: Sequence[str] = ("gzip", "eon", "mesa", "art", "lucas"),
+) -> NativeEffectAblation:
+    """Enable each NativeMachine effect alone and measure its impact."""
+    harness = harness or Harness()
+    names = list(benchmarks)
+
+    def hm_ipc(native: NativeEffects, label: str) -> float:
+        config = MachineConfig(name=label, native=native)
+        ipcs = [
+            harness.run_one(lambda: SimAlpha(config), n).ipc for n in names
+        ]
+        return harmonic_mean(ipcs)
+
+    base = hm_ipc(NativeEffects.none(), "base")
+    contribution = {}
+    for effect in _EFFECT_NAMES:
+        ipc = hm_ipc(NativeEffects(**{effect: True}), effect)
+        contribution[effect] = percent_change(ipc, base)
+    combined = percent_change(hm_ipc(NativeEffects.ds10l(), "all"), base)
+    return NativeEffectAblation(contribution=contribution,
+                                combined=combined)
+
+
+@dataclass
+class PagingPolicyStudy:
+    #: ipcs[policy][benchmark]
+    ipcs: Dict[str, Dict[str, float]]
+
+    def hm(self, policy: str) -> float:
+        return harmonic_mean(list(self.ipcs[policy].values()))
+
+    def render(self) -> str:
+        benchmarks = list(next(iter(self.ipcs.values())))
+        rows = [
+            [policy] + [per[b] for b in benchmarks] + [self.hm(policy)]
+            for policy, per in self.ipcs.items()
+        ]
+        return render_table(
+            ["paging policy"] + benchmarks + ["HM"],
+            rows,
+            title="Ablation: virtual-to-physical page mapping policy",
+        )
+
+
+def paging_policy_study(
+    harness: Optional[Harness] = None,
+    benchmarks: Sequence[str] = ("mesa", "art", "equake", "lucas"),
+    policies: Sequence[str] = ("sequential", "colored", "hashed"),
+) -> PagingPolicyStudy:
+    """Section 4's irreducible-error source, measured directly.
+
+    The physical addresses behind the L2 depend on the OS page
+    mapping; this sweeps the three modelled policies on the
+    memory-bound proxies.
+    """
+    harness = harness or Harness()
+    ipcs: Dict[str, Dict[str, float]] = {}
+    for policy in policies:
+        config = MachineConfig(name=f"paging-{policy}")
+        config = replace(
+            config,
+            memory=replace(
+                config.memory,
+                paging=replace(config.memory.paging, policy=policy),
+            ),
+        )
+        ipcs[policy] = {
+            name: harness.run_one(lambda: SimAlpha(config), name).ipc
+            for name in benchmarks
+        }
+    return PagingPolicyStudy(ipcs=ipcs)
+
+
+@dataclass
+class VictimBufferSweep:
+    #: rows: (entries, HM IPC, % vs no buffer)
+    rows: List[Tuple[int, float, float]]
+
+    def render(self) -> str:
+        return render_table(
+            ["victim entries", "HM IPC", "vs none %"],
+            self.rows,
+            title="Ablation: victim buffer sizing",
+        )
+
+
+def victim_buffer_sweep(
+    harness: Optional[Harness] = None,
+    benchmarks: Sequence[str] = ("vpr", "twolf", "art"),
+    sizes: Sequence[int] = (0, 2, 8, 32),
+) -> VictimBufferSweep:
+    """Size the 8-entry victim buffer up and down (paper ``vbuf``)."""
+    harness = harness or Harness()
+    names = list(benchmarks)
+
+    def hm_ipc(entries: int) -> float:
+        config = MachineConfig(name=f"vbuf{entries}")
+        memory = config.memory
+        if entries == 0:
+            memory = replace(memory, victim_buffer_enabled=False)
+        else:
+            memory = replace(
+                memory, victim_buffer=VictimBufferConfig(entries=entries)
+            )
+        config = replace(config, memory=memory)
+        return harmonic_mean([
+            harness.run_one(lambda: SimAlpha(config), n).ipc for n in names
+        ])
+
+    baseline = hm_ipc(0)
+    rows = [(0, baseline, 0.0)]
+    for entries in sizes:
+        if entries == 0:
+            continue
+        ipc = hm_ipc(entries)
+        rows.append((entries, ipc, percent_change(ipc, baseline)))
+    return VictimBufferSweep(rows=rows)

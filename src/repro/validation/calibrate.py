@@ -1,0 +1,110 @@
+"""Section 4.2: memory-system approximation by parameter calibration.
+
+"To determine the configuration of the memory system, we first measured
+the execution time, in cycles, of M-M, stream, and lmbench, and then
+compared the results to those obtained from the simulator.  We varied
+the RAS time, the CAS time, the precharge latency, and controller
+latency ... We also compared an open-page policy ... to a closed-page
+policy."
+
+The driver measures the calibration workloads once on the native
+machine, sweeps a grid of :class:`~repro.dram.config.DramConfig` for
+sim-alpha, and reports the configuration minimising the mean absolute
+execution-time difference — the paper's winner being open-page RAS=2,
+CAS=4, precharge=2, controller=2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.simalpha import SimAlpha
+from repro.dram.config import DramConfig, parameter_grid
+from repro.reporting.tables import render_table
+from repro.simulators.refmachine import NativeMachine
+from repro.validation.harness import Harness
+from repro.validation.metrics import mean_absolute_error
+from repro.workloads.suite import WorkloadSet
+
+__all__ = ["CalibrationResult", "calibrate_dram", "sim_alpha_with_dram"]
+
+
+def sim_alpha_with_dram(dram: DramConfig, name: str = "") -> SimAlpha:
+    """sim-alpha with the memory system's DRAM swapped for ``dram``."""
+    base = MachineConfig(name=name or f"sim-alpha[{dram.page_policy}"
+                                      f" r{dram.ras_cycles}c{dram.cas_cycles}"
+                                      f"p{dram.precharge_cycles}"
+                                      f"k{dram.controller_cycles}]")
+    return SimAlpha(replace(base, memory=replace(base.memory, dram=dram)))
+
+
+@dataclass
+class CalibrationResult:
+    #: (config, mean |%diff|, per-workload %diff) sorted best-first.
+    ranking: List[Tuple[DramConfig, float, Dict[str, float]]]
+
+    @property
+    def best(self) -> DramConfig:
+        return self.ranking[0][0]
+
+    @property
+    def best_error(self) -> float:
+        return self.ranking[0][1]
+
+    def residuals(self) -> Dict[str, float]:
+        """Per-workload %diff under the winning configuration."""
+        return dict(self.ranking[0][2])
+
+    def render(self, top: int = 10) -> str:
+        rows = []
+        for config, error, _ in self.ranking[:top]:
+            rows.append(
+                (f"{config.page_policy} RAS={config.ras_cycles} "
+                 f"CAS={config.cas_cycles} PRE={config.precharge_cycles} "
+                 f"CTL={config.controller_cycles}",
+                 error)
+            )
+        return render_table(
+            ["DRAM configuration", "mean |%diff|"],
+            rows,
+            title="Section 4.2: DRAM calibration sweep (best first)",
+        )
+
+
+def calibrate_dram(
+    harness: Optional[Harness] = None,
+    configs: Optional[Iterable[DramConfig]] = None,
+    workloads: Optional[Sequence[str]] = None,
+) -> CalibrationResult:
+    """Sweep DRAM configurations against the native calibration runs."""
+    if harness is None:
+        workload_set = WorkloadSet()
+        names = workload_set.register_calibration()
+        harness = Harness(workload_set)
+    else:
+        names = harness.workloads.register_calibration()
+    if workloads is not None:
+        names = list(workloads)
+
+    native_cycles = {
+        name: harness.run_one(NativeMachine, name).cycles for name in names
+    }
+
+    ranking: List[Tuple[DramConfig, float, Dict[str, float]]] = []
+    for config in (configs if configs is not None else parameter_grid()):
+        diffs: Dict[str, float] = {}
+        for name in names:
+            result = harness.run_one(
+                lambda c=config: sim_alpha_with_dram(c), name
+            )
+            diffs[name] = (
+                (native_cycles[name] - result.cycles)
+                / native_cycles[name] * 100.0
+            )
+        ranking.append(
+            (config, mean_absolute_error(diffs.values()), diffs)
+        )
+    ranking.sort(key=lambda item: item[1])
+    return CalibrationResult(ranking)

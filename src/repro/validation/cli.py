@@ -1,0 +1,194 @@
+"""Command-line entry point: ``repro-experiments <experiment>``.
+
+Runs one (or all) of the paper's experiments and prints the table.
+Useful for quick looks without the pytest-benchmark harness::
+
+    repro-experiments table2
+    repro-experiments table4 --quick
+    repro-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.validation import (
+    ablate_native_effects,
+    baseline_spread,
+    bug_walk,
+    calibrate_dram,
+    diagnose,
+    figure2_regfile,
+    sampling_interval_study,
+    table1_latencies,
+    table2_micro,
+    table3_macro,
+    table4_features,
+    table5_stability,
+    warmup_study,
+)
+from repro.validation.harness import Harness
+from repro.workloads.suite import micro_names, spec2000_names, spec95_names
+
+__all__ = ["main"]
+
+#: Reduced workload sets for --quick runs.
+_QUICK_MICRO = ("C-Ca", "C-R", "C-S1", "E-I", "E-D3", "M-D", "M-M")
+_QUICK_MACRO = ("gzip", "eon", "mesa", "art")
+_QUICK_SPEC95 = ("go", "swim", "fpppp")
+
+
+def _run_table1(quick: bool) -> str:
+    return table1_latencies().render()
+
+
+def _run_table2(quick: bool) -> str:
+    names = _QUICK_MICRO if quick else micro_names()
+    return table2_micro(benchmarks=names).render()
+
+
+def _run_table3(quick: bool) -> str:
+    names = _QUICK_MACRO if quick else spec2000_names()
+    return table3_macro(benchmarks=names).render()
+
+
+def _run_table4(quick: bool) -> str:
+    names = _QUICK_MACRO if quick else spec2000_names()
+    features = ("addr", "luse", "spec", "stwt") if quick else None
+    return table4_features(benchmarks=names, features=features).render()
+
+
+def _run_table5(quick: bool) -> str:
+    names = _QUICK_MACRO if quick else spec2000_names()
+    features = ("addr", "luse") if quick else None
+    return table5_stability(benchmarks=names, features=features).render()
+
+
+def _run_figure2(quick: bool) -> str:
+    names = _QUICK_SPEC95 if quick else spec95_names()
+    return figure2_regfile(benchmarks=names).render()
+
+
+def _run_calibration(quick: bool) -> str:
+    if quick:
+        from repro.dram.config import parameter_grid
+
+        configs = list(parameter_grid(
+            ras_values=(2,), cas_values=(3, 4),
+            precharge_values=(2,), controller_values=(1, 2),
+        ))
+        return calibrate_dram(configs=configs).render()
+    return calibrate_dram().render()
+
+
+def _run_bugwalk(quick: bool) -> str:
+    names = _QUICK_MICRO if quick else micro_names()
+    bugs = (
+        ("late_branch_recovery", "jmp_undercharge", "wrong_fu_mix")
+        if quick else None
+    )
+    return bug_walk(benchmarks=names, bugs=bugs).render()
+
+
+def _run_sampling(quick: bool) -> str:
+    return sampling_interval_study().render()
+
+
+def _run_warmup(quick: bool) -> str:
+    workloads = ("gzip",) if quick else ("gzip", "mesa", "C-Ca")
+    harness = Harness()
+    parts = []
+    for workload in workloads:
+        profile = warmup_study(workload, harness=harness)
+        parts.append(profile.render())
+    return "\n\n".join(parts)
+
+
+def _run_baselines(quick: bool) -> str:
+    result = baseline_spread(workload="compress" if quick else "gcc95")
+    return (result.render()
+            + f"\nspread ratio: {result.spread_ratio:.2f}x")
+
+
+def _run_ablation(quick: bool) -> str:
+    benchmarks = ("mesa", "art") if quick else (
+        "gzip", "eon", "mesa", "art", "lucas"
+    )
+    return ablate_native_effects(benchmarks=benchmarks).render()
+
+
+def _run_diagnose(quick: bool) -> str:
+    """Replay the canonical Section 3.4 debugging sessions."""
+    from repro.core.siminitial import make_sim_with_bugs
+    from repro.simulators.refmachine import make_native_machine
+
+    sessions = [("M-I", "masked_load_trap_addresses"),
+                ("E-DM1", "wrong_fu_mix")]
+    if not quick:
+        sessions.append(("C-Ca", "late_branch_recovery"))
+    harness = Harness()
+    reference_machine = make_native_machine()
+    parts = []
+    for workload, bug in sessions:
+        trace = harness.workloads.trace(workload)
+        reference = reference_machine.run_trace(trace, workload)
+        buggy = make_sim_with_bugs(bug).run_trace(trace, workload)
+        parts.append(f"injected: {bug}\n"
+                     + diagnose(buggy, reference).render())
+    return "\n\n".join(parts)
+
+
+_EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "table5": _run_table5,
+    "figure2": _run_figure2,
+    "calibration": _run_calibration,
+    "bugwalk": _run_bugwalk,
+    "sampling": _run_sampling,
+    "warmup": _run_warmup,
+    "baselines": _run_baselines,
+    "ablation": _run_ablation,
+    "diagnose": _run_diagnose,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the experiments of 'Measuring Experimental Error "
+            "in Microprocessor Simulation' (ISCA 2001)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="use reduced workload/parameter sets",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    for name in names:
+        started = time.time()
+        output = _EXPERIMENTS[name](args.quick)
+        elapsed = time.time() - started
+        print(output)
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""The validation harness: run simulator configurations over workload
+sets and organise the results for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.result import SimResult
+from repro.workloads.suite import WorkloadSet
+
+__all__ = ["SimulatorFactory", "ResultGrid", "Harness"]
+
+#: A factory producing a *fresh* simulator per run (predictor and cache
+#: state must not leak between workloads).
+SimulatorFactory = Callable[[], object]
+
+
+@dataclass
+class ResultGrid:
+    """Results indexed by (simulator name, workload name)."""
+
+    results: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+
+    def add(self, result: SimResult) -> None:
+        self.results.setdefault(result.simulator, {})[result.workload] = result
+
+    def get(self, simulator: str, workload: str) -> SimResult:
+        return self.results[simulator][workload]
+
+    def simulators(self) -> List[str]:
+        return list(self.results)
+
+    def workloads(self) -> List[str]:
+        names: List[str] = []
+        for per_sim in self.results.values():
+            for name in per_sim:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def ipcs(self, simulator: str) -> Dict[str, float]:
+        return {
+            workload: result.ipc
+            for workload, result in self.results[simulator].items()
+        }
+
+
+class Harness:
+    """Runs (simulator x workload) grids with cached traces."""
+
+    def __init__(self, workloads: Optional[WorkloadSet] = None):
+        self.workloads = workloads or WorkloadSet()
+
+    def run_one(self, factory: SimulatorFactory, workload: str) -> SimResult:
+        """Run one simulator (fresh instance) on one workload."""
+        simulator = factory()
+        trace = self.workloads.trace(workload)
+        return simulator.run_trace(trace, workload)
+
+    def run_grid(
+        self,
+        factories: Sequence[SimulatorFactory],
+        workload_names: Iterable[str],
+        *,
+        progress: Optional[Callable[[str, str], None]] = None,
+    ) -> ResultGrid:
+        """Run every factory over every workload."""
+        grid = ResultGrid()
+        names = list(workload_names)
+        for name in names:
+            trace = self.workloads.trace(name)
+            for factory in factories:
+                simulator = factory()
+                if progress is not None:
+                    progress(simulator.name, name)
+                grid.add(simulator.run_trace(trace, name))
+        return grid

@@ -1,0 +1,73 @@
+"""Error metrics, exactly as the paper computes them.
+
+* Per-benchmark error is "a percentage difference in CPI" between a
+  simulator and the reference; a *negative* error means the simulator
+  under-estimates performance (its CPI is higher than the machine's),
+  matching the sign convention of Tables 2 and 3.
+* "The mean errors are computed as the arithmetic mean of the absolute
+  errors."
+* "Aggregate IPCs are computed using the harmonic mean."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "percent_error_cpi",
+    "percent_change",
+    "mean_absolute_error",
+    "arithmetic_mean",
+    "harmonic_mean",
+    "std_deviation",
+]
+
+
+def percent_error_cpi(simulated_cpi: float, reference_cpi: float) -> float:
+    """Signed CPI error of a simulator against the reference machine.
+
+    Negative: the simulator is slower than the machine (performance
+    under-estimated).  Positive: the simulator is optimistic.
+    """
+    if reference_cpi <= 0:
+        raise ValueError("reference CPI must be positive")
+    return (reference_cpi - simulated_cpi) / reference_cpi * 100.0
+
+
+def percent_change(new: float, base: float) -> float:
+    """Relative change of ``new`` vs ``base`` in percent (IPC deltas)."""
+    if base <= 0:
+        raise ValueError("base must be positive")
+    return (new - base) / base * 100.0
+
+
+def mean_absolute_error(errors: Iterable[float]) -> float:
+    """Arithmetic mean of absolute errors (the paper's aggregate)."""
+    values = [abs(e) for e in errors]
+    if not values:
+        raise ValueError("no errors to aggregate")
+    return sum(values) / len(values)
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("no values to average")
+    return sum(values) / len(values)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean (the paper's aggregate for IPC)."""
+    if not values:
+        raise ValueError("no values to average")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def std_deviation(values: Sequence[float]) -> float:
+    """Population standard deviation (Table 4's variability row)."""
+    if not values:
+        raise ValueError("no values")
+    mean = arithmetic_mean(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))

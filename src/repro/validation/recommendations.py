@@ -1,0 +1,196 @@
+"""The paper's Section 7 recommendations, as executable experiments.
+
+The paper closes with four recommendations for rigorous simulation
+research.  Three of them are quantifiable with this package, and this
+module turns each into a measurement:
+
+* **Common baselines** — "In the ISCA-27 proceedings, five different
+  studies reported IPCs of the SPEC95 gcc benchmark that were evenly
+  distributed from 0.9 to 3.5."  :func:`baseline_spread` reproduces
+  the phenomenon: one workload, a handful of plausible ad-hoc
+  simulator parameterizations, and the resulting IPC spread.
+
+* **Consistent parameters** — "many studies choose parameters, such as
+  DRAM latencies, in an ad-hoc manner."  :func:`parameter_sensitivity`
+  measures how much an optimization's reported benefit moves when the
+  un-validated background parameters move.
+
+* **Quantified stability** — "To ensure that an optimization is widely
+  effective ... it should be measured across a range of processor and
+  system organizations."  :func:`stability_score` condenses a Table 5
+  row into a single number (relative spread across configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.features import FeatureSet
+from repro.core.simalpha import SimAlpha
+from repro.dram.config import DramConfig
+from repro.memory.cache import CacheConfig
+from repro.reporting.tables import render_table
+from repro.simulators.eightway import EightWayConfig, EightWaySim
+from repro.simulators.simoutorder import OutOrderConfig, SimOutOrder
+from repro.validation.harness import Harness
+from repro.validation.metrics import harmonic_mean, percent_change
+
+__all__ = [
+    "BaselineSpreadResult",
+    "baseline_spread",
+    "ParameterSensitivityResult",
+    "parameter_sensitivity",
+    "stability_score",
+]
+
+
+# ----------------------------------------------------------------------
+# Common baselines: the ISCA-27 gcc spread
+# ----------------------------------------------------------------------
+
+def _research_group_simulators() -> Dict[str, Callable[[], object]]:
+    """Five plausible 'research group' simulators for one study.
+
+    Each is a defensible configuration someone could publish with: a
+    validated model, a stripped academic model, an aggressive abstract
+    model, a wide idealized model, and a conservative model.
+    """
+    return {
+        "group-A (validated detail)": SimAlpha,
+        "group-B (typical academic)": lambda: SimAlpha(MachineConfig(
+            name="group-B", features=FeatureSet.stripped()
+        )),
+        "group-C (SimpleScalar defaults)": SimOutOrder,
+        "group-D (8-wide idealized)": lambda: EightWaySim(EightWayConfig(
+            name="group-D"
+        )),
+        "group-E (SimpleScalar, big window)": lambda: SimOutOrder(
+            OutOrderConfig(name="group-E", ruu_size=128, issue_width=8,
+                           fetch_width=8, commit_width=8,
+                           int_alu_units=8, mem_ports=4)
+        ),
+    }
+
+
+@dataclass
+class BaselineSpreadResult:
+    workload: str
+    ipcs: Dict[str, float]
+
+    @property
+    def spread_ratio(self) -> float:
+        """max/min IPC across the groups (paper's gcc: 3.5/0.9 ~ 3.9x)."""
+        values = list(self.ipcs.values())
+        return max(values) / min(values)
+
+    def render(self) -> str:
+        rows = sorted(self.ipcs.items(), key=lambda kv: kv[1])
+        return render_table(
+            ["research group", f"{self.workload} IPC"],
+            rows,
+            title="Common-baselines study: one benchmark, five groups",
+        )
+
+
+def baseline_spread(
+    harness: Optional[Harness] = None,
+    workload: str = "gcc95",
+) -> BaselineSpreadResult:
+    """Run one benchmark under five 'research group' simulators."""
+    harness = harness or Harness()
+    ipcs = {
+        name: harness.run_one(factory, workload).ipc
+        for name, factory in _research_group_simulators().items()
+    }
+    return BaselineSpreadResult(workload=workload, ipcs=ipcs)
+
+
+# ----------------------------------------------------------------------
+# Consistent parameters: ad-hoc DRAM latency vs reported benefit
+# ----------------------------------------------------------------------
+
+@dataclass
+class ParameterSensitivityResult:
+    #: rows: (background label, baseline HM IPC, improved HM IPC, %benefit)
+    rows: List[Tuple[str, float, float, float]]
+
+    @property
+    def benefit_range(self) -> Tuple[float, float]:
+        benefits = [row[3] for row in self.rows]
+        return min(benefits), max(benefits)
+
+    def render(self) -> str:
+        return render_table(
+            ["background DRAM", "base IPC", "optimized IPC", "benefit %"],
+            self.rows,
+            title=("Consistent-parameters study: one optimization, "
+                   "ad-hoc backgrounds"),
+        )
+
+
+def parameter_sensitivity(
+    harness: Optional[Harness] = None,
+    benchmarks: Sequence[str] = ("mesa", "art", "equake"),
+) -> ParameterSensitivityResult:
+    """Measure a 128KB-L1 optimization under ad-hoc DRAM choices.
+
+    Different 'papers' pick different uncalibrated DRAM latencies; the
+    same optimization then reports different benefits — the
+    inconsistency the paper's recommendation targets.
+    """
+    harness = harness or Harness()
+    backgrounds = {
+        "calibrated (2/4/2/2 open)": DramConfig(),
+        "optimistic (1/2/1/0 open)": DramConfig(
+            ras_cycles=1, cas_cycles=2, precharge_cycles=1,
+            controller_cycles=0,
+        ),
+        "pessimistic (3/6/3/4 closed)": DramConfig(
+            ras_cycles=3, cas_cycles=6, precharge_cycles=3,
+            controller_cycles=4, page_policy="closed",
+        ),
+    }
+
+    def hm_ipc(dram: DramConfig, l1_size: Optional[int]) -> float:
+        config = MachineConfig(name="ps")
+        memory = replace(config.memory, dram=dram)
+        if l1_size is not None:
+            memory = replace(
+                memory, l1d=CacheConfig(l1_size, 2, 64, name="l1d")
+            )
+        config = replace(config, memory=memory)
+        ipcs = [
+            harness.run_one(lambda: SimAlpha(config), name).ipc
+            for name in benchmarks
+        ]
+        return harmonic_mean(ipcs)
+
+    rows = []
+    for label, dram in backgrounds.items():
+        base = hm_ipc(dram, None)
+        improved = hm_ipc(dram, 128 * 1024)
+        rows.append((label, base, improved, percent_change(improved, base)))
+    return ParameterSensitivityResult(rows)
+
+
+# ----------------------------------------------------------------------
+# Quantified stability
+# ----------------------------------------------------------------------
+
+def stability_score(improvements: Dict[str, float]) -> float:
+    """Condense a Table 5 row into one number.
+
+    The score is the spread of the improvement across configurations,
+    normalised by its mean magnitude: 0 is perfectly stable; above ~1
+    the optimization's benefit depends more on the simulator than on
+    the idea.  NaN entries (inapplicable configurations) are ignored.
+    """
+    values = [v for v in improvements.values() if v == v]
+    if not values:
+        raise ValueError("no applicable configurations")
+    mean_magnitude = sum(abs(v) for v in values) / len(values)
+    if mean_magnitude == 0:
+        return 0.0
+    return (max(values) - min(values)) / mean_magnitude

@@ -1,0 +1,112 @@
+"""Warm-up and steady-state analysis of simulation measurements.
+
+The paper measures whole runs ("We ran all of the benchmarks to
+completion"), and its microbenchmarks iterate "for numerous iterations
+to isolate the behavior" — i.e., long enough that cold caches, cold
+predictors, and cold TLBs stop mattering.  This module quantifies that
+requirement: how many instructions until a workload's windowed IPC
+settles, and how much error a too-short run would inject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.simalpha import SimAlpha
+from repro.reporting.tables import render_table
+from repro.validation.harness import Harness
+
+__all__ = ["WarmupProfile", "warmup_study"]
+
+
+@dataclass
+class WarmupProfile:
+    workload: str
+    window_size: int
+    #: IPC of each successive window.
+    window_ipcs: List[float]
+    #: Mean IPC of the second half (the steady-state estimate).
+    steady_ipc: float
+    #: First window whose IPC is within `tolerance` of steady state.
+    settled_window: Optional[int]
+    tolerance: float
+
+    @property
+    def settled_instructions(self) -> Optional[int]:
+        if self.settled_window is None:
+            return None
+        return (self.settled_window + 1) * self.window_size
+
+    def truncation_error(self, windows: int) -> float:
+        """% CPI error of measuring only the first ``windows`` windows."""
+        if not 0 < windows <= len(self.window_ipcs):
+            raise ValueError("windows out of range")
+        measured = sum(self.window_ipcs[:windows]) / windows
+        if measured <= 0:
+            return 0.0
+        return (1 / self.steady_ipc - 1 / measured) / (
+            1 / self.steady_ipc
+        ) * 100.0
+
+    def render(self) -> str:
+        rows = [
+            (i, ipc) for i, ipc in enumerate(self.window_ipcs)
+        ]
+        table = render_table(
+            ["window", "IPC"], rows,
+            title=(f"Warm-up profile: {self.workload} "
+                   f"(window = {self.window_size} instructions)"),
+        )
+        if self.settled_instructions is not None:
+            table += (
+                f"\n\nsettles within {self.tolerance:.0%} of steady "
+                f"IPC ({self.steady_ipc:.2f}) after "
+                f"{self.settled_instructions} instructions"
+            )
+        else:
+            table += "\n\nnever settles within tolerance (trace too short)"
+        return table
+
+
+def warmup_study(
+    workload: str,
+    *,
+    harness: Optional[Harness] = None,
+    simulator: Optional[SimAlpha] = None,
+    window_size: int = 4096,
+    tolerance: float = 0.05,
+) -> WarmupProfile:
+    """Windowed-IPC warm-up profile of ``workload`` on one simulator."""
+    harness = harness or Harness()
+    simulator = simulator or SimAlpha()
+    trace = harness.workloads.trace(workload)
+    result = simulator.run_trace(trace, workload, window_size=window_size)
+    marks = result.stats.extra.get("window_retire_times", [])
+    if len(marks) < 2:
+        raise ValueError(
+            f"trace of {len(trace)} instructions yields fewer than two "
+            f"windows of {window_size}; lower window_size"
+        )
+    ipcs: List[float] = []
+    previous = 0.0
+    for mark in marks:
+        cycles = mark - previous
+        ipcs.append(window_size / cycles if cycles > 0 else 0.0)
+        previous = mark
+
+    half = len(ipcs) // 2
+    steady = sum(ipcs[half:]) / len(ipcs[half:])
+    settled = None
+    for index, ipc in enumerate(ipcs):
+        if steady and abs(ipc - steady) / steady <= tolerance:
+            settled = index
+            break
+    return WarmupProfile(
+        workload=workload,
+        window_size=window_size,
+        window_ipcs=ipcs,
+        steady_ipc=steady,
+        settled_window=settled,
+        tolerance=tolerance,
+    )

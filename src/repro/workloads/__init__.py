@@ -1,0 +1,68 @@
+"""Workloads: the 21 microbenchmarks, SPEC proxies, and calibration
+kernels, plus the cached-trace registry."""
+
+from repro.workloads.calibration import (
+    STREAM_KERNELS,
+    calibration_suite,
+    lmbench_latency,
+    stream_kernel,
+    stream_suite,
+)
+from repro.workloads.macro import (
+    SPEC2000_PROFILES,
+    SPEC95_PROFILES,
+    WorkloadProfile,
+    build_macro,
+    build_spec2000,
+    build_spec95,
+    spec2000_suite,
+    spec95_suite,
+)
+from repro.workloads.kernels import (
+    binary_search,
+    bubble_sort,
+    checksum,
+    kernel_suite,
+    matmul,
+    memcpy_kernel,
+)
+from repro.workloads.micro import (
+    MICROBENCHMARKS,
+    build_microbenchmark,
+    microbenchmark_suite,
+)
+from repro.workloads.suite import (
+    WorkloadSet,
+    micro_names,
+    spec2000_names,
+    spec95_names,
+)
+
+__all__ = [
+    "STREAM_KERNELS",
+    "calibration_suite",
+    "lmbench_latency",
+    "stream_kernel",
+    "stream_suite",
+    "SPEC2000_PROFILES",
+    "SPEC95_PROFILES",
+    "WorkloadProfile",
+    "build_macro",
+    "build_spec2000",
+    "build_spec95",
+    "spec2000_suite",
+    "spec95_suite",
+    "MICROBENCHMARKS",
+    "build_microbenchmark",
+    "microbenchmark_suite",
+    "binary_search",
+    "bubble_sort",
+    "checksum",
+    "kernel_suite",
+    "matmul",
+    "memcpy_kernel",
+    "WorkloadSet",
+    "micro_names",
+    "spec2000_names",
+    "spec95_names",
+]

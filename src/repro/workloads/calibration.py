@@ -1,0 +1,144 @@
+"""Memory-calibration workloads: STREAM and lmbench kernels.
+
+Paper Section 4.2 tunes the DRAM parameters (RAS, CAS, precharge,
+controller latency, page policy) to minimise error across three
+memory-specific benchmarks: the M-M microbenchmark (back-to-back
+latency), McCalpin's STREAM (sustained bandwidth for copy / scale /
+add / triad), and lmbench (mean load latency at each level of the
+hierarchy).  These are those kernels, rewritten in our ISA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.micro.memory import build_chain, memory_memory
+
+__all__ = [
+    "stream_kernel",
+    "stream_suite",
+    "lmbench_latency",
+    "calibration_suite",
+    "STREAM_KERNELS",
+]
+
+STREAM_KERNELS = ("copy", "scale", "add", "triad")
+
+
+def stream_kernel(
+    kernel: str, *, elements: int = 4096, passes: int = 1
+) -> Program:
+    """One STREAM kernel over arrays big enough to defeat the L2.
+
+    ``elements`` 8-byte words per array (three arrays live at once,
+    so even the default 4096 x 8B x 3 = 96KB working set overflows the
+    64KB L1), accessed with the classic unit-stride stream pattern.
+
+      copy:  c[i] = a[i]
+      scale: b[i] = q * c[i]
+      add:   c[i] = a[i] + b[i]
+      triad: a[i] = b[i] + q * c[i]
+    """
+    if kernel not in STREAM_KERNELS:
+        raise ValueError(
+            f"unknown STREAM kernel {kernel!r}; expected {STREAM_KERNELS}"
+        )
+    b = ProgramBuilder(f"stream-{kernel}")
+    bytes_per = elements * 8
+    a = b.alloc(bytes_per, align=64)
+    bb = b.alloc(bytes_per, align=64)
+    c = b.alloc(bytes_per, align=64)
+
+    b.load_imm("r1", 0)
+    b.load_imm("r2", elements * passes)
+    b.load_imm("r9", a)
+    b.load_imm("r10", bb)
+    b.load_imm("r11", c)
+    b.load_imm("r20", 0)  # byte offset within the arrays
+    b.load_imm("r21", bytes_per - 8)
+    b.align_octaword()
+    b.label("loop")
+    b.emit(Opcode.ADDQ, dest="r13", srcs=("r9", "r20"))   # &a[i]
+    b.emit(Opcode.ADDQ, dest="r14", srcs=("r10", "r20"))  # &b[i]
+    b.emit(Opcode.ADDQ, dest="r15", srcs=("r11", "r20"))  # &c[i]
+    if kernel == "copy":
+        b.emit(Opcode.LDQ, dest="r4", base="r13", disp=0)
+        b.emit(Opcode.STQ, srcs=("r4",), base="r15", disp=0)
+    elif kernel == "scale":
+        b.emit(Opcode.LDQ, dest="r4", base="r15", disp=0)
+        b.emit(Opcode.SLL, dest="r4", srcs=("r4",), imm=1)  # q = 2
+        b.emit(Opcode.STQ, srcs=("r4",), base="r14", disp=0)
+    elif kernel == "add":
+        b.emit(Opcode.LDQ, dest="r4", base="r13", disp=0)
+        b.emit(Opcode.LDQ, dest="r5", base="r14", disp=0)
+        b.emit(Opcode.ADDQ, dest="r4", srcs=("r4", "r5"))
+        b.emit(Opcode.STQ, srcs=("r4",), base="r15", disp=0)
+    else:  # triad
+        b.emit(Opcode.LDQ, dest="r4", base="r14", disp=0)
+        b.emit(Opcode.LDQ, dest="r5", base="r15", disp=0)
+        b.emit(Opcode.SLL, dest="r5", srcs=("r5",), imm=1)
+        b.emit(Opcode.ADDQ, dest="r4", srcs=("r4", "r5"))
+        b.emit(Opcode.STQ, srcs=("r4",), base="r13", disp=0)
+    # Advance the offset, wrapping at the end of the arrays.
+    b.emit(Opcode.LDA, dest="r20", srcs=("r20",), imm=8)
+    b.emit(Opcode.CMPLE, dest="r4", srcs=("r20", "r21"))
+    b.emit(Opcode.CMOVEQ, dest="r20", srcs=("r4", "r31"))
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r4", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r4", "loop")
+    b.halt()
+    return b.build()
+
+
+def stream_suite(**kwargs) -> List[Program]:
+    """All four STREAM kernels."""
+    return [stream_kernel(k, **kwargs) for k in STREAM_KERNELS]
+
+
+def lmbench_latency(
+    *, level: str = "memory", traversals: int | None = None
+) -> Program:
+    """lmbench-style load-latency probe at one hierarchy level.
+
+    lmbench walks a pointer chain sized to sit at a chosen level and
+    reports the mean latency per load.  Levels: "l1" (16KB), "l2"
+    (256KB), "memory" (6MB, row-hostile stride).
+    """
+    geometries = {
+        "l1": (256, 64, 30),
+        "l2": (2048, 128, 4),
+        "memory": (4096, 1472, 2),
+    }
+    if level not in geometries:
+        raise ValueError(
+            f"unknown lmbench level {level!r}; expected {sorted(geometries)}"
+        )
+    nodes, stride, default_traversals = geometries[level]
+    reps = traversals if traversals is not None else default_traversals
+    b = ProgramBuilder(f"lmbench-{level}")
+    head = build_chain(b, nodes, stride)
+    b.load_imm("r1", 0)
+    b.load_imm("r2", nodes * reps)
+    b.load_imm("r9", head)
+    b.align_octaword()
+    b.label("loop")
+    b.emit(Opcode.LDQ, dest="r9", base="r9", disp=0)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r4", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r4", "loop")
+    b.halt()
+    return b.build()
+
+
+def calibration_suite() -> Dict[str, Program]:
+    """The Section 4.2 workload set: M-M, STREAM, and lmbench."""
+    programs: Dict[str, Program] = {"M-M": memory_memory()}
+    for kernel in STREAM_KERNELS:
+        program = stream_kernel(kernel)
+        programs[program.name] = program
+    for level in ("l1", "l2", "memory"):
+        program = lmbench_latency(level=level)
+        programs[program.name] = program
+    return programs

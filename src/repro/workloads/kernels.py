@@ -1,0 +1,226 @@
+"""Classic algorithm kernels written in the project ISA.
+
+Beyond the paper's microbenchmarks and SPEC proxies, these are real
+algorithms — useful as integration workloads (the functional machine
+must compute correct results, which the tests verify architecturally)
+and as demonstration inputs for the validation methodology.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+
+__all__ = [
+    "matmul",
+    "memcpy_kernel",
+    "binary_search",
+    "bubble_sort",
+    "checksum",
+    "kernel_suite",
+]
+
+
+def matmul(n: int = 12) -> Program:
+    """Naive n x n integer matrix multiply: C = A * B.
+
+    A[i][j] = i + j, B[i][j] = (i == j), so C should equal A.
+    """
+    b = ProgramBuilder(f"matmul-{n}")
+    a_base = b.alloc_words(
+        [i + j for i in range(n) for j in range(n)]
+    )
+    b_base = b.alloc_words(
+        [1 if i == j else 0 for i in range(n) for j in range(n)]
+    )
+    c_base = b.alloc(8 * n * n)
+
+    # r1=i, r2=j, r3=k, r4=sum, r9/r10/r11 = bases
+    b.load_imm("r9", a_base)
+    b.load_imm("r10", b_base)
+    b.load_imm("r11", c_base)
+    b.load_imm("r1", 0)
+    b.label("i_loop")
+    b.load_imm("r2", 0)
+    b.label("j_loop")
+    b.load_imm("r3", 0)
+    b.load_imm("r4", 0)
+    b.label("k_loop")
+    # r5 = A[i][k] : addr = a + (i*n + k)*8
+    b.load_imm("r13", n)
+    b.emit(Opcode.MULQ, dest="r13", srcs=("r13", "r1"))
+    b.emit(Opcode.ADDQ, dest="r13", srcs=("r13", "r3"))
+    b.emit(Opcode.SLL, dest="r13", srcs=("r13",), imm=3)
+    b.emit(Opcode.ADDQ, dest="r13", srcs=("r13", "r9"))
+    b.emit(Opcode.LDQ, dest="r5", base="r13", disp=0)
+    # r6 = B[k][j]
+    b.load_imm("r14", n)
+    b.emit(Opcode.MULQ, dest="r14", srcs=("r14", "r3"))
+    b.emit(Opcode.ADDQ, dest="r14", srcs=("r14", "r2"))
+    b.emit(Opcode.SLL, dest="r14", srcs=("r14",), imm=3)
+    b.emit(Opcode.ADDQ, dest="r14", srcs=("r14", "r10"))
+    b.emit(Opcode.LDQ, dest="r6", base="r14", disp=0)
+    # sum += A*B
+    b.emit(Opcode.MULQ, dest="r5", srcs=("r5", "r6"))
+    b.emit(Opcode.ADDQ, dest="r4", srcs=("r4", "r5"))
+    b.emit(Opcode.ADDQ, dest="r3", srcs=("r3",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r15", srcs=("r3",), imm=n)
+    b.branch(Opcode.BNE, "r15", "k_loop")
+    # C[i][j] = sum
+    b.load_imm("r13", n)
+    b.emit(Opcode.MULQ, dest="r13", srcs=("r13", "r1"))
+    b.emit(Opcode.ADDQ, dest="r13", srcs=("r13", "r2"))
+    b.emit(Opcode.SLL, dest="r13", srcs=("r13",), imm=3)
+    b.emit(Opcode.ADDQ, dest="r13", srcs=("r13", "r11"))
+    b.emit(Opcode.STQ, srcs=("r4",), base="r13", disp=0)
+    b.emit(Opcode.ADDQ, dest="r2", srcs=("r2",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r15", srcs=("r2",), imm=n)
+    b.branch(Opcode.BNE, "r15", "j_loop")
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r15", srcs=("r1",), imm=n)
+    b.branch(Opcode.BNE, "r15", "i_loop")
+    b.halt()
+    program = b.build()
+    program.c_base = c_base  # expose for architectural checks
+    program.n = n
+    return program
+
+
+def memcpy_kernel(words: int = 2048) -> Program:
+    """Copy ``words`` 64-bit words, unrolled by four."""
+    b = ProgramBuilder(f"memcpy-{words}")
+    src = b.alloc_words([(i * 7919) & 0xFFFF for i in range(words)])
+    dst = b.alloc(8 * words)
+    b.load_imm("r9", src)
+    b.load_imm("r10", dst)
+    b.load_imm("r1", 0)
+    b.label("loop")
+    for u in range(4):
+        b.emit(Opcode.LDQ, dest=f"r{3 + u}", base="r9", disp=8 * u)
+        b.emit(Opcode.STQ, srcs=(f"r{3 + u}",), base="r10", disp=8 * u)
+    b.emit(Opcode.LDA, dest="r9", srcs=("r9",), imm=32)
+    b.emit(Opcode.LDA, dest="r10", srcs=("r10",), imm=32)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=4)
+    b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=words)
+    b.branch(Opcode.BNE, "r2", "loop")
+    b.halt()
+    program = b.build()
+    program.src_base = src
+    program.dst_base = dst
+    program.words = words
+    return program
+
+
+def binary_search(size: int = 1024, probes: int = 400) -> Program:
+    """Repeated binary searches over a sorted array.
+
+    The element values are 2*i, and the probe keys sweep both present
+    and absent values, producing the data-dependent branch behaviour
+    binary search is famous for.
+    """
+    b = ProgramBuilder(f"bsearch-{size}")
+    table = b.alloc_words([2 * i for i in range(size)])
+    b.load_imm("r9", table)
+    b.load_imm("r1", 0)          # probe counter
+    b.load_imm("r20", 0)         # found-counter
+    b.label("probe_loop")
+    # key = (probe * 2654435761) % (2*size): mixes hits and misses.
+    b.emit(Opcode.MULQ, dest="r2", srcs=("r1",), imm=2654435761)
+    b.emit(Opcode.AND, dest="r2", srcs=("r2",), imm=2 * size - 1)
+    b.load_imm("r3", 0)          # lo
+    b.load_imm("r4", size)       # hi
+    b.label("search_loop")
+    b.emit(Opcode.CMPLT, dest="r5", srcs=("r3", "r4"))
+    b.branch(Opcode.BEQ, "r5", "done")
+    # mid = (lo + hi) >> 1 ; value = table[mid]
+    b.emit(Opcode.ADDQ, dest="r6", srcs=("r3", "r4"))
+    b.emit(Opcode.SRL, dest="r6", srcs=("r6",), imm=1)
+    b.emit(Opcode.SLL, dest="r7", srcs=("r6",), imm=3)
+    b.emit(Opcode.ADDQ, dest="r7", srcs=("r7", "r9"))
+    b.emit(Opcode.LDQ, dest="r8", base="r7", disp=0)
+    # if value == key: found
+    b.emit(Opcode.CMPEQ, dest="r5", srcs=("r8", "r2"))
+    b.branch(Opcode.BNE, "r5", "found")
+    # if value < key: lo = mid + 1 else hi = mid
+    b.emit(Opcode.CMPLT, dest="r5", srcs=("r8", "r2"))
+    b.branch(Opcode.BEQ, "r5", "go_left")
+    b.emit(Opcode.ADDQ, dest="r3", srcs=("r6",), imm=1)
+    b.jump("search_loop")
+    b.label("go_left")
+    b.emit(Opcode.ADDQ, dest="r4", srcs=("r6", "r31"))
+    b.jump("search_loop")
+    b.label("found")
+    b.emit(Opcode.ADDQ, dest="r20", srcs=("r20",), imm=1)
+    b.label("done")
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r5", srcs=("r1",), imm=probes)
+    b.branch(Opcode.BNE, "r5", "probe_loop")
+    b.halt()
+    program = b.build()
+    program.found_reg = "r20"
+    return program
+
+
+def bubble_sort(size: int = 48) -> Program:
+    """Bubble-sort a descending array into ascending order in memory."""
+    b = ProgramBuilder(f"bsort-{size}")
+    table = b.alloc_words(list(range(size, 0, -1)))
+    b.load_imm("r9", table)
+    b.load_imm("r1", 0)              # outer i
+    b.label("outer")
+    b.load_imm("r2", 0)              # inner j
+    b.load_imm("r8", size - 1)
+    b.emit(Opcode.SUBQ, dest="r8", srcs=("r8", "r1"))
+    b.label("inner")
+    b.emit(Opcode.SLL, dest="r3", srcs=("r2",), imm=3)
+    b.emit(Opcode.ADDQ, dest="r3", srcs=("r3", "r9"))
+    b.emit(Opcode.LDQ, dest="r4", base="r3", disp=0)
+    b.emit(Opcode.LDQ, dest="r5", base="r3", disp=8)
+    b.emit(Opcode.CMPLE, dest="r6", srcs=("r4", "r5"))
+    b.branch(Opcode.BNE, "r6", "no_swap")
+    b.emit(Opcode.STQ, srcs=("r5",), base="r3", disp=0)
+    b.emit(Opcode.STQ, srcs=("r4",), base="r3", disp=8)
+    b.label("no_swap")
+    b.emit(Opcode.ADDQ, dest="r2", srcs=("r2",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r6", srcs=("r2", "r8"))
+    b.branch(Opcode.BNE, "r6", "inner")
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r6", srcs=("r1",), imm=size - 1)
+    b.branch(Opcode.BNE, "r6", "outer")
+    b.halt()
+    program = b.build()
+    program.table_base = table
+    program.size = size
+    return program
+
+
+def checksum(words: int = 4096) -> Program:
+    """A rotating-XOR checksum over a buffer (byte-shuffling ALU mix)."""
+    b = ProgramBuilder(f"checksum-{words}")
+    data = b.alloc_words([(i * 2654435761) & ((1 << 64) - 1)
+                          for i in range(words)])
+    b.load_imm("r9", data)
+    b.load_imm("r1", 0)
+    b.load_imm("r4", 0)
+    b.label("loop")
+    b.emit(Opcode.LDQ, dest="r3", base="r9", disp=0)
+    b.emit(Opcode.XOR, dest="r4", srcs=("r4", "r3"))
+    b.emit(Opcode.SLL, dest="r5", srcs=("r4",), imm=13)
+    b.emit(Opcode.SRL, dest="r6", srcs=("r4",), imm=51)
+    b.emit(Opcode.OR, dest="r4", srcs=("r5", "r6"))
+    b.emit(Opcode.LDA, dest="r9", srcs=("r9",), imm=8)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=words)
+    b.branch(Opcode.BNE, "r2", "loop")
+    b.halt()
+    program = b.build()
+    program.checksum_reg = "r4"
+    return program
+
+
+def kernel_suite() -> List[Program]:
+    """All the classic kernels at their default sizes."""
+    return [matmul(), memcpy_kernel(), binary_search(), bubble_sort(),
+            checksum()]

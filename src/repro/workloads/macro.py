@@ -1,0 +1,593 @@
+"""Synthetic macrobenchmarks: SPEC2000 and SPEC95 workload proxies.
+
+The paper validates against ten SPEC2000 benchmarks run to completion
+(1.4 billion instructions for `art` alone).  A pure-Python simulator
+cannot replay those binaries, so each benchmark is replaced by a
+*profile-driven synthetic proxy* (DESIGN.md substitution table): a
+generated program whose instruction mix, working-set structure, branch
+predictability, pointer-chasing, call behaviour, I-cache pressure, and
+store-to-load conflict rate are tuned per benchmark so the proxy lands
+near the paper's native IPC and — more importantly — stresses the same
+simulator mechanisms:
+
+* `mesa`'s high L2 miss rate (43% in the paper) makes it sensitive to
+  everything sim-alpha does not model beyond the L2;
+* `art` is memory-parallel with store/load conflicts, feeding the MAF
+  and replay-trap machinery (the paper's positive-error outlier);
+* `eon` hops among call targets that collide in the I-cache, producing
+  its "unusually high number of way mispredictions";
+* `lucas` streams floating-point data DRAM-row-coherently.
+
+All generation is seeded and deterministic.  Dynamic branch behaviour
+comes from an in-register linear congruential generator, so the
+functional machine computes real outcomes without any host randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.workloads.micro.memory import build_chain
+
+__all__ = [
+    "WorkloadProfile",
+    "build_macro",
+    "SPEC2000_PROFILES",
+    "SPEC95_PROFILES",
+    "spec2000_suite",
+    "spec95_suite",
+    "build_spec2000",
+    "build_spec95",
+]
+
+# Registers reserved by the generator:
+#   r1 loop counter, r2 bound, r3 LCG state, r9 hot base, r10 warm
+#   base, r11 cold base, r12 chase pointer, r13/r14 scratch addresses,
+#   r15 sink, r16 argument, r26 RA, r30 SP.
+#: r19 is reserved as the serial dependence spine.
+_INT_ACCS = ("r4", "r5", "r6", "r7", "r8", "r17", "r18")
+_SPINE = "r19"
+_FP_ACCS = ("f4", "f5", "f6", "f7", "f8", "f9")
+
+_LCG_MUL = 0x5DEECE66D
+_LCG_ADD = 0xB
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Knobs describing one benchmark proxy."""
+
+    name: str
+    suite: str = "spec2000"
+    #: Body "segments" per loop iteration; each segment is a handful of
+    #: compute ops, possibly memory accesses, and usually a branch.
+    segments: int = 24
+    iterations: int = 90
+    #: Fraction of compute operations that are floating point.
+    fp_ratio: float = 0.0
+    #: Of integer compute, how much is multiply.
+    mul_ratio: float = 0.02
+    #: Of FP compute, how much is divide/sqrt.
+    div_ratio: float = 0.0
+    #: Loads per segment (expected value).
+    loads_per_segment: float = 1.2
+    #: Stores per segment (expected value).
+    stores_per_segment: float = 0.4
+    #: Access mix across the three arrays (must sum to <= 1; the
+    #: remainder hits the hot array).
+    warm_frac: float = 0.15
+    cold_frac: float = 0.0
+    #: Fraction of loads that walk sequential streams instead of using
+    #: LCG-random indices.  Streams model array kernels: they are DRAM-
+    #: row- and TLB-friendly, and with several concurrent streams they
+    #: thrash the per-bank open rows — which the native controller's
+    #: row cache absorbs but sim-alpha's plainer DRAM path does not.
+    stream_frac: float = 0.0
+    #: Number of concurrent stream arrays (each stream_bytes long).
+    streams: int = 0
+    stream_bytes: int = 2 * 1024 * 1024
+    #: Stream element stride: 8 models real array kernels (one L1 miss
+    #: per block, like the word-by-word loops SPEC FP compiles to).
+    stream_stride: int = 8
+    #: Stores write to an output stream instead of the hot array
+    #: (mesa's framebuffer, lucas's result vectors): adds row-buffer
+    #: pressure the native controller absorbs.
+    store_stream: bool = False
+    #: Array sizes in bytes (powers of two).
+    hot_bytes: int = 16 * 1024
+    warm_bytes: int = 512 * 1024
+    cold_bytes: int = 8 * 1024 * 1024
+    #: Fraction of segments that advance a dependent pointer chase
+    #: through the warm (or cold, if cold_chase) array.
+    chase_frac: float = 0.0
+    cold_chase: bool = False
+    #: Fraction of branch sites whose outcome is LCG-random (the rest
+    #: follow short predictable patterns).
+    random_branch_frac: float = 0.25
+    #: Fraction of random branches that spawn a *correlated* follow-up
+    #: a segment or two later (testing the same saved condition).
+    #: Locally each site looks random; the global predictor nails the
+    #: follow-up — but only with speculatively updated history, since
+    #: the pair sits just a few branches apart.  This is what gives the
+    #: paper's ``spec`` feature its measurable macro effect.
+    correlated_branch_frac: float = 0.5
+    #: Probability a segment branches at all.
+    branch_frac: float = 0.8
+    #: Fraction of segments that call one of the leaf functions.
+    call_frac: float = 0.0
+    #: Number of leaf functions; >0 enables calls.
+    functions: int = 0
+    #: Place functions so their code collides in the I-cache (eon).
+    icache_thrash: bool = False
+    #: Fraction of loads that target an address stored to a few
+    #: instructions earlier (replay-trap food).
+    conflict_frac: float = 0.0
+    #: Dependence depth of compute chains (higher = less ILP).
+    chain_depth: int = 3
+    #: Probability a segment carries a compiler-padding ``unop`` (what
+    #: makes early no-op retirement, feature ``eret``, matter).
+    unop_frac: float = 0.35
+    #: Fraction of loads whose value joins a single serial dependence
+    #: spine threading the whole loop body.  Real compiled code is far
+    #: more dependence-bound than independent accumulators; the spine
+    #: is what lets latency features (load-use speculation, bypass
+    #: restrictions) show their true cost.
+    spine_frac: float = 0.3
+    seed: int = 1
+
+
+def _pick_ops(rng: random.Random, profile: WorkloadProfile) -> Opcode:
+    if rng.random() < profile.fp_ratio:
+        if profile.div_ratio and rng.random() < profile.div_ratio:
+            return rng.choice((Opcode.DIVT, Opcode.SQRTT))
+        return rng.choice((Opcode.ADDT, Opcode.SUBT, Opcode.MULT))
+    if rng.random() < profile.mul_ratio:
+        return Opcode.MULQ
+    return rng.choice(
+        (Opcode.ADDQ, Opcode.SUBQ, Opcode.XOR, Opcode.AND, Opcode.OR)
+    )
+
+
+class _MacroBuilder:
+    """Generates one proxy program from a profile."""
+
+    def __init__(self, profile: WorkloadProfile):
+        self.profile = profile
+        self.rng = random.Random(profile.seed)
+        self.b = ProgramBuilder(profile.name)
+        self._acc_index = 0
+        self._fp_index = 0
+        self._corr_pending = False
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Program:
+        profile = self.profile
+        b = self.b
+        hot = b.alloc(profile.hot_bytes, align=64)
+        # Fill the hot array with pseudo-random words: data-dependent
+        # branches test bits of these.
+        fill_rng = random.Random(profile.seed ^ 0xDA7A)
+        for word in range(profile.hot_bytes // 8):
+            b.poke(hot + 8 * word, fill_rng.getrandbits(64))
+        warm = b.alloc(profile.warm_bytes, align=64)
+        cold = b.alloc(profile.cold_bytes, align=64)
+        chase_head = 0
+        if profile.chase_frac:
+            region = profile.cold_bytes if profile.cold_chase else (
+                profile.warm_bytes
+            )
+            nodes = max(64, min(4096, region // 512))
+            chase_head = build_chain(b, nodes, 448)
+
+        b.load_imm("r1", 0)
+        b.load_imm("r2", profile.iterations)
+        b.load_imm("r3", profile.seed | 1)
+        b.load_imm("r9", hot)
+        b.load_imm("r10", warm)
+        b.load_imm("r11", cold)
+        if chase_head:
+            b.load_imm("r12", chase_head)
+        # Stream state: base register + running-offset register pairs
+        # (kept clear of RA=r26 and SP=r30).
+        pairs = (("r20", "r24"), ("r21", "r25"), ("r22", "r27"),
+                 ("r23", "r28"))
+        self._stream_regs: List[Tuple[str, str]] = []
+        for s in range(min(self.profile.streams, len(pairs))):
+            base_reg, off_reg = pairs[s]
+            stream_base = b.alloc(profile.stream_bytes, align=64)
+            b.load_imm(base_reg, stream_base)
+            b.load_imm(off_reg, s * 8192)
+            self._stream_regs.append((base_reg, off_reg))
+        b.align_octaword()
+        b.label("main_loop")
+
+        function_labels = self._plan_functions()
+        for segment in range(profile.segments):
+            self._emit_segment(segment, function_labels)
+
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r15", srcs=("r1", "r2"))
+        b.branch(Opcode.BNE, "r15", "main_loop")
+        b.halt()
+
+        if function_labels:
+            self._emit_functions(function_labels)
+        return b.build()
+
+    # ------------------------------------------------------------------
+
+    def _plan_functions(self) -> List[str]:
+        return [f"fn{i}" for i in range(self.profile.functions)]
+
+    def _emit_functions(self, labels: List[str]) -> None:
+        """Emit leaf function bodies after the main loop.
+
+        With ``icache_thrash``, functions are padded apart by half the
+        I-cache way size so they index the same sets: calling them
+        round-robin alternates ways, defeating the way predictor the
+        same way `eon`'s virtual-call-heavy code does.
+        """
+        b = self.b
+        profile = self.profile
+        pad = (32 * 1024 // 4) if profile.icache_thrash else 32
+        for label in labels:
+            b.unop(pad - (b.here % pad) if b.here % pad else 0)
+            b.align_octaword()
+            b.label(label)
+            for i in range(6):
+                b.emit(Opcode.ADDQ, dest="r16", srcs=("r16",), imm=i + 1)
+            b.emit(Opcode.XOR, dest="r16", srcs=("r16", "r3"))
+            b.ret()
+
+    # ------------------------------------------------------------------
+
+    def _next_acc(self) -> str:
+        self._acc_index = (self._acc_index + 1) % len(_INT_ACCS)
+        return _INT_ACCS[self._acc_index]
+
+    def _next_fp(self) -> str:
+        self._fp_index = (self._fp_index + 1) % len(_FP_ACCS)
+        return _FP_ACCS[self._fp_index]
+
+    def _advance_lcg(self) -> None:
+        """r3 = r3 * MUL + ADD (one mul + one add of dynamic work)."""
+        b = self.b
+        b.emit(Opcode.MULQ, dest="r3", srcs=("r3",), imm=_LCG_MUL)
+        b.emit(Opcode.ADDQ, dest="r3", srcs=("r3",), imm=_LCG_ADD)
+
+    def _emit_address(self, base_reg: str, size: int, addr_reg: str) -> None:
+        """addr_reg = base + ((lcg >> 7) & mask) aligned to 8 bytes."""
+        b = self.b
+        mask = (size - 1) & ~7
+        b.emit(Opcode.SRL, dest=addr_reg, srcs=("r3",), imm=7)
+        b.emit(Opcode.AND, dest=addr_reg, srcs=(addr_reg,), imm=mask)
+        b.emit(Opcode.ADDQ, dest=addr_reg, srcs=(addr_reg, base_reg))
+
+    def _emit_stream_load(self, dest: str) -> None:
+        """Load the next element of a round-robin stream, advancing it."""
+        b = self.b
+        profile = self.profile
+        base_reg, off_reg = self._stream_regs[
+            self._stream_index % len(self._stream_regs)
+        ]
+        self._stream_index += 1
+        mask = (profile.stream_bytes - 1) & ~7
+        b.emit(Opcode.AND, dest="r13", srcs=(off_reg,), imm=mask)
+        b.emit(Opcode.ADDQ, dest="r13", srcs=("r13", base_reg))
+        b.emit(Opcode.LDQ, dest=dest, base="r13", disp=0)
+        b.emit(Opcode.LDA, dest=off_reg, srcs=(off_reg,),
+               imm=profile.stream_stride)
+
+    _stream_index = 0
+
+    def _emit_segment(self, segment: int, functions: List[str]) -> None:
+        profile = self.profile
+        rng = self.rng
+        b = self.b
+
+        # Occasionally refresh the LCG so addresses/branches vary.
+        if segment % 3 == 0:
+            self._advance_lcg()
+
+        # Compiler unop padding (alignment of branch targets, etc.).
+        if rng.random() < profile.unop_frac:
+            b.unop(1)
+
+        # Compute cluster: a short dependence chain plus independents.
+        chain_reg = self._next_acc()
+        for depth in range(profile.chain_depth):
+            op = _pick_ops(rng, profile)
+            if op.klass.is_fp:
+                dest = self._next_fp() if depth == 0 else self._last_fp
+                src = dest
+                b.emit(op, dest=dest, srcs=(src, self._next_fp()))
+                self._last_fp = dest
+            else:
+                b.emit(op, dest=chain_reg, srcs=(chain_reg,),
+                       imm=rng.randrange(1, 255))
+
+        # Loads.
+        loads = int(profile.loads_per_segment)
+        if rng.random() < profile.loads_per_segment - loads:
+            loads += 1
+        for _ in range(loads):
+            dest = self._next_acc()
+            roll = rng.random()
+            if profile.chase_frac and roll < profile.chase_frac:
+                b.emit(Opcode.LDQ, dest="r12", base="r12", disp=0)
+                continue
+            if self._stream_regs and rng.random() < profile.stream_frac:
+                self._emit_stream_load(dest)
+            else:
+                if roll < profile.chase_frac + profile.cold_frac:
+                    base, size = "r11", profile.cold_bytes
+                elif roll < (profile.chase_frac + profile.cold_frac
+                             + profile.warm_frac):
+                    base, size = "r10", profile.warm_bytes
+                else:
+                    base, size = "r9", profile.hot_bytes
+                self._emit_address(base, size, "r13")
+                b.emit(Opcode.LDQ, dest=dest, base="r13", disp=0)
+            # Real code consumes loads promptly; this is what makes
+            # load-use speculation (and its removal) matter.  Some
+            # loads join the serial spine (r15), the rest feed a
+            # rotating accumulator.
+            if rng.random() < profile.spine_frac:
+                b.emit(Opcode.ADDQ, dest=_SPINE, srcs=(_SPINE, dest))
+            else:
+                consumer = self._next_acc()
+                b.emit(Opcode.ADDQ, dest=consumer, srcs=(consumer, dest))
+
+        # Stores (possibly immediately reloaded: replay-trap food).
+        stores = int(profile.stores_per_segment)
+        if rng.random() < profile.stores_per_segment - stores:
+            stores += 1
+        for _ in range(stores):
+            if profile.store_stream and self._stream_regs:
+                base_reg, off_reg = self._stream_regs[-1]
+                mask = (profile.stream_bytes - 1) & ~7
+                b.emit(Opcode.AND, dest="r14", srcs=(off_reg,), imm=mask)
+                b.emit(Opcode.ADDQ, dest="r14", srcs=("r14", base_reg))
+            else:
+                self._emit_address("r9", profile.hot_bytes, "r14")
+            b.emit(Opcode.STQ, srcs=("r15",), base="r14", disp=0)
+            if rng.random() < profile.conflict_frac:
+                dest = self._next_acc()
+                b.emit(Opcode.LDQ, dest=dest, base="r14", disp=0)
+                b.emit(Opcode.ADDQ, dest="r15", srcs=("r15", dest))
+
+        # Call one of the leaf functions.
+        if functions and rng.random() < profile.call_frac:
+            target = functions[segment % len(functions)]
+            b.call(target)
+
+        # Branch: skip a couple of filler instructions.
+        if rng.random() < profile.branch_frac:
+            skip = b.fresh_label("skip")
+            if self._corr_pending and rng.random() < 0.8:
+                # Correlated follow-up: re-test the saved condition.
+                self._corr_pending = False
+                b.branch(Opcode.BEQ, "r29", skip)
+            elif rng.random() < profile.random_branch_frac:
+                # Data-dependent branch: test a bit of a *loaded* hot-
+                # array value (the array is filled with pseudo-random
+                # words).  Unpredictable to the predictors, and the
+                # load sits on the branch-resolution path — which is
+                # what makes load-use speculation pay off in real code.
+                bit = rng.randrange(0, 8)
+                self._emit_address("r9", profile.hot_bytes, "r13")
+                b.emit(Opcode.LDQ, dest="r15", base="r13", disp=0)
+                if bit:
+                    b.emit(Opcode.SRL, dest="r15", srcs=("r15",), imm=bit)
+                b.emit(Opcode.AND, dest="r15", srcs=("r15",), imm=1)
+                if rng.random() < profile.correlated_branch_frac:
+                    b.emit(Opcode.OR, dest="r29", srcs=("r15", "r31"))
+                    self._corr_pending = True
+                b.branch(Opcode.BNE, "r15", skip)
+            else:
+                # Pattern branch: period 2-5 in the iteration count —
+                # local history learns it.
+                period = rng.randrange(2, 6)
+                b.emit(Opcode.AND, dest="r15", srcs=("r1",),
+                       imm=(1 << (period % 3)) | 1)
+                b.branch(Opcode.BEQ, "r15", skip)
+            filler = self._next_acc()
+            b.emit(Opcode.ADDQ, dest=filler, srcs=(filler,), imm=3)
+            b.emit(Opcode.XOR, dest=filler, srcs=(filler, "r1"))
+            b.label(skip)
+
+    _last_fp = "f4"
+
+
+def build_macro(profile: WorkloadProfile) -> Program:
+    """Generate the proxy program for ``profile``."""
+    return _MacroBuilder(profile).build()
+
+
+# ----------------------------------------------------------------------
+# SPEC2000 (Table 3) profiles.  Comments give the paper's native IPC.
+# ----------------------------------------------------------------------
+
+SPEC2000_PROFILES: Dict[str, WorkloadProfile] = {
+    # gzip: 1.53 — integer, compact hot set, modest streaming traffic.
+    "gzip": WorkloadProfile(
+        name="gzip", segments=22, iterations=130,
+        loads_per_segment=1.0, stores_per_segment=0.4,
+        warm_frac=0.06, streams=2, stream_frac=0.45, chase_frac=0.10,
+        branch_frac=0.55, random_branch_frac=0.08,
+        chain_depth=2, seed=11,
+    ),
+    # vpr: 1.02 — cache-resident but branchy and chain-bound.
+    "vpr": WorkloadProfile(
+        name="vpr", segments=24, iterations=115,
+        loads_per_segment=0.9, stores_per_segment=0.3,
+        warm_frac=0.05, chase_frac=0.06, branch_frac=0.7,
+        random_branch_frac=0.30, chain_depth=4, seed=12,
+    ),
+    # gcc: 1.04 — big code footprint, calls, unpredictable branches.
+    "gcc": WorkloadProfile(
+        name="gcc", segments=30, iterations=85,
+        loads_per_segment=1.1, stores_per_segment=0.5,
+        warm_frac=0.12, streams=1, stream_frac=0.30, chase_frac=0.08,
+        branch_frac=0.7, random_branch_frac=0.28,
+        chain_depth=3, call_frac=0.30, functions=6, seed=13,
+    ),
+    # parser: 1.18 — pointer-ish integer code.
+    "parser": WorkloadProfile(
+        name="parser", segments=24, iterations=110,
+        loads_per_segment=1.2, stores_per_segment=0.4,
+        warm_frac=0.10, chase_frac=0.12, streams=1, stream_frac=0.30,
+        branch_frac=0.6, random_branch_frac=0.18, chain_depth=3, seed=14,
+    ),
+    # eon: 1.21 — C++ renderer: calls thrash the I-cache ways.
+    "eon": WorkloadProfile(
+        name="eon", segments=22, iterations=110,
+        fp_ratio=0.25, loads_per_segment=0.9, stores_per_segment=0.4,
+        warm_frac=0.06, chase_frac=0.05, branch_frac=0.55,
+        random_branch_frac=0.10, chain_depth=3, call_frac=0.5, functions=3, icache_thrash=True,
+        seed=15,
+    ),
+    # twolf: 1.10 — placement/routing: branchy, moderate memory.
+    "twolf": WorkloadProfile(
+        name="twolf", segments=24, iterations=110,
+        loads_per_segment=1.0, stores_per_segment=0.3,
+        warm_frac=0.08, streams=1, stream_frac=0.12, chase_frac=0.08,
+        branch_frac=0.65, random_branch_frac=0.22,
+        chain_depth=3, seed=16,
+    ),
+    # mesa: 1.57 — FP rendering: four concurrent streams give it the
+    # paper's very high L2 miss rate with enough MLP to keep IPC up.
+    "mesa": WorkloadProfile(
+        name="mesa", segments=26, iterations=100,
+        fp_ratio=0.40, loads_per_segment=1.7, stores_per_segment=0.6,
+        warm_frac=0.05, streams=4, stream_frac=0.85, store_stream=True,
+        branch_frac=0.4, random_branch_frac=0.03,
+        chain_depth=2, seed=17,
+    ),
+    # art: 0.48 — memory-bound neural net: parallel random cold misses,
+    # store/load conflicts, replay traps (the positive-error outlier).
+    "art": WorkloadProfile(
+        name="art", segments=26, iterations=85,
+        fp_ratio=0.30, loads_per_segment=2.0, stores_per_segment=0.7,
+        warm_frac=0.12, cold_frac=0.50, conflict_frac=0.50,
+        branch_frac=0.45, random_branch_frac=0.08,
+        chain_depth=2, seed=18,
+    ),
+    # equake: 1.02 — FP with mixed streaming/irregular memory.
+    "equake": WorkloadProfile(
+        name="equake", segments=24, iterations=105,
+        fp_ratio=0.40, loads_per_segment=1.3, stores_per_segment=0.4,
+        warm_frac=0.15, streams=2, stream_frac=0.35, chase_frac=0.05,
+        branch_frac=0.5, random_branch_frac=0.12,
+        chain_depth=3, seed=19,
+    ),
+    # lucas: 1.57 — FP streaming, DRAM-row friendly (the benchmark on
+    # which all the paper's simulators agree most closely).
+    "lucas": WorkloadProfile(
+        name="lucas", segments=24, iterations=110,
+        fp_ratio=0.50, loads_per_segment=1.2, stores_per_segment=0.5,
+        warm_frac=0.10, streams=2, stream_frac=0.65,
+        branch_frac=0.35, random_branch_frac=0.02,
+        chain_depth=2, seed=20,
+    ),
+}
+
+# ----------------------------------------------------------------------
+# SPEC95 profiles for the Figure 2 register-file study.
+# ----------------------------------------------------------------------
+
+SPEC95_PROFILES: Dict[str, WorkloadProfile] = {
+    "go": WorkloadProfile(
+        name="go", suite="spec95", segments=24, iterations=90,
+        loads_per_segment=1.0, stores_per_segment=0.3,
+        random_branch_frac=0.5, chain_depth=3, seed=31,
+    ),
+    "compress": WorkloadProfile(
+        name="compress", suite="spec95", segments=20, iterations=110,
+        loads_per_segment=1.2, stores_per_segment=0.5,
+        warm_frac=0.25, random_branch_frac=0.25, chain_depth=3, seed=32,
+    ),
+    "gcc95": WorkloadProfile(
+        name="gcc95", suite="spec95", segments=28, iterations=80,
+        loads_per_segment=1.4, stores_per_segment=0.6,
+        warm_frac=0.18, random_branch_frac=0.40, chain_depth=3,
+        call_frac=0.25, functions=5, seed=33,
+    ),
+    "ijpeg": WorkloadProfile(
+        name="ijpeg", suite="spec95", segments=22, iterations=100,
+        loads_per_segment=1.3, stores_per_segment=0.5,
+        warm_frac=0.12, random_branch_frac=0.08, chain_depth=2, seed=34,
+    ),
+    "perl": WorkloadProfile(
+        name="perl", suite="spec95", segments=26, iterations=85,
+        loads_per_segment=1.4, stores_per_segment=0.6,
+        warm_frac=0.15, random_branch_frac=0.35, chain_depth=3,
+        call_frac=0.3, functions=4, seed=35,
+    ),
+    "swim": WorkloadProfile(
+        name="swim", suite="spec95", segments=24, iterations=95,
+        fp_ratio=0.6, loads_per_segment=1.6, stores_per_segment=0.7,
+        warm_frac=0.35, random_branch_frac=0.03, chain_depth=2, seed=36,
+    ),
+    "mgrid": WorkloadProfile(
+        name="mgrid", suite="spec95", segments=24, iterations=95,
+        fp_ratio=0.65, loads_per_segment=1.7, stores_per_segment=0.5,
+        warm_frac=0.30, random_branch_frac=0.03, chain_depth=2, seed=37,
+    ),
+    "applu": WorkloadProfile(
+        name="applu", suite="spec95", segments=24, iterations=90,
+        fp_ratio=0.6, loads_per_segment=1.5, stores_per_segment=0.6,
+        warm_frac=0.30, random_branch_frac=0.05, chain_depth=3, seed=38,
+    ),
+    "turb3d": WorkloadProfile(
+        name="turb3d", suite="spec95", segments=24, iterations=90,
+        fp_ratio=0.55, loads_per_segment=1.4, stores_per_segment=0.6,
+        warm_frac=0.25, random_branch_frac=0.06, chain_depth=3, seed=39,
+    ),
+    "fpppp": WorkloadProfile(
+        name="fpppp", suite="spec95", segments=30, iterations=75,
+        fp_ratio=0.75, loads_per_segment=1.2, stores_per_segment=0.4,
+        warm_frac=0.10, random_branch_frac=0.02, chain_depth=4, seed=40,
+    ),
+    "wave5": WorkloadProfile(
+        name="wave5", suite="spec95", segments=24, iterations=90,
+        fp_ratio=0.6, loads_per_segment=1.5, stores_per_segment=0.6,
+        warm_frac=0.28, random_branch_frac=0.05, chain_depth=2, seed=41,
+    ),
+}
+
+
+def build_spec2000(name: str) -> Program:
+    """Build one SPEC2000 proxy by benchmark name."""
+    try:
+        return build_macro(SPEC2000_PROFILES[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown SPEC2000 proxy {name!r}; known: "
+            f"{list(SPEC2000_PROFILES)}"
+        ) from None
+
+
+def build_spec95(name: str) -> Program:
+    """Build one SPEC95 proxy by benchmark name."""
+    try:
+        return build_macro(SPEC95_PROFILES[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown SPEC95 proxy {name!r}; known: {list(SPEC95_PROFILES)}"
+        ) from None
+
+
+def spec2000_suite() -> List[Program]:
+    """The ten Table 3 proxies, in the paper's column order."""
+    return [build_macro(p) for p in SPEC2000_PROFILES.values()]
+
+
+def spec95_suite() -> List[Program]:
+    """The eleven Figure 2 proxies."""
+    return [build_macro(p) for p in SPEC95_PROFILES.values()]

@@ -1,0 +1,93 @@
+"""The 21-entry microbenchmark suite (paper Section 3).
+
+:func:`microbenchmark_suite` returns the benchmarks in the order of
+paper Table 2: C-Ca, C-Cb, C-R, C-S1, C-S2, C-S3, C-O, E-I, E-F,
+E-D1..E-D6, E-DM1, M-I, M-D, M-L2, M-M, M-IP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.isa.program import Program
+from repro.workloads.micro.control import (
+    control_complex,
+    control_conditional,
+    control_recursive,
+    control_switch,
+)
+from repro.workloads.micro.execute import (
+    execute_dependent,
+    execute_dependent_multiply,
+    execute_float_independent,
+    execute_independent,
+)
+from repro.workloads.micro.memory import (
+    build_chain,
+    memory_dependent,
+    memory_independent,
+    memory_instruction_prefetch,
+    memory_l2,
+    memory_memory,
+)
+
+__all__ = [
+    "MICROBENCHMARKS",
+    "microbenchmark_suite",
+    "build_microbenchmark",
+    "control_complex",
+    "control_conditional",
+    "control_recursive",
+    "control_switch",
+    "execute_dependent",
+    "execute_dependent_multiply",
+    "execute_float_independent",
+    "execute_independent",
+    "build_chain",
+    "memory_dependent",
+    "memory_independent",
+    "memory_instruction_prefetch",
+    "memory_l2",
+    "memory_memory",
+]
+
+#: Builder per benchmark, keyed by the paper's Table 2 names.
+MICROBENCHMARKS: Dict[str, Callable[[], Program]] = {
+    "C-Ca": lambda: control_conditional(variant="a"),
+    "C-Cb": lambda: control_conditional(variant="b"),
+    "C-R": control_recursive,
+    "C-S1": lambda: control_switch(1),
+    "C-S2": lambda: control_switch(2),
+    "C-S3": lambda: control_switch(3),
+    "C-O": control_complex,
+    "E-I": execute_independent,
+    "E-F": execute_float_independent,
+    "E-D1": lambda: execute_dependent(1),
+    "E-D2": lambda: execute_dependent(2),
+    "E-D3": lambda: execute_dependent(3),
+    "E-D4": lambda: execute_dependent(4),
+    "E-D5": lambda: execute_dependent(5),
+    "E-D6": lambda: execute_dependent(6),
+    "E-DM1": execute_dependent_multiply,
+    "M-I": memory_independent,
+    "M-D": memory_dependent,
+    "M-L2": memory_l2,
+    "M-M": memory_memory,
+    "M-IP": memory_instruction_prefetch,
+}
+
+
+def build_microbenchmark(name: str) -> Program:
+    """Build one microbenchmark by its Table 2 name."""
+    try:
+        return MICROBENCHMARKS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown microbenchmark {name!r}; known: "
+            f"{list(MICROBENCHMARKS)}"
+        ) from None
+
+
+def microbenchmark_suite() -> List[Program]:
+    """All 21 microbenchmarks in Table 2 order."""
+    return [builder() for builder in MICROBENCHMARKS.values()]

@@ -1,0 +1,260 @@
+"""Front-end (control) microbenchmarks: C-Ca, C-Cb, C-R, C-Sn, C-O.
+
+Paper Section 3.1.  These stress the 21264's five front-end predictors:
+
+* **C-C** — a simple if-then-else in a loop, alternating between taking
+  and not taking the conditional branch.  Two compiler versions padded
+  the code differently with unops, training the line predictor on
+  different branches; we reproduce both layouts as C-Ca and C-Cb.
+* **C-R** — a 1,000-level deep recursive call inside an outer loop
+  (subroutine calls, ``bsr``, the return address stack, and — through
+  the call frames — the store-wait predictor).
+* **C-Sn** — a 10-way switch statement driven through an indirect
+  ``jmp``, where each case runs ``n`` consecutive iterations before
+  moving to the next case (line-predictor/indirect-target stress; C-S1
+  mispredicts the jump on every iteration).
+* **C-O** — a hybrid: an if-then-else whose if-clause executes C-S2 and
+  else-clause executes C-S3.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+
+__all__ = [
+    "control_conditional",
+    "control_recursive",
+    "control_switch",
+    "control_complex",
+]
+
+
+def control_conditional(
+    *, iterations: int = 3000, variant: str = "a"
+) -> Program:
+    """C-Ca / C-Cb: alternating if-then-else.
+
+    ``variant`` selects the compiler layout: "a" (Compaq C V6.3-025)
+    aligns the else-branch onto a fresh octaword; "b" (DEC C V5.9-008)
+    pads so the join point shares an octaword with the branch.  The
+    alternation itself is perfectly predictable by the local predictor;
+    the measured differences come from line-predictor training.
+    """
+    if variant not in ("a", "b"):
+        raise ValueError(f"C-C variant must be 'a' or 'b', got {variant!r}")
+    b = ProgramBuilder(f"C-C{variant}")
+    b.load_imm("r1", 0)            # i
+    b.load_imm("r2", iterations)   # bound
+    b.load_imm("r3", 0)            # then-counter
+    b.load_imm("r4", 0)            # else-counter
+    b.align_octaword()
+    b.label("loop")
+    # cond = i & 1; alternates every iteration.  The octaword holding
+    # the beq fills exactly, so its successor alternates between the
+    # fall-through octaword and the else octaword — the line-predictor
+    # stress the paper's C-C exists to create.
+    b.emit(Opcode.AND, dest="r5", srcs=("r1",), imm=1)
+    b.branch(Opcode.BEQ, "r5", "else_part")
+    b.emit(Opcode.ADDQ, dest="r3", srcs=("r3",), imm=1)
+    b.emit(Opcode.ADDQ, dest="r3", srcs=("r3", "r1"))
+    # Compaq C (variant a) pads the else branch onto its own fresh
+    # octaword; DEC C (variant b) packs it right behind the br, so the
+    # beq's two successors share an octaword and a *different* branch
+    # (the br/join pair) trains the line predictor instead.
+    b.jump("join")
+    if variant == "a":
+        b.align_octaword()
+    else:
+        b.unop(1)
+    b.label("else_part")
+    b.emit(Opcode.ADDQ, dest="r4", srcs=("r4",), imm=1)
+    b.emit(Opcode.ADDQ, dest="r4", srcs=("r4", "r1"))
+    if variant == "a":
+        b.align_octaword()
+    b.label("join")
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r6", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r6", "loop")
+    b.halt()
+    return b.build()
+
+
+def control_recursive(*, depth: int = 500, outer: int = 12) -> Program:
+    """C-R: deep recursion within an outer loop.
+
+    Each level saves the return address and an argument on the stack,
+    recurses until the argument reaches zero, then unwinds — exercising
+    ``bsr``/``ret``, the RAS to full depth, and stack stores followed
+    closely by loads (store-wait predictor food).
+    """
+    b = ProgramBuilder("C-R")
+    b.load_imm("r1", 0)        # outer i
+    b.load_imm("r2", outer)
+    b.align_octaword()
+    b.label("outer_loop")
+    b.load_imm("r16", depth)   # argument: recursion depth
+    b.call("recurse")
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r3", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r3", "outer_loop")
+    b.halt()
+
+    b.align_octaword()
+    b.label("recurse")
+    # Prologue: push RA and the argument.
+    b.emit(Opcode.LDA, dest="r30", srcs=("r30",), imm=-16)
+    b.emit(Opcode.STQ, srcs=("r26",), base="r30", disp=0)
+    b.emit(Opcode.STQ, srcs=("r16",), base="r30", disp=8)
+    b.branch(Opcode.BEQ, "r16", "base_case")
+    b.emit(Opcode.SUBQ, dest="r16", srcs=("r16",), imm=1)
+    b.call("recurse")
+    b.label("base_case")
+    # Epilogue: pop, accumulate, return.
+    b.emit(Opcode.LDQ, dest="r16", base="r30", disp=8)
+    b.emit(Opcode.LDQ, dest="r26", base="r30", disp=0)
+    b.emit(Opcode.ADDQ, dest="r17", srcs=("r17", "r16"))
+    b.emit(Opcode.LDA, dest="r30", srcs=("r30",), imm=16)
+    b.ret()
+    return b.build()
+
+
+def control_switch(n: int, *, iterations: int = 2500, cases: int = 10) -> Program:
+    """C-Sn: a ``cases``-way switch through an indirect jump.
+
+    Case ``k`` is selected for ``n`` consecutive iterations before
+    moving on, so the indirect target changes every ``n`` iterations:
+    C-S1 changes target every time (a line-predictor miss per loop),
+    C-S3 only every third time.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    b = ProgramBuilder(f"C-S{n}")
+    table = b.alloc_words([0] * cases)
+    b.load_imm("r1", 0)            # iteration counter
+    b.load_imm("r2", iterations)
+    b.load_imm("r7", 0)            # case index
+    b.load_imm("r8", 0)            # repeats of current case
+    b.load_imm("r9", table)
+    b.align_octaword()
+    b.label("loop")
+    # target = table[case]; jmp target
+    b.emit(Opcode.SLL, dest="r10", srcs=("r7",), imm=3)
+    b.emit(Opcode.ADDQ, dest="r10", srcs=("r10", "r9"))
+    b.emit(Opcode.LDQ, dest="r11", base="r10", disp=0)
+    b.jmp_indirect("r11")
+    case_labels = []
+    for k in range(cases):
+        label = f"case{k}"
+        case_labels.append(label)
+        b.align_octaword()
+        b.label(label)
+        b.emit(Opcode.ADDQ, dest="r12", srcs=("r12",), imm=k + 1)
+        b.emit(Opcode.XOR, dest="r13", srcs=("r13", "r12"))
+        b.jump("dispatch_done")
+    b.align_octaword()
+    b.label("dispatch_done")
+    # Advance the case every n iterations.
+    b.emit(Opcode.ADDQ, dest="r8", srcs=("r8",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r14", srcs=("r8",), imm=n)
+    b.branch(Opcode.BNE, "r14", "no_advance")
+    b.load_imm("r8", 0)
+    b.emit(Opcode.ADDQ, dest="r7", srcs=("r7",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r14", srcs=("r7",), imm=cases)
+    b.branch(Opcode.BNE, "r14", "no_advance")
+    b.load_imm("r7", 0)
+    b.label("no_advance")
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r14", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r14", "loop")
+    b.halt()
+    program = b.build()
+    # Fill the jump table with the case addresses now that layout is known.
+    for k, label in enumerate(case_labels):
+        program.data[table + 8 * k] = program.pc_of(program.labels[label])
+    return program
+
+
+def control_complex(*, iterations: int = 2000) -> Program:
+    """C-O: if-then-else wrapping two switch bodies.
+
+    The paper describes it as looping over an if-then-else that
+    executes C-S2 in the if clause and C-S3 in the else clause; the
+    condition alternates so both dispatchers stay warm.
+    """
+    cases = 6
+    b = ProgramBuilder("C-O")
+    table_a = b.alloc_words([0] * cases)
+    table_b = b.alloc_words([0] * cases)
+    b.load_imm("r1", 0)
+    b.load_imm("r2", iterations)
+    b.load_imm("r7", 0)   # case index / repeat state for arm A (period 2)
+    b.load_imm("r8", 0)
+    b.load_imm("r20", 0)  # case index / repeat state for arm B (period 3)
+    b.load_imm("r21", 0)
+    b.load_imm("r9", table_a)
+    b.load_imm("r22", table_b)
+    b.align_octaword()
+    b.label("loop")
+    b.emit(Opcode.AND, dest="r5", srcs=("r1",), imm=1)
+    b.branch(Opcode.BEQ, "r5", "arm_b")
+
+    # Arm A: switch advancing every 2 iterations.
+    b.emit(Opcode.SLL, dest="r10", srcs=("r7",), imm=3)
+    b.emit(Opcode.ADDQ, dest="r10", srcs=("r10", "r9"))
+    b.emit(Opcode.LDQ, dest="r11", base="r10", disp=0)
+    b.jmp_indirect("r11")
+    labels_a = []
+    for k in range(cases):
+        label = f"a_case{k}"
+        labels_a.append(label)
+        b.align_octaword()
+        b.label(label)
+        b.emit(Opcode.ADDQ, dest="r12", srcs=("r12",), imm=k + 1)
+        b.jump("a_done")
+    b.label("a_done")
+    b.emit(Opcode.ADDQ, dest="r8", srcs=("r8",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r14", srcs=("r8",), imm=2)
+    b.branch(Opcode.BNE, "r14", "join")
+    b.load_imm("r8", 0)
+    b.emit(Opcode.ADDQ, dest="r7", srcs=("r7",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r14", srcs=("r7",), imm=cases)
+    b.branch(Opcode.BNE, "r14", "join")
+    b.load_imm("r7", 0)
+    b.jump("join")
+
+    # Arm B: switch advancing every 3 iterations.
+    b.label("arm_b")
+    b.emit(Opcode.SLL, dest="r23", srcs=("r20",), imm=3)
+    b.emit(Opcode.ADDQ, dest="r23", srcs=("r23", "r22"))
+    b.emit(Opcode.LDQ, dest="r24", base="r23", disp=0)
+    b.jmp_indirect("r24")
+    labels_b = []
+    for k in range(cases):
+        label = f"b_case{k}"
+        labels_b.append(label)
+        b.align_octaword()
+        b.label(label)
+        b.emit(Opcode.ADDQ, dest="r25", srcs=("r25",), imm=k + 1)
+        b.jump("b_done")
+    b.label("b_done")
+    b.emit(Opcode.ADDQ, dest="r21", srcs=("r21",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r14", srcs=("r21",), imm=3)
+    b.branch(Opcode.BNE, "r14", "join")
+    b.load_imm("r21", 0)
+    b.emit(Opcode.ADDQ, dest="r20", srcs=("r20",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r14", srcs=("r20",), imm=cases)
+    b.branch(Opcode.BNE, "r14", "join")
+    b.load_imm("r20", 0)
+
+    b.label("join")
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r14", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r14", "loop")
+    b.halt()
+    program = b.build()
+    for k, label in enumerate(labels_a):
+        program.data[table_a + 8 * k] = program.pc_of(program.labels[label])
+    for k, label in enumerate(labels_b):
+        program.data[table_b + 8 * k] = program.pc_of(program.labels[label])
+    return program

@@ -1,0 +1,111 @@
+"""Execution-core microbenchmarks: E-I, E-F, E-Dn, E-DM1.
+
+Paper Section 3.2:
+
+* **E-I** — adds the index variable to eight independent, register-
+  allocated integers, twenty times each, within a loop.  No memory
+  operations, control hazards, or data dependences: close to the ideal
+  4.0 IPC.
+* **E-F** — the same computation on floating-point variables (the
+  single FP add pipe limits throughput to ~1 per cycle).
+* **E-Dn** — ``n`` dependent chains of register-allocated integer
+  additions; each instruction depends on the instruction ``n``
+  positions earlier, so IPC tracks ``n`` until structural limits bind.
+* **E-DM1** — E-D1 with multiplies instead of adds: one long dependent
+  multiply chain, IPC ~= 1/7 (the 21264 integer-multiply latency).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+
+__all__ = [
+    "execute_independent",
+    "execute_float_independent",
+    "execute_dependent",
+    "execute_dependent_multiply",
+]
+
+_ACCUMULATORS = ("r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10")
+
+
+def execute_independent(*, iterations: int = 300, unroll: int = 20) -> Program:
+    """E-I: eight independent integer adds, ``unroll`` times per loop."""
+    b = ProgramBuilder("E-I")
+    b.load_imm("r1", 0)
+    b.load_imm("r2", iterations)
+    b.align_octaword()
+    b.label("loop")
+    for _ in range(unroll):
+        for reg in _ACCUMULATORS:
+            b.emit(Opcode.ADDQ, dest=reg, srcs=(reg, "r1"))
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r11", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r11", "loop")
+    b.unop(1)  # keep the loop body a whole number of octawords
+    b.halt()
+    return b.build()
+
+
+def execute_float_independent(*, iterations: int = 300, unroll: int = 20) -> Program:
+    """E-F: the E-I computation on floating-point registers."""
+    fp_accumulators = ("f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10")
+    b = ProgramBuilder("E-F")
+    b.load_imm("r1", 0)
+    b.load_imm("r2", iterations)
+    b.align_octaword()
+    b.label("loop")
+    for _ in range(unroll):
+        for reg in fp_accumulators:
+            b.emit(Opcode.ADDT, dest=reg, srcs=(reg, "f1"))
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r11", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r11", "loop")
+    b.unop(1)
+    b.halt()
+    return b.build()
+
+
+def execute_dependent(
+    n: int, *, iterations: int = 400, body: int = 96
+) -> Program:
+    """E-Dn: ``n`` interleaved dependent chains of integer adds.
+
+    Instruction ``i`` in the body adds into accumulator ``i % n``, so
+    it depends on the instruction ``n`` positions earlier.
+    """
+    if not 1 <= n <= len(_ACCUMULATORS):
+        raise ValueError(f"n must be in 1..{len(_ACCUMULATORS)}")
+    b = ProgramBuilder(f"E-D{n}")
+    b.load_imm("r1", 0)
+    b.load_imm("r2", iterations)
+    b.align_octaword()
+    b.label("loop")
+    for i in range(body):
+        reg = _ACCUMULATORS[i % n]
+        b.emit(Opcode.ADDQ, dest=reg, srcs=(reg,), imm=1)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r11", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r11", "loop")
+    b.unop(1)
+    b.halt()
+    return b.build()
+
+
+def execute_dependent_multiply(*, iterations: int = 120, body: int = 48) -> Program:
+    """E-DM1: a single dependent chain of integer multiplies."""
+    b = ProgramBuilder("E-DM1")
+    b.load_imm("r1", 0)
+    b.load_imm("r2", iterations)
+    b.load_imm("r3", 1)
+    b.align_octaword()
+    b.label("loop")
+    for _ in range(body):
+        b.emit(Opcode.MULQ, dest="r3", srcs=("r3",), imm=1)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r11", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r11", "loop")
+    b.unop(1)
+    b.halt()
+    return b.build()

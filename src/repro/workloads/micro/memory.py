@@ -1,0 +1,150 @@
+"""Memory-system microbenchmarks: M-I, M-D, M-L2, M-M, M-IP.
+
+Paper Section 3.3:
+
+* **M-I** — repeated *independent* loads, all resident in the L1
+  D-cache, summed into a register: L1 bandwidth (two ports).
+* **M-D** — walks a linked list resident in L1, each load waiting on
+  the previous: L1 load-to-use latency.
+* **M-L2** — the same access pattern coded to miss the L1 on every
+  reference (a working set between the 64KB L1 and the 2MB L2).
+* **M-M** — misses both caches (working set beyond 2MB): back-to-back
+  main-memory latency; also one of the Section 4.2 DRAM-calibration
+  workloads.
+* **M-IP** — iterates over a loop body large enough to flush the L1
+  instruction cache every iteration: I-cache prefetch efficacy.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+
+__all__ = [
+    "memory_independent",
+    "memory_dependent",
+    "memory_l2",
+    "memory_memory",
+    "memory_instruction_prefetch",
+    "build_chain",
+]
+
+
+def build_chain(
+    b: ProgramBuilder,
+    nodes: int,
+    stride: int,
+    *,
+    align: int = 64,
+) -> int:
+    """Allocate a pointer chain of ``nodes`` spaced ``stride`` bytes.
+
+    Each node's first word holds the address of the next node; the last
+    points back to the first.  Returns the head address.  A sequential
+    chain with a large stride defeats spatial locality while keeping
+    the footprint deterministic.
+    """
+    if nodes < 1:
+        raise ValueError("chain needs at least one node")
+    base = b.alloc(nodes * stride, align=align)
+    for i in range(nodes):
+        node = base + i * stride
+        nxt = base + ((i + 1) % nodes) * stride
+        b.poke(node, nxt)
+    return base
+
+
+def memory_independent(*, iterations: int = 800, unroll: int = 16) -> Program:
+    """M-I: independent L1-resident loads plus accumulating adds."""
+    b = ProgramBuilder("M-I")
+    values = b.alloc_words(list(range(unroll)))
+    b.load_imm("r1", 0)
+    b.load_imm("r2", iterations)
+    b.load_imm("r9", values)
+    b.load_imm("r3", 0)
+    b.align_octaword()
+    b.label("loop")
+    for i in range(unroll):
+        dest = f"r{10 + (i % 8)}"
+        b.emit(Opcode.LDQ, dest=dest, base="r9", disp=8 * i)
+        b.emit(Opcode.ADDQ, dest="r3", srcs=("r3", dest))
+    b.emit(Opcode.ADDQ, dest="r3", srcs=("r3", "r1"))
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r4", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r4", "loop")
+    b.halt()
+    return b.build()
+
+
+def _pointer_chase(
+    name: str,
+    *,
+    nodes: int,
+    stride: int,
+    traversals: int,
+) -> Program:
+    """Common shape of M-D / M-L2 / M-M: walk a chain repeatedly."""
+    b = ProgramBuilder(name)
+    head = build_chain(b, nodes, stride)
+    b.load_imm("r1", 0)
+    b.load_imm("r2", traversals * nodes)
+    b.load_imm("r9", head)
+    b.align_octaword()
+    b.label("loop")
+    b.emit(Opcode.LDQ, dest="r9", base="r9", disp=0)
+    b.emit(Opcode.ADDQ, dest="r3", srcs=("r3", "r9"))
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r4", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r4", "loop")
+    b.halt()
+    return b.build()
+
+
+def memory_dependent(*, nodes: int = 64, traversals: int = 150) -> Program:
+    """M-D: L1-resident pointer chase (64 nodes x 64B = 4KB).
+
+    A small chain traversed many times so the steady-state 3-cycle
+    load-to-use chain dominates the unavoidable cold-fill traversal.
+    """
+    return _pointer_chase("M-D", nodes=nodes, stride=64, traversals=traversals)
+
+
+def memory_l2(*, nodes: int = 2048, traversals: int = 8) -> Program:
+    """M-L2: misses L1 on every reference, hits L2 (2048 x 64B = 128KB,
+    with a 64B stride so every node is a fresh L1 block)."""
+    return _pointer_chase("M-L2", nodes=nodes, stride=64, traversals=traversals)
+
+
+def memory_memory(*, nodes: int = 4096, traversals: int = 2) -> Program:
+    """M-M: misses both levels (4096 x 832B = ~3.4MB > 2MB L2).
+
+    The 832-byte stride gives every access a fresh L1/L2 block while
+    crossing DRAM rows often enough to keep the row-buffer hit rate
+    realistic, so the chase measures back-to-back main-memory latency
+    as Section 4.2 requires.
+    """
+    return _pointer_chase("M-M", nodes=nodes, stride=832, traversals=traversals)
+
+
+def memory_instruction_prefetch(
+    *, iterations: int = 10, body_instructions: int = 20480
+) -> Program:
+    """M-IP: a straight-line body too big for the 64KB I-cache.
+
+    20480 instructions x 4 bytes = 80KB of code per iteration, flushing
+    the L1 I-cache each pass; with hardware prefetch the sequential
+    refills pipeline, without it every line stalls.
+    """
+    b = ProgramBuilder("M-IP")
+    b.load_imm("r1", 0)
+    b.load_imm("r2", iterations)
+    b.align_octaword()
+    b.label("loop")
+    for i in range(body_instructions):
+        reg = f"r{3 + (i % 8)}"
+        b.emit(Opcode.ADDQ, dest=reg, srcs=(reg,), imm=1)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r4", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r4", "loop")
+    b.halt()
+    return b.build()

@@ -1,0 +1,131 @@
+"""Property-based tests of the pipeline engine on random programs.
+
+A hypothesis strategy generates small random (but always terminating)
+programs; the engine must satisfy structural invariants on every one:
+retire-bandwidth bounds, determinism, monotonicity of constraint
+tightening, and agreement of the instruction count with the functional
+trace.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MachineConfig
+from repro.core.features import FeatureSet
+from repro.core.simalpha import SimAlpha
+from repro.functional.machine import run_program
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
+
+_SCRATCH = ["r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8"]
+_OPS = [Opcode.ADDQ, Opcode.SUBQ, Opcode.XOR, Opcode.AND,
+        Opcode.SLL, Opcode.MULQ]
+
+
+@st.composite
+def small_programs(draw):
+    """A random terminating program: a loop over random segments."""
+    rng_ops = draw(st.lists(
+        st.tuples(
+            st.sampled_from(_OPS),
+            st.integers(0, len(_SCRATCH) - 1),
+            st.integers(0, len(_SCRATCH) - 1),
+            st.integers(0, 255),
+        ),
+        min_size=3, max_size=30,
+    ))
+    iterations = draw(st.integers(2, 30))
+    use_memory = draw(st.booleans())
+    use_branch = draw(st.booleans())
+
+    b = ProgramBuilder("random")
+    data = b.alloc_words(list(range(16)))
+    b.load_imm("r9", data)
+    b.load_imm("r10", 0)
+    b.label("loop")
+    for op, dest_index, src_index, imm in rng_ops:
+        b.emit(op, dest=_SCRATCH[dest_index],
+               srcs=(_SCRATCH[src_index],), imm=imm or 1)
+    if use_memory:
+        b.emit(Opcode.LDQ, dest="r11", base="r9", disp=8)
+        b.emit(Opcode.STQ, srcs=("r11",), base="r9", disp=16)
+    if use_branch:
+        skip = b.fresh_label()
+        b.emit(Opcode.AND, dest="r12", srcs=("r10",), imm=1)
+        b.branch(Opcode.BEQ, "r12", skip)
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.label(skip)
+    b.emit(Opcode.ADDQ, dest="r10", srcs=("r10",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r13", srcs=("r10",), imm=iterations)
+    b.branch(Opcode.BNE, "r13", "loop")
+    b.halt()
+    return b.build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_programs())
+def test_instruction_count_matches_trace(program):
+    trace = run_program(program)
+    result = SimAlpha().run_trace(trace, "random")
+    assert result.instructions == len(trace)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_programs())
+def test_retire_bandwidth_bound(program):
+    """IPC can never exceed the 11-wide retire (nor 4-wide fetch in
+    steady state plus slack; the hard bound is retirement)."""
+    trace = run_program(program)
+    result = SimAlpha().run_trace(trace, "random")
+    assert result.ipc <= 11.0
+    assert result.cycles >= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs())
+def test_determinism(program):
+    trace = run_program(program)
+    first = SimAlpha().run_trace(trace, "random")
+    second = SimAlpha().run_trace(trace, "random")
+    assert first.cycles == second.cycles
+    assert first.stats.branch_mispredicts == second.stats.branch_mispredicts
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs())
+def test_stripped_never_beats_all_features_by_much(program):
+    """Removing the seven optimizing features (keeping constraints)
+    must not speed the machine up beyond arbitration noise."""
+    trace = run_program(program)
+    full = SimAlpha().run_trace(trace, "random")
+    no_opts = FeatureSet().with_only("maps", "slot", "trap")
+    gutted = SimAlpha(
+        MachineConfig(name="gutted", features=no_opts)
+    ).run_trace(trace, "random")
+    assert gutted.cycles >= full.cycles * 0.98
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs(), st.integers(2, 4))
+def test_deeper_regfile_never_faster(program, access_cycles):
+    from repro.core.config import RegFileConfig
+
+    trace = run_program(program)
+    shallow = SimAlpha().run_trace(trace, "random")
+    deep = SimAlpha(replace(
+        MachineConfig(name="deep"),
+        regfile=RegFileConfig(access_cycles, True),
+    )).run_trace(trace, "random")
+    assert deep.cycles >= shallow.cycles * 0.999
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_programs())
+def test_smaller_queues_never_faster(program):
+    trace = run_program(program)
+    normal = SimAlpha().run_trace(trace, "random")
+    tiny = SimAlpha(replace(
+        MachineConfig(name="tiny"), int_queue_size=4, rob_size=16,
+    )).run_trace(trace, "random")
+    assert tiny.cycles >= normal.cycles * 0.999

@@ -1,0 +1,146 @@
+"""Tests for the feature set, bug set, and config resolution."""
+
+import pytest
+
+from repro.core.bugs import ALL_BUGS, BugSet
+from repro.core.config import MachineConfig, NativeEffects
+from repro.core.features import (
+    ALL_FEATURES,
+    CONSTRAINING_FEATURES,
+    OPTIMIZING_FEATURES,
+    FeatureSet,
+)
+
+
+class TestFeatureSet:
+    def test_ten_features(self):
+        assert len(ALL_FEATURES) == 10
+        assert len(OPTIMIZING_FEATURES) == 7
+        assert len(CONSTRAINING_FEATURES) == 3
+
+    def test_paper_feature_names(self):
+        assert set(OPTIMIZING_FEATURES) == {
+            "addr", "eret", "luse", "pref", "spec", "stwt", "vbuf"
+        }
+        assert set(CONSTRAINING_FEATURES) == {"maps", "slot", "trap"}
+
+    def test_default_all_on(self):
+        assert FeatureSet().enabled() == ALL_FEATURES
+
+    def test_without(self):
+        fs = FeatureSet().without("luse")
+        assert not fs.luse
+        assert fs.addr
+
+    def test_without_unknown(self):
+        with pytest.raises(ValueError, match="unknown feature"):
+            FeatureSet().without("turbo")
+
+    def test_stripped(self):
+        assert FeatureSet.stripped().enabled() == ()
+
+    def test_with_only(self):
+        fs = FeatureSet().with_only("addr", "luse")
+        assert fs.enabled() == ("addr", "luse")
+
+    def test_describe(self):
+        assert FeatureSet().describe() == "all features"
+        assert FeatureSet.stripped().describe() == "stripped"
+        assert "luse" in FeatureSet().without("luse").describe()
+
+
+class TestBugSet:
+    def test_validated_has_no_bugs(self):
+        assert BugSet().present() == ()
+
+    def test_sim_initial_has_all(self):
+        assert set(BugSet.sim_initial().present()) == set(ALL_BUGS)
+
+    def test_eleven_documented_bugs(self):
+        assert len(ALL_BUGS) == 11
+
+    def test_with_only(self):
+        bugs = BugSet().with_only("jmp_undercharge")
+        assert bugs.present() == ("jmp_undercharge",)
+
+    def test_without(self):
+        bugs = BugSet.sim_initial().without("wrong_fu_mix")
+        assert "wrong_fu_mix" not in bugs.present()
+        assert len(bugs.present()) == len(ALL_BUGS) - 1
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError):
+            BugSet().with_only("heisenbug")
+
+
+class TestConfigResolution:
+    def test_spec_feature_propagates(self):
+        config = MachineConfig(features=FeatureSet().without("spec"))
+        resolved = config.resolved()
+        assert not resolved.tournament.speculative_update
+        assert not resolved.line_predictor.speculative_update
+        assert not resolved.ras.speculative_update
+
+    def test_bug_overrides_spec(self):
+        config = MachineConfig(bugs=BugSet().with_only(
+            "no_speculative_update"
+        ))
+        assert not config.resolved().tournament.speculative_update
+
+    def test_vbuf_and_pref_propagate(self):
+        config = MachineConfig(
+            features=FeatureSet().without("vbuf").without("pref")
+        )
+        resolved = config.resolved()
+        assert not resolved.memory.victim_buffer_enabled
+        assert not resolved.memory.icache_prefetch
+
+    def test_native_effects_propagate(self):
+        config = MachineConfig(native=NativeEffects.ds10l())
+        resolved = config.resolved()
+        memory = resolved.memory
+        assert memory.shared_maf
+        assert memory.store_port_contention
+        assert memory.controller_row_cache > 0
+        assert memory.writeback_traffic
+        assert memory.l2_set_conflict_traps
+        assert memory.walk.stalls_pipeline
+        assert memory.paging.policy == "colored"
+        assert memory.mem_bus.name == "mem_bus_split"
+
+    def test_l2_bug_propagates(self):
+        config = MachineConfig(bugs=BugSet().with_only("l2_extra_cycle"))
+        assert config.resolved().memory.l2_extra_cycles == 1
+
+    def test_validated_defaults_clean(self):
+        resolved = MachineConfig().resolved()
+        assert resolved.memory.paging.policy == "sequential"
+        assert not resolved.memory.shared_maf
+        assert resolved.memory.l2_extra_cycles == 0
+
+
+class TestDescribe:
+    def test_validated_describe(self):
+        text = MachineConfig().describe()
+        assert "all features" in text
+        assert "ROB 80" in text
+
+    def test_buggy_describe(self):
+        config = MachineConfig(
+            name="sim-initial", bugs=BugSet.sim_initial()
+        )
+        assert "bugs:" in config.describe()
+
+    def test_native_describe(self):
+        config = MachineConfig(native=NativeEffects.ds10l())
+        text = config.describe()
+        assert "native effects:" in text
+        assert "page_coloring" in text
+
+    def test_regfile_describe(self):
+        from dataclasses import replace
+
+        from repro.core.config import RegFileConfig
+
+        config = replace(MachineConfig(), regfile=RegFileConfig(2, False))
+        assert "partial bypass" in config.describe()

@@ -1,0 +1,263 @@
+"""Behavioural tests for the 21264 pipeline timing engine."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import MachineConfig, RegFileConfig
+from repro.core.features import FeatureSet
+from repro.core.simalpha import SimAlpha
+from repro.functional.machine import run_program
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
+
+
+def _run(source_or_program, sim=None):
+    program = (
+        assemble(source_or_program)
+        if isinstance(source_or_program, str) else source_or_program
+    )
+    sim = sim or SimAlpha()
+    return sim.run_trace(run_program(program), program.name)
+
+
+def _dependent_chain(opcode, length, **emit_kwargs):
+    b = ProgramBuilder(f"chain-{opcode.mnemonic}")
+    b.load_imm("r1", 1)
+    for _ in range(length):
+        b.emit(opcode, dest="r1", srcs=("r1",), imm=1)
+    b.halt()
+    return b.build()
+
+
+class TestDependenceTiming:
+    def test_alu_chain_one_per_cycle(self):
+        short = _run(_dependent_chain(Opcode.ADDQ, 20))
+        long = _run(_dependent_chain(Opcode.ADDQ, 120))
+        per_op = (long.cycles - short.cycles) / 100
+        assert per_op == pytest.approx(1.0, abs=0.1)
+
+    def test_multiply_chain_seven_per_op(self):
+        short = _run(_dependent_chain(Opcode.MULQ, 20))
+        long = _run(_dependent_chain(Opcode.MULQ, 120))
+        per_op = (long.cycles - short.cycles) / 100
+        assert per_op == pytest.approx(7.0, abs=0.1)
+
+    def test_independent_adds_bounded_by_width(self):
+        b = ProgramBuilder("wide")
+        b.load_imm("r9", 0)
+        b.align_octaword()
+        b.label("loop")
+        for i in range(96):
+            reg = f"r{1 + (i % 8)}"
+            b.emit(Opcode.ADDQ, dest=reg, srcs=(reg,), imm=1)
+        b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r10", srcs=("r9",), imm=150)
+        b.branch(Opcode.BNE, "r10", "loop")
+        b.unop(1)
+        b.halt()
+        result = _run(b.build())
+        # Four-wide fetch/issue: at best 4 IPC, and the steady-state
+        # loop should come close.
+        assert result.ipc <= 4.01
+        assert result.ipc > 3.0
+
+
+class TestFrontEnd:
+    def test_trained_loop_branch_costs_nothing(self):
+        result = _run("""
+            lda r1, #0
+        loop:
+            addq r1, r1, #1
+            cmplt r2, r1, #500
+            bne r2, loop
+            halt
+        """)
+        assert result.stats.branch_mispredicts <= 3
+
+    def test_alternating_branch_predicted(self):
+        result = _run("""
+            lda r1, #0
+        loop:
+            and r3, r1, #1
+            beq r3, skip
+            addq r4, r4, #1
+        skip:
+            addq r1, r1, #1
+            cmplt r2, r1, #500
+            bne r2, loop
+            halt
+        """)
+        # The local predictor learns the alternation.
+        assert result.stats.branch_mispredicts < 30
+
+    def test_mispredict_penalty_visible(self):
+        """A data-dependent unpredictable branch costs cycles."""
+        predictable = _run("""
+            lda r1, #0
+        loop:
+            addq r4, r4, #1
+            addq r1, r1, #1
+            cmplt r2, r1, #400
+            bne r2, loop
+            halt
+        """)
+        import random as random_module
+
+        b = ProgramBuilder("unpredictable")
+        rng = random_module.Random(99)
+        values = [rng.getrandbits(1) for _ in range(400)]
+        table = b.alloc_words(values)
+        b.load_imm("r1", 0)
+        b.load_imm("r9", table)
+        b.label("loop")
+        b.emit(Opcode.SLL, dest="r10", srcs=("r1",), imm=3)
+        b.emit(Opcode.ADDQ, dest="r10", srcs=("r10", "r9"))
+        b.emit(Opcode.LDQ, dest="r3", base="r10", disp=0)
+        b.branch(Opcode.BEQ, "r3", "skip")
+        b.emit(Opcode.ADDQ, dest="r4", srcs=("r4",), imm=1)
+        b.label("skip")
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=400)
+        b.branch(Opcode.BNE, "r2", "loop")
+        b.halt()
+        random_result = _run(b.build())
+        assert random_result.stats.branch_mispredicts > 100
+        assert random_result.cpi > predictable.cpi
+
+    def test_jmp_mispredict_flush(self):
+        """An indirect jump alternating targets flushes repeatedly."""
+        b = ProgramBuilder("jmp-flip")
+        table = b.alloc_words([0, 0])
+        b.load_imm("r1", 0)
+        b.load_imm("r9", table)
+        b.label("loop")
+        b.emit(Opcode.AND, dest="r10", srcs=("r1",), imm=1)
+        b.emit(Opcode.SLL, dest="r10", srcs=("r10",), imm=3)
+        b.emit(Opcode.ADDQ, dest="r10", srcs=("r10", "r9"))
+        b.emit(Opcode.LDQ, dest="r11", base="r10", disp=0)
+        b.jmp_indirect("r11")
+        b.align_octaword()
+        b.label("t0")
+        b.emit(Opcode.ADDQ, dest="r4", srcs=("r4",), imm=1)
+        b.jump("join")
+        b.align_octaword()
+        b.label("t1")
+        b.emit(Opcode.ADDQ, dest="r5", srcs=("r5",), imm=1)
+        b.jump("join")
+        b.label("join")
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=300)
+        b.branch(Opcode.BNE, "r2", "loop")
+        b.halt()
+        program = b.build()
+        program.data[table] = program.pc_of(program.labels["t0"])
+        program.data[table + 8] = program.pc_of(program.labels["t1"])
+        result = _run(program)
+        assert result.stats.jmp_mispredicts > 250
+
+
+class TestStoreLoadOrdering:
+    def _store_then_load(self, features=None):
+        b = ProgramBuilder("stld")
+        addr = b.alloc_words([0])
+        b.load_imm("r1", 0)
+        b.load_imm("r9", addr)
+        b.label("loop")
+        b.emit(Opcode.ADDQ, dest="r3", srcs=("r3",), imm=1)
+        b.emit(Opcode.STQ, srcs=("r3",), base="r9", disp=0)
+        b.emit(Opcode.LDQ, dest="r4", base="r9", disp=0)
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=400)
+        b.branch(Opcode.BNE, "r2", "loop")
+        b.halt()
+        config = MachineConfig(name="t", features=features or FeatureSet())
+        return _run(b.build(), SimAlpha(config))
+
+    def test_store_wait_learns(self):
+        result = self._store_then_load()
+        # The first conflict traps; the wait bit then throttles traps.
+        assert result.stats.store_replay_traps >= 1
+        assert result.stats.store_wait_holds > 100
+
+    def test_without_stwt_traps_repeat(self):
+        with_table = self._store_then_load()
+        without = self._store_then_load(FeatureSet().without("stwt"))
+        assert without.stats.store_replay_traps > (
+            5 * with_table.stats.store_replay_traps
+        )
+        assert without.cycles > with_table.cycles
+
+
+class TestRegFileStudy:
+    def test_partial_bypass_slows_dependent_code(self):
+        program = _dependent_chain(Opcode.ADDQ, 200)
+        full = _run(program, SimAlpha(replace(
+            MachineConfig(name="full"), regfile=RegFileConfig(2, True)
+        )))
+        partial = _run(program, SimAlpha(replace(
+            MachineConfig(name="partial"), regfile=RegFileConfig(2, False)
+        )))
+        assert partial.cycles > full.cycles
+
+    def test_access_cycles_deepen_pipeline(self):
+        source = """
+            lda r1, #0
+        loop:
+            addq r1, r1, #1
+            cmplt r2, r1, #200
+            bne r2, loop
+            halt
+        """
+        fast = _run(source, SimAlpha(replace(
+            MachineConfig(name="rf1"), regfile=RegFileConfig(1, True)
+        )))
+        slow = _run(source, SimAlpha(replace(
+            MachineConfig(name="rf3"), regfile=RegFileConfig(3, True)
+        )))
+        assert slow.cycles >= fast.cycles
+
+
+class TestDeterminism:
+    def test_same_trace_same_cycles(self):
+        program = assemble("""
+            lda r1, #0
+        loop:
+            addq r1, r1, #1
+            cmplt r2, r1, #100
+            bne r2, loop
+            halt
+        """)
+        trace = run_program(program)
+        a = SimAlpha().run_trace(trace, "d")
+        b = SimAlpha().run_trace(trace, "d")
+        assert a.cycles == b.cycles
+
+    def test_fresh_pipeline_per_run(self):
+        sim = SimAlpha()
+        program = assemble("lda r1, #1\nhalt")
+        trace = run_program(program)
+        first = sim.run_trace(trace, "x")
+        second = sim.run_trace(trace, "x")
+        assert first.cycles == second.cycles
+
+
+class TestEret:
+    def test_unop_heavy_code_cheaper_with_eret(self):
+        b = ProgramBuilder("unops")
+        b.load_imm("r1", 0)
+        b.label("loop")
+        for _ in range(4):
+            b.emit(Opcode.ADDQ, dest="r3", srcs=("r3",), imm=1)
+            b.unop(3)
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=300)
+        b.branch(Opcode.BNE, "r2", "loop")
+        b.halt()
+        program = b.build()
+        with_eret = _run(program)
+        without = _run(program, SimAlpha(MachineConfig(
+            name="noeret", features=FeatureSet().without("eret")
+        )))
+        assert with_eret.cycles <= without.cycles

@@ -1,0 +1,163 @@
+"""Detailed pipeline-mechanism tests: retire bursts, alignment,
+queue pressure, cluster effects."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.simalpha import SimAlpha
+from repro.functional.machine import run_program
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
+
+
+def _run(program, sim=None):
+    sim = sim or SimAlpha()
+    return sim.run_trace(run_program(program), program.name)
+
+
+class TestRetirement:
+    def test_bursty_retire_bounded_at_eleven(self):
+        """Paper: 'support exists in the reorder buffer for bursty
+        retires, up to eleven per cycle'.  A long-latency op stalls
+        retirement; the backlog then drains at <= 11/cycle."""
+        b = ProgramBuilder("burst")
+        b.load_imm("r1", 1)
+        b.emit(Opcode.MULQ, dest="r2", srcs=("r1",), imm=3)  # 7 cycles
+        for i in range(40):
+            reg = f"r{3 + (i % 6)}"
+            b.emit(Opcode.ADDQ, dest=reg, srcs=(reg,), imm=1)
+        b.halt()
+        result = _run(b.build())
+        assert result.ipc <= 11.0
+
+    def test_narrow_retire_limits_ipc(self):
+        b = ProgramBuilder("wide")
+        b.load_imm("r9", 0)
+        b.align_octaword()
+        b.label("loop")
+        for i in range(96):
+            reg = f"r{1 + (i % 8)}"
+            b.emit(Opcode.ADDQ, dest=reg, srcs=(reg,), imm=1)
+        b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r10", srcs=("r9",), imm=100)
+        b.branch(Opcode.BNE, "r10", "loop")
+        b.halt()
+        program = b.build()
+        normal = _run(program)
+        narrow = _run(program, SimAlpha(replace(
+            MachineConfig(name="narrow"), retire_width=2
+        )))
+        assert narrow.cycles > normal.cycles
+        assert narrow.ipc <= 2.01
+
+
+class TestFetchAlignment:
+    def _loop(self, pad):
+        b = ProgramBuilder(f"align{pad}")
+        b.load_imm("r9", 0)
+        b.align_octaword()
+        b.unop(pad)
+        b.label("loop")
+        for i in range(7):
+            reg = f"r{1 + i}"
+            b.emit(Opcode.ADDQ, dest=reg, srcs=(reg,), imm=1)
+        b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r10", srcs=("r9",), imm=300)
+        b.branch(Opcode.BNE, "r10", "loop")
+        b.halt()
+        return b.build()
+
+    def test_misaligned_loop_fetches_more_octawords(self):
+        """The 21264's octaword-aligned fetch makes loop alignment
+        matter — unlike sim-outorder (see test_abstract_sims)."""
+        aligned = _run(self._loop(0))
+        misaligned = _run(self._loop(2))
+        assert misaligned.cycles > aligned.cycles
+
+
+class TestQueuePressure:
+    def test_tiny_issue_queue_hurts_latency_tolerance(self):
+        """Independent L2-resident loads need issue-queue room to
+        overlap; a 3-entry queue serialises them."""
+        b = ProgramBuilder("mlp")
+        arrays = b.alloc(1 << 18, align=64)
+        b.load_imm("r9", arrays)
+        b.load_imm("r1", 0)
+        b.label("loop")
+        for i in range(4):
+            b.emit(Opcode.SLL, dest="r13", srcs=("r1",), imm=6)
+            # Spread across distinct L1 sets (avoid same-set traps).
+            b.emit(Opcode.LDA, dest="r13", srcs=("r13",), imm=i * 65600)
+            b.emit(Opcode.ADDQ, dest="r13", srcs=("r13", "r9"))
+            b.emit(Opcode.LDQ, dest=f"r{3 + i}", base="r13", disp=0)
+            b.emit(Opcode.ADDQ, dest="r15", srcs=("r15", f"r{3 + i}"))
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=200)
+        b.branch(Opcode.BNE, "r2", "loop")
+        b.halt()
+        program = b.build()
+        roomy = _run(program)
+        cramped = _run(program, SimAlpha(replace(
+            MachineConfig(name="cramped"), int_queue_size=3
+        )))
+        assert cramped.cycles > 1.3 * roomy.cycles
+
+    def test_store_queue_backpressure(self):
+        b = ProgramBuilder("stores")
+        buffer_base = b.alloc(1 << 21, align=64)
+        b.load_imm("r9", buffer_base)
+        b.load_imm("r1", 0)
+        b.label("loop")
+        for i in range(4):
+            b.emit(Opcode.STQ, srcs=("r1",), base="r9", disp=i * 64)
+        b.emit(Opcode.LDA, dest="r9", srcs=("r9",), imm=256)
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=200)
+        b.branch(Opcode.BNE, "r2", "loop")
+        b.halt()
+        program = b.build()
+        roomy = _run(program)
+        cramped = _run(program, SimAlpha(replace(
+            MachineConfig(name="cramped-sq"), store_queue_size=2
+        )))
+        assert cramped.cycles >= roomy.cycles
+
+
+class TestClusters:
+    def test_cross_cluster_penalty_configurable(self):
+        b = ProgramBuilder("chain")
+        b.load_imm("r1", 1)
+        for _ in range(300):
+            b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.halt()
+        program = b.build()
+        unpenalised = _run(program, SimAlpha(replace(
+            MachineConfig(name="free"), cross_cluster_bypass=0
+        )))
+        heavy = _run(program, SimAlpha(replace(
+            MachineConfig(name="heavy"), cross_cluster_bypass=3
+        )))
+        assert heavy.cycles >= unpenalised.cycles
+
+
+class TestMapsStall:
+    def test_fires_once_per_episode(self):
+        """A persistently full window pays the 3-cycle stall on entry,
+        not per instruction."""
+        b = ProgramBuilder("full-window")
+        head = b.alloc_words([0])
+        b.poke(head, head)
+        b.load_imm("r9", head)
+        b.label("loop")
+        b.emit(Opcode.LDQ, dest="r9", base="r9", disp=0)  # 3-cycle chain
+        for i in range(6):
+            reg = f"r{1 + i}"
+            b.emit(Opcode.ADDQ, dest=reg, srcs=(reg,), imm=1)
+        b.emit(Opcode.ADDQ, dest="r10", srcs=("r10",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r11", srcs=("r10",), imm=400)
+        b.branch(Opcode.BNE, "r11", "loop")
+        b.halt()
+        result = _run(b.build())
+        assert result.stats.maps_stalls < 400  # far fewer than loads

@@ -1,0 +1,110 @@
+"""Cross-simulator shape tests: the paper's headline relationships.
+
+These test the *relative* behaviour of the simulator family, which is
+the point of the paper: sim-initial is badly wrong on the front-end
+microbenchmarks, sim-stripped under-estimates, sim-outorder
+over-estimates, and the validated sim-alpha tracks the reference.
+"""
+
+import pytest
+
+from repro.core import (
+    SimAlpha,
+    make_sim_initial,
+    make_sim_stripped,
+    make_sim_with_bugs,
+)
+from repro.simulators.refmachine import make_native_machine
+from repro.simulators.simoutorder import SimOutOrder
+from repro.validation.harness import Harness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+def _cpi(factory, harness, workload):
+    return harness.run_one(factory, workload).cpi
+
+
+class TestSimInitial:
+    def test_much_slower_on_conditional_control(self, harness):
+        """C-Ca: paper error -498% — the late-branch-recovery bug."""
+        native = _cpi(make_native_machine, harness, "C-Ca")
+        initial = _cpi(make_sim_initial, harness, "C-Ca")
+        alpha = _cpi(SimAlpha, harness, "C-Ca")
+        assert initial > 1.5 * native
+        assert abs(alpha - native) / native < 0.1
+
+    def test_overestimates_dependent_multiply(self, harness):
+        """E-DM1: paper error +85.7% — the generic-FU latency trap."""
+        native = _cpi(make_native_machine, harness, "E-DM1")
+        initial = _cpi(make_sim_initial, harness, "E-DM1")
+        assert initial < 0.5 * native
+
+    def test_single_bug_injection_is_isolated(self, harness):
+        """Injecting only the jmp bug perturbs C-S1 but not E-D1."""
+        buggy = make_sim_with_bugs("jmp_undercharge")
+        alpha_cs1 = _cpi(SimAlpha, harness, "C-S1")
+        buggy_cs1 = _cpi(lambda: buggy, harness, "C-S1")
+        assert buggy_cs1 < alpha_cs1  # undercharging -> faster
+        alpha_ed1 = _cpi(SimAlpha, harness, "E-D1")
+        buggy_ed1 = _cpi(lambda: buggy, harness, "E-D1")
+        assert buggy_ed1 == pytest.approx(alpha_ed1, rel=0.01)
+
+
+class TestSimStripped:
+    def test_underestimates_native_on_macro(self, harness):
+        """Paper: stripped is slower than the DS-10L on nearly all."""
+        slower = 0
+        for workload in ("gzip", "gcc", "eon", "mesa"):
+            native = _cpi(make_native_machine, harness, workload)
+            stripped = _cpi(make_sim_stripped, harness, workload)
+            if stripped > native:
+                slower += 1
+        assert slower >= 3
+
+    def test_slower_than_validated_alpha(self, harness):
+        for workload in ("gzip", "eon"):
+            alpha = _cpi(SimAlpha, harness, workload)
+            stripped = _cpi(make_sim_stripped, harness, workload)
+            assert stripped > alpha
+
+
+class TestSimOutorder:
+    def test_overestimates_native_on_macro(self, harness):
+        """Paper: sim-outorder beats the DS-10L on every benchmark but
+        lucas, by ~37% on average."""
+        faster = 0
+        for workload in ("gzip", "gcc", "twolf", "art"):
+            native = _cpi(make_native_machine, harness, workload)
+            outorder = _cpi(SimOutOrder, harness, workload)
+            if outorder < native:
+                faster += 1
+        assert faster >= 3
+
+    def test_front_end_optimism_on_control_micro(self, harness):
+        """C-Ca: the shallow pipe + BTB beat the real front end."""
+        native = _cpi(make_native_machine, harness, "C-Ca")
+        outorder = _cpi(SimOutOrder, harness, "C-Ca")
+        assert outorder < native
+
+
+class TestValidatedAlpha:
+    @pytest.mark.parametrize("workload", ["C-R", "E-I", "E-D3", "M-D"])
+    def test_tracks_native_within_ten_percent(self, harness, workload):
+        native = _cpi(make_native_machine, harness, workload)
+        alpha = _cpi(SimAlpha, harness, workload)
+        assert abs(alpha - native) / native < 0.10
+
+    def test_art_is_the_positive_outlier(self, harness):
+        """Paper: sim-alpha overestimates only on art (+43%)."""
+        native = _cpi(make_native_machine, harness, "art")
+        alpha = _cpi(SimAlpha, harness, "art")
+        assert alpha < native  # simulator faster -> positive error
+
+    def test_mesa_is_strongly_underestimated(self, harness):
+        native = _cpi(make_native_machine, harness, "mesa")
+        alpha = _cpi(SimAlpha, harness, "mesa")
+        assert alpha > 1.08 * native

@@ -1,0 +1,117 @@
+"""Tests for the SDRAM timing model and its configuration space."""
+
+import pytest
+
+from repro.dram.config import DS10L_CALIBRATED, DramConfig, parameter_grid
+from repro.dram.sdram import Sdram
+
+
+class TestConfig:
+    def test_calibrated_matches_paper(self):
+        assert DS10L_CALIBRATED.page_policy == "open"
+        assert DS10L_CALIBRATED.ras_cycles == 2
+        assert DS10L_CALIBRATED.cas_cycles == 4
+        assert DS10L_CALIBRATED.precharge_cycles == 2
+        assert DS10L_CALIBRATED.controller_cycles == 2
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            DramConfig(page_policy="half-open")
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ValueError):
+            DramConfig(banks=3)
+
+    def test_parameter_grid_contains_winner(self):
+        grid = list(parameter_grid())
+        assert DS10L_CALIBRATED in grid
+
+    def test_grid_size(self):
+        grid = list(parameter_grid())
+        assert len(grid) == 2 * 3 * 4 * 3 * 3
+
+    def test_with_policy(self):
+        closed = DS10L_CALIBRATED.with_policy("closed")
+        assert closed.page_policy == "closed"
+        assert closed.ras_cycles == DS10L_CALIBRATED.ras_cycles
+
+
+class TestOpenPagePolicy:
+    def test_row_hit_cheaper_than_row_miss(self):
+        dram = Sdram(DramConfig(page_policy="open"))
+        first = dram.access(0.0, 0x0)          # cold activate
+        hit = dram.access(1000.0, 0x40)        # same row
+        miss = dram.access(2000.0, 0x100000)   # same bank? ensure far row
+        hit_latency = hit - 1000.0
+        assert hit_latency < first - 0.0 or dram.stats.row_hits >= 1
+        assert dram.stats.row_hits == 1
+
+    def test_row_hit_latency_is_cas_only(self):
+        config = DramConfig(page_policy="open")
+        dram = Sdram(config)
+        dram.access(0.0, 0x0)
+        hit = dram.access(1000.0, 0x40)
+        scale = config.cpu_cycles_per_dram_cycle
+        expected = 1000.0 + (config.cas_cycles + config.controller_cycles) * scale
+        assert hit == expected
+
+    def test_conflict_row_pays_precharge(self):
+        config = DramConfig(page_policy="open", banks=1)
+        dram = Sdram(config)
+        dram.access(0.0, 0x0)
+        far = dram.access(1000.0, 0x10000)  # different row, same bank
+        scale = config.cpu_cycles_per_dram_cycle
+        expected = 1000.0 + (
+            config.precharge_cycles + config.ras_cycles + config.cas_cycles
+            + config.controller_cycles
+        ) * scale
+        assert far == expected
+
+
+class TestClosedPagePolicy:
+    def test_every_access_pays_ras_cas(self):
+        config = DramConfig(page_policy="closed")
+        dram = Sdram(config)
+        dram.access(0.0, 0x0)
+        second = dram.access(1000.0, 0x40)  # same row: no benefit
+        scale = config.cpu_cycles_per_dram_cycle
+        expected = 1000.0 + (
+            config.ras_cycles + config.cas_cycles + config.controller_cycles
+        ) * scale
+        assert second == expected
+        assert dram.stats.row_hits == 0
+
+    def test_back_to_back_same_bank_sees_precharge(self):
+        config = DramConfig(page_policy="closed", banks=1)
+        dram = Sdram(config)
+        first = dram.access(0.0, 0x0)
+        second = dram.access(first - 1, 0x40)  # bank still precharging
+        assert second > first
+
+
+class TestBanking:
+    def test_bank_conflicts_counted(self):
+        config = DramConfig(banks=1)
+        dram = Sdram(config)
+        dram.access(0.0, 0x0)
+        dram.access(0.0, 0x100000)
+        assert dram.stats.bank_conflicts == 1
+
+    def test_banks_operate_in_parallel(self):
+        config = DramConfig(banks=4)
+        dram = Sdram(config)
+        row = config.row_bytes
+        # Rows 0..3 interleave across the four banks.
+        times = [dram.access(0.0, i * row) for i in range(4)]
+        assert dram.stats.bank_conflicts == 0
+
+    def test_reset(self):
+        dram = Sdram()
+        dram.access(0.0, 0x0)
+        dram.reset()
+        assert dram.stats.accesses == 0
+
+
+def test_block_transfer_cycles_positive():
+    dram = Sdram()
+    assert dram.block_transfer_cycles() > 0

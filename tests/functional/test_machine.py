@@ -1,0 +1,240 @@
+"""Tests for the functional (architectural) machine."""
+
+import pytest
+
+from repro.functional.machine import (
+    ExecutionLimitExceeded,
+    FunctionalMachine,
+    run_program,
+)
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder, STACK_BASE
+
+
+def _run(source: str):
+    machine = FunctionalMachine(assemble(source))
+    trace = machine.run()
+    return machine, trace
+
+
+class TestIntegerOps:
+    def test_arithmetic(self):
+        machine, _ = _run("""
+            lda r1, #10
+            lda r2, #3
+            addq r3, r1, r2
+            subq r4, r1, r2
+            mulq r5, r1, r2
+            halt
+        """)
+        state = machine.state
+        assert state.read_int("r3") == 13
+        assert state.read_int("r4") == 7
+        assert state.read_int("r5") == 30
+
+    def test_logic_and_shifts(self):
+        machine, _ = _run("""
+            lda r1, #0b1100
+            lda r2, #0b1010
+            and r3, r1, r2
+            bis r4, r1, r2
+            xor r5, r1, r2
+            sll r6, r1, #2
+            srl r7, r1, #2
+            halt
+        """)
+        state = machine.state
+        assert state.read_int("r3") == 0b1000
+        assert state.read_int("r4") == 0b1110
+        assert state.read_int("r5") == 0b0110
+        assert state.read_int("r6") == 0b110000
+        assert state.read_int("r7") == 0b11
+
+    def test_comparisons_signed(self):
+        machine, _ = _run("""
+            lda r1, #-5
+            lda r2, #3
+            cmplt r3, r1, r2
+            cmple r4, r2, r2
+            cmpeq r5, r1, r2
+            halt
+        """)
+        state = machine.state
+        assert state.read_int("r3") == 1
+        assert state.read_int("r4") == 1
+        assert state.read_int("r5") == 0
+
+    def test_wraparound_64bit(self):
+        machine, _ = _run("""
+            lda r1, #-1
+            addq r2, r1, #2
+            halt
+        """)
+        assert machine.state.read_int("r2") == 1
+
+    def test_zero_register_ignores_writes(self):
+        machine, _ = _run("""
+            lda r31, #42
+            addq r1, r31, #1
+            halt
+        """)
+        assert machine.state.read_int("r31") == 0
+        assert machine.state.read_int("r1") == 1
+
+    def test_cmov(self):
+        b = ProgramBuilder("cmov")
+        b.load_imm("r1", 0)
+        b.load_imm("r2", 7)
+        b.load_imm("r3", 100)
+        b.emit(Opcode.CMOVEQ, dest="r3", srcs=("r1", "r2"))  # r1==0: moves
+        b.emit(Opcode.CMOVNE, dest="r4", srcs=("r1", "r2"))  # r1==0: keeps
+        b.halt()
+        machine = FunctionalMachine(b.build())
+        machine.run()
+        assert machine.state.read_int("r3") == 7
+        assert machine.state.read_int("r4") == 0
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        machine, trace = _run("""
+            lda r1, #0
+        loop:
+            addq r1, r1, #1
+            cmplt r2, r1, #5
+            bne r2, loop
+            halt
+        """)
+        assert machine.state.read_int("r1") == 5
+        branches = [d for d in trace if d.is_control]
+        assert sum(d.taken for d in branches) == 4
+
+    def test_call_and_return(self):
+        machine, trace = _run("""
+            bsr fn
+            halt
+        fn:
+            lda r7, #99
+            ret
+        """)
+        assert machine.state.read_int("r7") == 99
+        # RA held the return address during execution.
+        rets = [d for d in trace if d.opcode is Opcode.RET]
+        assert len(rets) == 1
+        assert rets[0].next_pc == trace[0].pc + 4
+
+    def test_indirect_jump(self):
+        b = ProgramBuilder("jmp")
+        table = b.alloc_words([0])
+        b.load_imm("r1", table)
+        b.emit(Opcode.LDQ, dest="r2", base="r1", disp=0)
+        b.jmp_indirect("r2")
+        b.halt()  # skipped
+        b.label("target")
+        b.load_imm("r9", 123)
+        b.halt()
+        program = b.build()
+        program.data[table] = program.pc_of(program.labels["target"])
+        machine = FunctionalMachine(program)
+        machine.run()
+        assert machine.state.read_int("r9") == 123
+
+    def test_branch_conditions(self):
+        machine, _ = _run("""
+            lda r1, #-1
+            lda r9, #0
+            bge r1, skip1
+            addq r9, r9, #1
+        skip1:
+            blt r1, skip2
+            addq r9, r9, #16
+        skip2:
+            halt
+        """)
+        # bge not taken (adds 1), blt taken (skips 16).
+        assert machine.state.read_int("r9") == 1
+
+    def test_execution_limit(self):
+        program = assemble("""
+        forever:
+            br forever
+        """)
+        with pytest.raises(ExecutionLimitExceeded, match="infinite loop"):
+            FunctionalMachine(program, limit=100).run()
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        b = ProgramBuilder("mem")
+        addr = b.alloc_words([0])
+        b.load_imm("r1", addr)
+        b.load_imm("r2", 0xDEAD)
+        b.emit(Opcode.STQ, srcs=("r2",), base="r1", disp=0)
+        b.emit(Opcode.LDQ, dest="r3", base="r1", disp=0)
+        b.halt()
+        machine = FunctionalMachine(b.build())
+        machine.run()
+        assert machine.state.read_int("r3") == 0xDEAD
+
+    def test_byte_ops(self):
+        b = ProgramBuilder("bytes")
+        addr = b.alloc_words([0])
+        b.load_imm("r1", addr)
+        b.load_imm("r2", 0xAB)
+        b.emit(Opcode.STB, srcs=("r2",), base="r1", disp=3)
+        b.emit(Opcode.LDBU, dest="r3", base="r1", disp=3)
+        b.emit(Opcode.LDQ, dest="r4", base="r1", disp=0)
+        b.halt()
+        machine = FunctionalMachine(b.build())
+        machine.run()
+        assert machine.state.read_int("r3") == 0xAB
+        assert machine.state.read_int("r4") == 0xAB << 24
+
+    def test_fp_memory_roundtrip(self):
+        b = ProgramBuilder("fpmem")
+        addr = b.alloc_words([0])
+        b.load_imm("r1", addr)
+        b.emit(Opcode.ADDT, dest="f1", srcs=("f31", "f31"))
+        b.emit(Opcode.STT, srcs=("f1",), base="r1", disp=0)
+        b.emit(Opcode.LDT, dest="f2", base="r1", disp=0)
+        b.halt()
+        machine = FunctionalMachine(b.build())
+        machine.run()
+        assert machine.state.read_fp("f2") == 0.0
+
+    def test_sp_initialised(self):
+        machine, _ = _run("halt")
+        assert machine.state.read_int("r30") == STACK_BASE
+
+
+class TestTraceRecords:
+    def test_memory_base_is_a_timing_source(self):
+        """Address registers appear in trace srcs (dependence!)."""
+        _, trace = _run("""
+            lda r1, #4096
+            ldq r2, 0(r1)
+            halt
+        """)
+        load = trace[1]
+        assert "r1" in load.srcs
+        assert load.eaddr == 4096
+
+    def test_sequence_numbers(self):
+        _, trace = _run("lda r1, #1\nlda r2, #2\nhalt")
+        assert [d.seq for d in trace] == [0, 1, 2]
+
+    def test_taken_branch_next_pc(self):
+        _, trace = _run("""
+            br over
+            lda r1, #1
+        over:
+            halt
+        """)
+        assert trace[0].taken
+        assert trace[0].next_pc == trace[1].pc
+        assert trace[1].opcode is Opcode.HALT
+
+    def test_run_program_helper(self):
+        trace = run_program(assemble("halt"))
+        assert len(trace) == 1

@@ -1,0 +1,87 @@
+"""Tests (including property-based) for the sparse memory image."""
+
+from hypothesis import given, strategies as st
+
+from repro.functional.memory_image import SparseMemory
+
+addresses = st.integers(min_value=0, max_value=2**48)
+words = st.integers(min_value=0, max_value=2**64 - 1)
+bytes_ = st.integers(min_value=0, max_value=255)
+
+
+def test_unwritten_reads_zero():
+    memory = SparseMemory()
+    assert memory.load_word(0x1234) == 0
+    assert memory.load_byte(0x1234) == 0
+
+
+def test_word_roundtrip():
+    memory = SparseMemory()
+    memory.store_word(64, 0xDEADBEEF)
+    assert memory.load_word(64) == 0xDEADBEEF
+
+
+def test_unaligned_word_access_uses_containing_word():
+    memory = SparseMemory()
+    memory.store_word(64, 0x1111)
+    assert memory.load_word(67) == 0x1111
+
+
+def test_initial_image():
+    memory = SparseMemory({8: 42, 16: 43})
+    assert memory.load_word(8) == 42
+    assert memory.load_word(16) == 43
+    assert len(memory) == 2
+
+
+def test_byte_within_word():
+    memory = SparseMemory()
+    memory.store_word(0, 0x0807060504030201)
+    assert memory.load_byte(0) == 0x01
+    assert memory.load_byte(7) == 0x08
+
+
+def test_store_byte_preserves_others():
+    memory = SparseMemory()
+    memory.store_word(0, 0xFFFFFFFFFFFFFFFF)
+    memory.store_byte(3, 0)
+    assert memory.load_byte(3) == 0
+    assert memory.load_byte(2) == 0xFF
+    assert memory.load_byte(4) == 0xFF
+
+
+@given(addresses, words)
+def test_word_roundtrip_property(address, value):
+    memory = SparseMemory()
+    memory.store_word(address, value)
+    assert memory.load_word(address) == value
+
+
+@given(addresses, bytes_)
+def test_byte_roundtrip_property(address, value):
+    memory = SparseMemory()
+    memory.store_byte(address, value)
+    assert memory.load_byte(address) == value
+
+
+@given(addresses, words, bytes_)
+def test_byte_store_only_touches_one_byte(address, word, byte):
+    memory = SparseMemory()
+    memory.store_word(address, word)
+    offset = address & 7
+    memory.store_byte(address, byte)
+    base = address & ~7
+    for i in range(8):
+        expected = byte if i == offset else (word >> (8 * i)) & 0xFF
+        assert memory.load_byte(base + i) == expected
+
+
+@given(st.lists(st.tuples(addresses, words), max_size=30))
+def test_last_write_wins(writes):
+    memory = SparseMemory()
+    expected = {}
+    for address, value in writes:
+        memory.store_word(address, value)
+        expected[address & ~7] = value
+    for base, value in expected.items():
+        assert memory.load_word(base) == value

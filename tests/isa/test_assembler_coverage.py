@@ -1,0 +1,82 @@
+"""Parametrized assembler coverage: every opcode through text syntax."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import InstrClass, Opcode
+
+#: Text form for each opcode (one canonical usage).
+_FORMS = {
+    Opcode.ADDQ: "addq r1, r2, r3",
+    Opcode.SUBQ: "subq r1, r2, #4",
+    Opcode.AND: "and r1, r2, #0xFF",
+    Opcode.OR: "bis r1, r2, r3",
+    Opcode.XOR: "xor r1, r2, r3",
+    Opcode.SLL: "sll r1, r2, #3",
+    Opcode.SRL: "srl r1, r2, #3",
+    Opcode.CMPEQ: "cmpeq r1, r2, r3",
+    Opcode.CMPLT: "cmplt r1, r2, #10",
+    Opcode.CMPLE: "cmple r1, r2, r3",
+    Opcode.LDA: "lda r1, #100",
+    Opcode.CMOVEQ: "cmoveq r1, r2, r3",
+    Opcode.CMOVNE: "cmovne r1, r2, r3",
+    Opcode.MULQ: "mulq r1, r2, r3",
+    Opcode.LDQ: "ldq r1, 8(r2)",
+    Opcode.STQ: "stq r1, 8(r2)",
+    Opcode.LDBU: "ldbu r1, 3(r2)",
+    Opcode.STB: "stb r1, 3(r2)",
+    Opcode.ADDT: "addt f1, f2, f3",
+    Opcode.SUBT: "subt f1, f2, f3",
+    Opcode.MULT: "mult f1, f2, f3",
+    Opcode.DIVS: "divs f1, f2, f3",
+    Opcode.DIVT: "divt f1, f2, f3",
+    Opcode.SQRTS: "sqrts f1, f2",
+    Opcode.SQRTT: "sqrtt f1, f2",
+    Opcode.LDT: "ldt f1, 16(r2)",
+    Opcode.STT: "stt f1, 16(r2)",
+    Opcode.BEQ: "beq r1, target",
+    Opcode.BNE: "bne r1, target",
+    Opcode.BLT: "blt r1, target",
+    Opcode.BGE: "bge r1, target",
+    Opcode.BLE: "ble r1, target",
+    Opcode.BGT: "bgt r1, target",
+    Opcode.BR: "br target",
+    Opcode.BSR: "bsr target",
+    Opcode.JSR: "jsr (r4)",
+    Opcode.JMP: "jmp (r4)",
+    Opcode.RET: "ret",
+    Opcode.UNOP: "unop",
+    Opcode.HALT: "halt",
+}
+
+
+def test_every_opcode_has_a_form():
+    assert set(_FORMS) == set(Opcode)
+
+
+@pytest.mark.parametrize("opcode", list(Opcode),
+                         ids=lambda op: op.mnemonic)
+def test_opcode_assembles(opcode):
+    source = "target:\n    " + _FORMS[opcode]
+    program = assemble(source)
+    assembled = program.instructions[0]
+    assert assembled.opcode is opcode
+
+
+@pytest.mark.parametrize("opcode", [
+    op for op in Opcode if op.klass.is_memory
+], ids=lambda op: op.mnemonic)
+def test_memory_forms_carry_base_and_disp(opcode):
+    program = assemble(_FORMS[opcode])
+    instr = program.instructions[0]
+    assert instr.base is not None
+    assert instr.disp != 0
+
+
+@pytest.mark.parametrize("opcode", [
+    op for op in Opcode
+    if op.klass is InstrClass.COND_BRANCH
+], ids=lambda op: op.mnemonic)
+def test_branches_resolve_targets(opcode):
+    program = assemble("target:\n    " + _FORMS[opcode])
+    assert program.target_index(0) == 0

@@ -1,0 +1,114 @@
+"""Tests for the instruction set definition."""
+
+import pytest
+
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    INSTRUCTIONS_PER_OCTAWORD,
+    LATENCY,
+    OCTAWORD_BYTES,
+    InstrClass,
+    Instruction,
+    Opcode,
+    opcode_for_mnemonic,
+)
+
+
+class TestInstrClass:
+    def test_loads_are_memory(self):
+        assert InstrClass.INT_LOAD.is_load
+        assert InstrClass.FP_LOAD.is_load
+        assert InstrClass.INT_LOAD.is_memory
+        assert not InstrClass.INT_LOAD.is_store
+
+    def test_stores_are_memory(self):
+        assert InstrClass.INT_STORE.is_store
+        assert InstrClass.FP_STORE.is_store
+        assert InstrClass.FP_STORE.is_memory
+
+    def test_control_classes(self):
+        for klass in (InstrClass.COND_BRANCH, InstrClass.UNCOND_BRANCH,
+                      InstrClass.CALL, InstrClass.RETURN, InstrClass.JUMP):
+            assert klass.is_control
+        assert not InstrClass.INT_ALU.is_control
+
+    def test_fp_classes(self):
+        assert InstrClass.FP_ADD.is_fp
+        assert InstrClass.FP_LOAD.is_fp
+        assert not InstrClass.INT_MUL.is_fp
+
+    def test_indirect_control(self):
+        assert InstrClass.JUMP.is_indirect_control
+        assert InstrClass.RETURN.is_indirect_control
+        assert not InstrClass.COND_BRANCH.is_indirect_control
+        assert not InstrClass.UNCOND_BRANCH.is_indirect_control
+
+    def test_every_class_has_a_latency(self):
+        for klass in InstrClass:
+            assert klass in LATENCY
+            assert LATENCY[klass] >= 1
+
+
+class TestTable1Latencies:
+    """The configured latencies are the paper's Table 1."""
+
+    @pytest.mark.parametrize(
+        "opcode,expected",
+        [
+            (Opcode.ADDQ, 1),
+            (Opcode.MULQ, 7),
+            (Opcode.LDQ, 3),
+            (Opcode.ADDT, 4),
+            (Opcode.MULT, 4),
+            (Opcode.DIVS, 12),
+            (Opcode.SQRTS, 18),
+            (Opcode.DIVT, 15),
+            (Opcode.SQRTT, 33),
+            (Opcode.LDT, 4),
+            (Opcode.BR, 3),
+        ],
+    )
+    def test_latency(self, opcode, expected):
+        assert opcode.latency == expected
+
+
+class TestOpcode:
+    def test_mnemonic_lookup(self):
+        assert opcode_for_mnemonic("addq") is Opcode.ADDQ
+        assert opcode_for_mnemonic("ADDQ") is Opcode.ADDQ
+        assert opcode_for_mnemonic("bis") is Opcode.OR
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(KeyError, match="unknown mnemonic"):
+            opcode_for_mnemonic("frobnicate")
+
+    def test_mnemonics_unique(self):
+        mnemonics = [op.mnemonic for op in Opcode]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_octaword_geometry(self):
+        assert OCTAWORD_BYTES == 4 * INSTRUCTION_BYTES
+        assert INSTRUCTIONS_PER_OCTAWORD == 4
+
+
+class TestInstruction:
+    def test_defaults(self):
+        instr = Instruction(Opcode.UNOP)
+        assert instr.dest is None
+        assert instr.srcs == ()
+        assert instr.klass is InstrClass.NOP
+
+    def test_str_alu(self):
+        instr = Instruction(Opcode.ADDQ, dest="r1", srcs=("r2",), imm=5)
+        text = str(instr)
+        assert "addq" in text
+        assert "r1" in text and "r2" in text and "#5" in text
+
+    def test_str_memory(self):
+        instr = Instruction(Opcode.LDQ, dest="r1", base="r2", disp=8)
+        assert "8(r2)" in str(instr)
+
+    def test_frozen(self):
+        instr = Instruction(Opcode.ADDQ, dest="r1")
+        with pytest.raises(AttributeError):
+            instr.dest = "r2"

@@ -1,0 +1,130 @@
+"""Tests for program representation and the builder."""
+
+import pytest
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import CODE_BASE, DATA_BASE, Program, ProgramBuilder
+
+
+def _tiny_loop() -> Program:
+    b = ProgramBuilder("tiny")
+    b.load_imm("r1", 0)
+    b.label("loop")
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=4)
+    b.branch(Opcode.BNE, "r2", "loop")
+    b.halt()
+    return b.build()
+
+
+class TestProgram:
+    def test_pc_math(self):
+        program = _tiny_loop()
+        assert program.pc_of(0) == CODE_BASE
+        assert program.pc_of(3) == CODE_BASE + 12
+        assert program.index_of(program.pc_of(2)) == 2
+
+    def test_index_of_rejects_misaligned(self):
+        program = _tiny_loop()
+        with pytest.raises(ValueError, match="misaligned"):
+            program.index_of(CODE_BASE + 2)
+
+    def test_index_of_rejects_out_of_range(self):
+        program = _tiny_loop()
+        with pytest.raises(ValueError, match="outside"):
+            program.index_of(CODE_BASE + 4 * 1000)
+
+    def test_target_resolution(self):
+        program = _tiny_loop()
+        branch_index = 3
+        assert program.instructions[branch_index].opcode is Opcode.BNE
+        assert program.target_index(branch_index) == program.labels["loop"]
+
+    def test_undefined_label_rejected(self):
+        b = ProgramBuilder("bad")
+        b.emit(Opcode.BR, target="nowhere")
+        with pytest.raises(ValueError, match="undefined"):
+            b.build()
+
+    def test_octaword_helpers(self):
+        program = _tiny_loop()
+        assert program.octaword_of(0) % 16 == 0
+        slots = [program.slot_in_octaword(i) for i in range(4)]
+        assert slots == [0, 1, 2, 3]
+
+    def test_disassemble_mentions_labels(self):
+        text = _tiny_loop().disassemble()
+        assert "loop:" in text
+        assert "addq" in text
+
+    def test_code_base_alignment_enforced(self):
+        with pytest.raises(ValueError, match="aligned"):
+            Program(instructions=[], code_base=CODE_BASE + 4)
+
+
+class TestProgramBuilder:
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("x")
+
+    def test_fresh_labels_unique(self):
+        b = ProgramBuilder()
+        labels = {b.fresh_label() for _ in range(100)}
+        assert len(labels) == 100
+
+    def test_align_octaword(self):
+        b = ProgramBuilder()
+        b.emit(Opcode.UNOP)
+        b.align_octaword()
+        assert b.here % 4 == 0
+        b.align_octaword(offset=2)
+        assert b.here % 4 == 2
+
+    def test_align_rejects_bad_offset(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder().align_octaword(offset=4)
+
+    def test_alloc_alignment_and_growth(self):
+        b = ProgramBuilder()
+        first = b.alloc(100, align=64)
+        second = b.alloc(8, align=64)
+        assert first % 64 == 0
+        assert second % 64 == 0
+        assert second >= first + 100
+
+    def test_alloc_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder().alloc(8, align=3)
+
+    def test_alloc_words_initialises(self):
+        b = ProgramBuilder()
+        base = b.alloc_words([10, 20, 30])
+        b.halt()
+        program = b.build()
+        assert program.data[base] == 10
+        assert program.data[base + 16] == 30
+        assert base >= DATA_BASE
+
+    def test_call_and_ret_helpers(self):
+        b = ProgramBuilder()
+        b.call("fn")
+        b.label("fn")
+        b.ret()
+        program = b.build()
+        assert program.instructions[0].opcode is Opcode.BSR
+        assert program.instructions[0].dest == "r26"
+        assert program.instructions[1].opcode is Opcode.RET
+
+    def test_branch_helper_rejects_non_branch(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder().branch(Opcode.ADDQ, "r1", "x")
+
+    def test_entry_label(self):
+        b = ProgramBuilder()
+        b.halt()
+        b.label("start")
+        b.halt()
+        program = b.build("start")
+        assert program.entry == 1

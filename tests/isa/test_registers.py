@@ -1,0 +1,81 @@
+"""Tests for register naming and conventions."""
+
+import pytest
+
+from repro.isa.registers import (
+    ALL_REGS,
+    FP_REGS,
+    INT_REGS,
+    RA,
+    SP,
+    ZERO_FP,
+    ZERO_INT,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    is_int_reg,
+    is_zero_reg,
+    scratch_fp_regs,
+    scratch_int_regs,
+    validate_reg,
+)
+
+
+def test_register_counts():
+    assert len(INT_REGS) == 32
+    assert len(FP_REGS) == 32
+    assert len(ALL_REGS) == 64
+
+
+def test_classification():
+    assert is_int_reg("r0") and is_int_reg("r31")
+    assert is_fp_reg("f0") and is_fp_reg("f31")
+    assert not is_int_reg("f0")
+    assert not is_fp_reg("r0")
+    assert not is_int_reg("r32")
+
+
+def test_zero_registers():
+    assert is_zero_reg(ZERO_INT)
+    assert is_zero_reg(ZERO_FP)
+    assert not is_zero_reg(RA)
+
+
+def test_conventions():
+    assert RA == "r26"
+    assert SP == "r30"
+
+
+def test_validate():
+    assert validate_reg("r5") == "r5"
+    with pytest.raises(ValueError):
+        validate_reg("r99")
+
+
+def test_indexed_constructors():
+    assert int_reg(7) == "r7"
+    assert fp_reg(7) == "f7"
+    with pytest.raises(ValueError):
+        int_reg(32)
+    with pytest.raises(ValueError):
+        fp_reg(-1)
+
+
+def test_scratch_excludes_reserved():
+    scratch = scratch_int_regs(28)
+    assert ZERO_INT not in scratch
+    assert RA not in scratch
+    assert SP not in scratch
+    assert len(scratch) == 28
+
+
+def test_scratch_exclude_argument():
+    scratch = scratch_int_regs(5, exclude=("r1", "r2"))
+    assert "r1" not in scratch and "r2" not in scratch
+
+
+def test_scratch_overflow():
+    with pytest.raises(ValueError):
+        scratch_int_regs(31)
+    with pytest.raises(ValueError):
+        scratch_fp_regs(32)

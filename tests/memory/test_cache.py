@@ -1,0 +1,138 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def _small_cache(ways=2, sets=4, block=64):
+    return Cache(CacheConfig(sets * ways * block, ways, block, name="t"))
+
+
+class TestGeometry:
+    def test_default_l1_geometry(self):
+        config = CacheConfig()
+        assert config.sets == 512  # 64KB / (2 ways * 64B)
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            CacheConfig(block_bytes=48)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000)
+
+    def test_block_and_set_math(self):
+        cache = _small_cache()
+        assert cache.block_of(0x12345) == 0x12345 & ~63
+        assert cache.set_of(0) == 0
+        assert cache.set_of(64) == 1
+        assert cache.set_of(64 * 4) == 0  # wraps at 4 sets
+
+
+class TestAccessBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = _small_cache()
+        assert not cache.access(0x1000).hit
+        assert cache.access(0x1000).hit
+        assert cache.access(0x1008).hit  # same block
+
+    def test_two_way_associativity(self):
+        cache = _small_cache(ways=2, sets=1)
+        cache.access(0)
+        cache.access(64)
+        assert cache.access(0).hit
+        assert cache.access(64).hit
+
+    def test_lru_eviction(self):
+        cache = _small_cache(ways=2, sets=1)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)            # 64 is now LRU
+        result = cache.access(128)  # evicts 64
+        assert result.evicted_block == 64
+        assert cache.access(0).hit
+        assert not cache.access(64).hit
+
+    def test_dirty_eviction_flagged(self):
+        cache = _small_cache(ways=1, sets=1)
+        cache.access(0, write=True)
+        result = cache.access(64)
+        assert result.evicted_block == 0
+        assert result.evicted_dirty
+        assert cache.stats.writebacks == 1
+
+    def test_write_marks_dirty_on_hit(self):
+        cache = _small_cache(ways=1, sets=1)
+        cache.access(0)
+        cache.access(0, write=True)
+        result = cache.access(64)
+        assert result.evicted_dirty
+
+    def test_probe_does_not_disturb(self):
+        cache = _small_cache()
+        cache.access(0x1000)
+        accesses = cache.stats.accesses
+        assert cache.probe(0x1000)
+        assert not cache.probe(0x9000)
+        assert cache.stats.accesses == accesses
+
+    def test_fill_installs_without_counting(self):
+        cache = _small_cache()
+        cache.fill(0x2000)
+        assert cache.stats.accesses == 0
+        assert cache.access(0x2000).hit
+
+    def test_invalidate(self):
+        cache = _small_cache()
+        cache.access(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.invalidate(0x1000)
+        assert not cache.access(0x1000).hit
+
+    def test_miss_rate(self):
+        cache = _small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == 0.5
+
+    def test_same_set_conflict_helper(self):
+        cache = _small_cache(sets=4)
+        assert cache.outstanding_same_set(0, 4 * 64)
+        assert not cache.outstanding_same_set(0, 64)
+        assert not cache.outstanding_same_set(0, 8)  # same block
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    def test_repeat_access_always_hits(self, addresses):
+        cache = Cache(CacheConfig(4096, 2, 64))
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address).hit
+
+    @given(st.lists(st.integers(0, 1 << 16), max_size=300))
+    def test_occupancy_bounded(self, addresses):
+        config = CacheConfig(2048, 2, 64)
+        cache = Cache(config)
+        for address in addresses:
+            cache.access(address)
+        total = sum(len(entries) for entries in cache._sets)
+        assert total <= config.sets * config.ways
+
+    @given(st.lists(st.integers(0, 1 << 16), max_size=200))
+    def test_misses_never_exceed_accesses(self, addresses):
+        cache = Cache(CacheConfig(2048, 2, 64))
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.misses <= cache.stats.accesses
+
+    @given(st.lists(st.integers(0, 2048), max_size=200))
+    def test_working_set_within_capacity_converges(self, addresses):
+        """Once a small working set is resident, it never misses."""
+        cache = Cache(CacheConfig(64 * 1024, 2, 64))
+        for address in addresses:
+            cache.access(address)
+        for address in addresses:
+            assert cache.probe(address)

@@ -1,0 +1,147 @@
+"""Tests for victim buffer, TLB, paging, and bus components."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.bus import Bus, BusConfig
+from repro.memory.paging import PageMapper, PagingConfig
+from repro.memory.tlb import PageWalkModel, Tlb, TlbConfig
+from repro.memory.victim import VictimBuffer, VictimBufferConfig
+
+
+class TestVictimBuffer:
+    def test_insert_and_extract(self):
+        vb = VictimBuffer()
+        vb.insert(0x1000, True)
+        assert vb.probe_and_extract(0x1000) is True
+        assert vb.probe_and_extract(0x1000) is None  # extraction removes
+
+    def test_miss(self):
+        vb = VictimBuffer()
+        assert vb.probe_and_extract(0x1000) is None
+        assert vb.stats.hits == 0
+
+    def test_overflow_displaces_oldest(self):
+        vb = VictimBuffer(VictimBufferConfig(entries=2))
+        assert vb.insert(0x1000, False) is None
+        assert vb.insert(0x2000, True) is None
+        displaced = vb.insert(0x3000, False)
+        assert displaced == (0x1000, False)
+        assert len(vb) == 2
+
+    def test_fifo_order(self):
+        vb = VictimBuffer(VictimBufferConfig(entries=8))
+        for i in range(8):
+            vb.insert(i * 64, False)
+        assert vb.probe_and_extract(0) is not None
+        assert len(vb) == 7
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb()
+        assert not tlb.access(0x10000)
+        assert tlb.access(0x10000)
+        assert tlb.access(0x10000 + 4096)  # same 8KB page
+
+    def test_capacity_eviction_lru(self):
+        tlb = Tlb(TlbConfig(entries=2))
+        tlb.access(0 * 8192)
+        tlb.access(1 * 8192)
+        tlb.access(0 * 8192)        # refresh page 0
+        tlb.access(2 * 8192)        # evicts page 1
+        assert tlb.access(0 * 8192)
+        assert not tlb.access(1 * 8192)
+
+    def test_miss_rate(self):
+        tlb = Tlb()
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.stats.miss_rate == 0.5
+
+    def test_walk_latency_modes(self):
+        hardware = PageWalkModel(stalls_pipeline=False)
+        pal = PageWalkModel(stalls_pipeline=True)
+        assert pal.walk_latency() > hardware.walk_latency()
+        assert hardware.walk_latency() == (
+            hardware.levels * hardware.level_latency
+        )
+
+
+class TestPaging:
+    def test_first_touch_stable(self):
+        mapper = PageMapper()
+        first = mapper.translate(0x123456)
+        assert mapper.translate(0x123456) == first
+
+    def test_offset_preserved(self):
+        for policy in ("sequential", "colored", "hashed"):
+            mapper = PageMapper(PagingConfig(policy=policy))
+            paddr = mapper.translate(0x12345)
+            assert paddr & 8191 == 0x12345 & 8191
+
+    def test_sequential_is_a_bump_allocator(self):
+        mapper = PageMapper(PagingConfig(policy="sequential"))
+        first = mapper.translate(0xAAAA0000) >> 13
+        second = mapper.translate(0xBBBB0000) >> 13
+        assert second == first + 1
+
+    def test_colored_preserves_color(self):
+        config = PagingConfig(policy="colored", colors=256)
+        mapper = PageMapper(config)
+        for vaddr in (0x0, 0x4000, 0x1230000, 0x7FFF8000):
+            page = vaddr >> 13
+            frame = mapper.translate(vaddr) >> 13
+            assert frame % 256 == page % 256
+
+    def test_hashed_deterministic(self):
+        a = PageMapper(PagingConfig(policy="hashed", seed=1))
+        b = PageMapper(PagingConfig(policy="hashed", seed=1))
+        assert a.translate(0x555000) == b.translate(0x555000)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            PagingConfig(policy="magic")
+
+    @given(st.lists(st.integers(0, 2**40), max_size=100))
+    def test_frames_within_physical_memory(self, vaddrs):
+        config = PagingConfig(memory_bytes=256 * 1024 * 1024)
+        mapper = PageMapper(config)
+        for vaddr in vaddrs:
+            paddr = mapper.translate(vaddr)
+            assert paddr >> 13 < config.memory_bytes // 8192
+
+    @given(st.lists(st.integers(0, 2**30), max_size=100))
+    def test_same_page_same_frame(self, vaddrs):
+        mapper = PageMapper()
+        for vaddr in vaddrs:
+            frame_a = mapper.translate(vaddr) >> 13
+            frame_b = mapper.translate((vaddr & ~8191) + 11) >> 13
+            assert frame_a == frame_b
+
+
+class TestBus:
+    def test_occupancy_rounding(self):
+        bus = Bus(BusConfig(width_bytes=16, cpu_cycles_per_bus_cycle=2.0))
+        assert bus.occupancy(16) == 2.0
+        assert bus.occupancy(17) == 4.0
+        assert bus.occupancy(1) == 2.0
+
+    def test_serialised_transfers(self):
+        bus = Bus(BusConfig(width_bytes=16, cpu_cycles_per_bus_cycle=2.0))
+        first = bus.request(0.0, 16)
+        second = bus.request(0.0, 16)
+        assert first == 2.0
+        assert second == 4.0
+        assert bus.stats.contention_cycles == 2.0
+
+    def test_idle_bus_grants_immediately(self):
+        bus = Bus()
+        done = bus.request(100.0, 16)
+        assert done == 100.0 + bus.occupancy(16)
+
+    def test_reset(self):
+        bus = Bus()
+        bus.request(0.0, 64)
+        bus.reset()
+        assert bus.request(0.0, 16) == bus.occupancy(16)

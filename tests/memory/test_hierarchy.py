@@ -1,0 +1,187 @@
+"""Tests for the composed memory hierarchy."""
+
+from dataclasses import replace
+
+from repro.memory.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+from repro.memory.mshr import MafConfig
+from repro.memory.tlb import PageWalkModel
+
+
+def _warm_tlb_hierarchy(**kwargs):
+    hierarchy = MemoryHierarchy(MemoryHierarchyConfig(**kwargs))
+    return hierarchy
+
+
+class TestLoadPath:
+    def test_l1_hit_latency(self):
+        h = _warm_tlb_hierarchy()
+        h.load(0.0, 0x1000)            # warm TLB + caches
+        result = h.load(1000.0, 0x1000)
+        assert result.l1_hit
+        assert result.ready == 1000.0 + h.config.l1d_load_to_use
+
+    def test_fp_load_extra_cycle(self):
+        h = _warm_tlb_hierarchy()
+        h.load(0.0, 0x1000)
+        result = h.load(1000.0, 0x1000, fp=True)
+        assert result.ready == 1000.0 + h.config.l1d_load_to_use + 1
+
+    def test_latency_ordering(self):
+        """L1 hit < L2 hit < DRAM."""
+        h = _warm_tlb_hierarchy()
+        dram = h.load(0.0, 0x100000)
+        l2 = h.load(5000.0, 0x100000 + 40 * 64 * 512)  # same L1 set region
+        h.load(10000.0, 0x1000)
+        l1 = h.load(20000.0, 0x1000)
+        l1_latency = l1.ready - 20000.0
+        dram_latency = dram.ready - 0.0
+        assert l1_latency < dram_latency
+        assert not dram.l1_hit
+
+    def test_l2_hit_faster_than_dram(self):
+        h = _warm_tlb_hierarchy()
+        first = h.load(0.0, 0x40000)           # DRAM fill (into L2 too)
+        h.l1d.invalidate(0x40000)              # drop from L1 only
+        second = h.load(5000.0, 0x40000)       # L2 hit now
+        assert second.l2_hit
+        assert (second.ready - 5000.0) < (first.ready - 0.0)
+
+    def test_victim_buffer_recovers_evictions(self):
+        h = _warm_tlb_hierarchy()
+        base = 0x1000
+        way_span = 512 * 64  # L1 sets * block
+        # Fill one set beyond its two ways.
+        h.load(0.0, base)
+        h.load(100.0, base + way_span)
+        h.load(200.0, base + 2 * way_span)  # evicts `base` into VB
+        result = h.load(5000.0, base)
+        assert result.victim_hit
+        expected = 5000.0 + h.config.l1d_load_to_use + (
+            h.victim.config.hit_penalty
+        )
+        assert result.ready == expected
+
+    def test_no_victim_buffer_when_disabled(self):
+        h = _warm_tlb_hierarchy(victim_buffer_enabled=False)
+        assert h.victim is None
+        base = 0x1000
+        way_span = 512 * 64
+        h.load(0.0, base)
+        h.load(100.0, base + way_span)
+        h.load(200.0, base + 2 * way_span)
+        result = h.load(5000.0, base)
+        assert not result.victim_hit
+        assert not result.l1_hit
+
+    def test_second_access_waits_for_inflight_fill(self):
+        h = _warm_tlb_hierarchy()
+        first = h.load(0.0, 0x200000)
+        second = h.load(1.0, 0x200008)  # same block, still in flight
+        assert second.ready >= first.ready
+
+    def test_maf_full_stall(self):
+        h = _warm_tlb_hierarchy(maf=MafConfig(entries=1))
+        h.load(0.0, 0x300000)
+        result = h.load(1.0, 0x310000)
+        assert result.maf_stall
+
+    def test_same_set_conflict_flagged(self):
+        h = _warm_tlb_hierarchy()
+        h.load(0.0, 0x400000)
+        conflicting = 0x400000 + 512 * 64  # same L1 set, different block
+        result = h.load(1.0, conflicting)
+        assert result.same_set_conflict
+
+
+class TestTlbBehaviour:
+    def test_hardware_walk_delays_translation_only(self):
+        h = _warm_tlb_hierarchy()
+        cold = h.load(0.0, 0x500000)
+        assert cold.tlb_miss
+        assert cold.tlb_stall_cycles == 0
+
+    def test_pal_walk_reports_stall(self):
+        h = _warm_tlb_hierarchy(
+            walk=PageWalkModel(stalls_pipeline=True)
+        )
+        cold = h.load(0.0, 0x500000)
+        assert cold.tlb_miss
+        assert cold.tlb_stall_cycles == h.config.walk.walk_latency()
+
+
+class TestIFetch:
+    def test_warm_fetch_is_one_cycle(self):
+        h = _warm_tlb_hierarchy()
+        h.ifetch(0.0, 0x10000)
+        result = h.ifetch(100.0, 0x10000)
+        assert result.l1_hit
+        assert result.ready == 101.0
+
+    def test_prefetch_buffer_catches_sequential_lines(self):
+        h = _warm_tlb_hierarchy()
+        miss = h.ifetch(0.0, 0x20000)
+        assert not miss.l1_hit
+        follow = h.ifetch(miss.ready, 0x20000 + 64)
+        # Sequential line was prefetched: far cheaper than a full miss.
+        assert follow.ready - miss.ready < miss.ready - 0.0
+
+    def test_prefetch_disabled(self):
+        h = _warm_tlb_hierarchy(icache_prefetch=False)
+        miss = h.ifetch(0.0, 0x20000)
+        follow = h.ifetch(miss.ready, 0x20000 + 64)
+        assert not follow.l1_hit
+        # Full miss path both times.
+        assert (follow.ready - miss.ready) > 5
+
+    def test_prefetch_does_not_pollute_icache(self):
+        h = _warm_tlb_hierarchy()
+        h.ifetch(0.0, 0x20000)
+        assert not h.l1i.probe(0x20000 + 64)
+        assert h.l1i.block_of(0x20000 + 64) in h._prefetch_buffer
+
+
+class TestStores:
+    def test_store_hit_cheap(self):
+        h = _warm_tlb_hierarchy()
+        h.load(0.0, 0x1000)
+        result = h.store(100.0, 0x1000)
+        assert result.l1_hit
+        assert result.ready == 101.0
+
+    def test_store_port_contention_mode(self):
+        contended = _warm_tlb_hierarchy(store_port_contention=True)
+        free = _warm_tlb_hierarchy(store_port_contention=False)
+        for h in (contended, free):
+            h.load(0.0, 0x1000)
+        # Saturate both ports at t=100 with loads, then store.
+        for h in (contended, free):
+            h.load(100.0, 0x1000)
+            h.load(100.0, 0x1008)
+        s_contended = contended.store(100.0, 0x1000)
+        s_free = free.store(100.0, 0x1000)
+        assert s_contended.ready > s_free.ready
+
+
+class TestSharedMaf:
+    def test_shared_maf_is_one_object(self):
+        h = _warm_tlb_hierarchy(shared_maf=True)
+        assert h.maf_i is h.maf_d is h.maf_l2
+
+    def test_private_mafs_are_distinct(self):
+        h = _warm_tlb_hierarchy(shared_maf=False)
+        assert h.maf_i is not h.maf_d
+
+
+class TestL2SetConflictTraps:
+    def test_flag_raised_only_when_enabled(self):
+        on = _warm_tlb_hierarchy(l2_set_conflict_traps=True)
+        off = _warm_tlb_hierarchy(l2_set_conflict_traps=False)
+        l2_span = 32768 * 64  # L2 sets * block = 2MB
+        for h, expect in ((on, True), (off, False)):
+            # Pre-allocate frames sequentially so virtual 2MB aliasing
+            # survives translation (the L2 is physically indexed).
+            for page in range(l2_span // 8192 + 1):
+                h.mapper.translate(0x600000 + page * 8192)
+            h.load(0.0, 0x600000)
+            result = h.load(1.0, 0x600000 + l2_span)
+            assert result.l2_set_conflict == expect

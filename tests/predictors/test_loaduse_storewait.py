@@ -1,0 +1,76 @@
+"""Tests for the load-use and store-wait predictors."""
+
+from repro.predictors.loaduse import LoadUseConfig, LoadUsePredictor
+from repro.predictors.storewait import StoreWaitConfig, StoreWaitPredictor
+
+
+class TestLoadUse:
+    def test_starts_predicting_hit(self):
+        assert LoadUsePredictor().predicts_hit()
+
+    def test_misses_decrement_by_two(self):
+        predictor = LoadUsePredictor()
+        start = predictor.value
+        predictor.predict_and_train(False)
+        assert predictor.value == start - 2
+
+    def test_flips_to_miss_after_streak(self):
+        predictor = LoadUsePredictor()
+        for _ in range(5):
+            predictor.predict_and_train(False)
+        assert not predictor.predicts_hit()
+
+    def test_recovers_on_hits(self):
+        predictor = LoadUsePredictor()
+        for _ in range(8):
+            predictor.predict_and_train(False)
+        for _ in range(12):
+            predictor.predict_and_train(True)
+        assert predictor.predicts_hit()
+
+    def test_mispredict_counting(self):
+        predictor = LoadUsePredictor()
+        predictor.predict_and_train(False)  # predicted hit, missed
+        assert predictor.stats.mispredictions == 1
+        predictor.predict_and_train(True)
+        assert predictor.stats.mispredictions == 1
+
+    def test_config_penalties(self):
+        config = LoadUseConfig()
+        assert config.squash_cycles >= 0
+        assert config.conservative_cycles == 2
+
+
+class TestStoreWait:
+    def test_initially_no_waits(self):
+        predictor = StoreWaitPredictor()
+        assert not predictor.should_wait(0x1000)
+
+    def test_trap_sets_bit(self):
+        predictor = StoreWaitPredictor()
+        predictor.record_trap(0x1000)
+        assert predictor.should_wait(0x1000)
+
+    def test_bits_are_per_pc(self):
+        predictor = StoreWaitPredictor()
+        predictor.record_trap(0x1000)
+        assert not predictor.should_wait(0x1004)
+
+    def test_aliasing_at_table_size(self):
+        predictor = StoreWaitPredictor(StoreWaitConfig(entries=16))
+        predictor.record_trap(0x0)
+        assert predictor.should_wait(16 * 4)  # same index mod 16 words
+
+    def test_periodic_clear(self):
+        predictor = StoreWaitPredictor(StoreWaitConfig(clear_interval=100))
+        predictor.record_trap(0x1000)
+        predictor.tick(99)
+        assert predictor.should_wait(0x1000)
+        predictor.tick(1)
+        assert not predictor.should_wait(0x1000)
+
+    def test_rejects_bad_entries(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            StoreWaitPredictor(StoreWaitConfig(entries=100))

@@ -1,0 +1,77 @@
+"""Tests for the circular return address stack."""
+
+from repro.predictors.ras import RasConfig, ReturnAddressStack
+
+
+def test_simple_call_return():
+    ras = ReturnAddressStack()
+    ras.push(0x1004)
+    assert ras.predict_and_pop(0x1004)
+    assert ras.stats.mispredictions == 0
+
+
+def test_nested_calls():
+    ras = ReturnAddressStack()
+    ras.push(0x1004)
+    ras.push(0x2004)
+    assert ras.predict_and_pop(0x2004)
+    assert ras.predict_and_pop(0x1004)
+
+
+def test_wrong_target_counts_mispredict():
+    ras = ReturnAddressStack()
+    ras.push(0x1004)
+    assert not ras.predict_and_pop(0xBAD)
+    assert ras.stats.mispredictions == 1
+
+
+def test_empty_stack_mispredicts():
+    ras = ReturnAddressStack()
+    assert not ras.predict_and_pop(0x1004)
+
+
+def test_circular_overflow_keeps_self_recursion_correct():
+    """C-R: a 1,000-deep self-recursion overflows the 32-entry stack,
+    but every frame returns to the same site, so the stale wrapped
+    entries still predict correctly."""
+    ras = ReturnAddressStack(RasConfig(depth=32))
+    return_pc = 0x5004
+    for _ in range(1000):
+        ras.push(return_pc)
+    for _ in range(1000):
+        assert ras.predict_and_pop(return_pc)
+    assert ras.stats.mispredictions == 0
+
+
+def test_circular_overflow_breaks_distinct_sites():
+    """Distinct return addresses deeper than the stack DO mispredict."""
+    ras = ReturnAddressStack(RasConfig(depth=4))
+    addresses = [0x1000 + 4 * i for i in range(8)]
+    for address in addresses:
+        ras.push(address)
+    # Unwinding: the four most recent are fine, the rest are stale.
+    correct = sum(
+        ras.predict_and_pop(address) for address in reversed(addresses)
+    )
+    assert correct == 4
+
+
+def test_non_speculative_update_lags():
+    """A return fetched right after its call's push (within the delay
+    window) sees the old top: the sim-initial C-R failure mode."""
+    ras = ReturnAddressStack(
+        RasConfig(depth=32, speculative_update=False, update_delay=4)
+    )
+    ras.push(0x1004)
+    # The push is still pending: prediction misses.
+    assert not ras.predict_and_pop(0x1004)
+
+
+def test_non_speculative_update_eventually_lands():
+    ras = ReturnAddressStack(
+        RasConfig(depth=32, speculative_update=False, update_delay=2)
+    )
+    ras.push(0xAAA4)
+    ras.push(0xBBB4)
+    ras.push(0xCCC4)  # first push has now settled
+    assert ras.top_value == 0xAAA4

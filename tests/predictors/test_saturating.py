@@ -1,0 +1,75 @@
+"""Tests for saturating counters and counter tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors.saturating import CounterTable, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_saturates_high(self):
+        counter = SaturatingCounter(2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(2, initial=3)
+        for _ in range(10):
+            counter.decrement()
+        assert counter.value == 0
+
+    def test_msb(self):
+        counter = SaturatingCounter(2, initial=2)
+        assert counter.msb
+        counter.decrement()
+        assert not counter.msb
+
+    def test_asymmetric_steps(self):
+        counter = SaturatingCounter(4, initial=15)
+        counter.decrement(2)
+        assert counter.value == 13
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(2, initial=4)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.lists(st.booleans(), max_size=100))
+    def test_always_in_range(self, bits, updates):
+        counter = SaturatingCounter(bits)
+        for up in updates:
+            counter.increment() if up else counter.decrement()
+            assert 0 <= counter.value <= counter.maximum
+
+
+class TestCounterTable:
+    def test_initial_value(self):
+        table = CounterTable(16, 2, initial=2)
+        assert all(table.read(i) == 2 for i in range(16))
+
+    def test_training(self):
+        table = CounterTable(16, 2, initial=2)
+        for _ in range(3):
+            table.update(5, False)
+        assert not table.predict_taken(5)
+        assert table.predict_taken(6)  # untouched neighbour
+
+    def test_index_masking(self):
+        table = CounterTable(16, 2)
+        table.update(16 + 3, True)
+        assert table.read(3) == table.read(16 + 3)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CounterTable(10, 2)
+
+    @given(st.lists(st.tuples(st.integers(0, 1 << 20), st.booleans()),
+                    max_size=200))
+    def test_counters_bounded(self, updates):
+        table = CounterTable(8, 3)
+        for index, taken in updates:
+            table.update(index, taken)
+        assert all(0 <= v <= 7 for v in table.table)

@@ -1,0 +1,104 @@
+"""Tests for the tournament (local/global/choice) branch predictor."""
+
+import random
+
+from repro.predictors.tournament import TournamentConfig, TournamentPredictor
+
+
+def test_learns_always_taken():
+    predictor = TournamentPredictor()
+    for _ in range(200):
+        predictor.predict_and_train(0x1000, True)
+    assert predictor.stats.accuracy > 0.97
+
+
+def test_learns_alternating_pattern():
+    """The C-C microbenchmark's alternation: local history learns it."""
+    predictor = TournamentPredictor()
+    for i in range(2000):
+        predictor.predict_and_train(0x2000, i % 2 == 0)
+    # After warm-up the alternation is essentially perfect.
+    late = TournamentPredictor()
+    for i in range(200):
+        late.predict_and_train(0x2000, i % 2 == 0)
+    assert predictor.stats.accuracy > 0.9
+
+
+def test_learns_period_four_pattern():
+    predictor = TournamentPredictor()
+    for i in range(4000):
+        predictor.predict_and_train(0x3000, i % 4 != 0)
+    assert predictor.stats.accuracy > 0.9
+
+
+def test_random_branches_near_chance():
+    predictor = TournamentPredictor()
+    rng = random.Random(7)
+    for _ in range(4000):
+        predictor.predict_and_train(0x4000, rng.random() < 0.5)
+    assert 0.35 < predictor.stats.accuracy < 0.65
+
+
+def test_global_history_catches_correlation():
+    """Two sites where the second repeats the first's outcome."""
+    predictor = TournamentPredictor()
+    rng = random.Random(3)
+    first_outcomes = []
+    misses_on_second = 0
+    for i in range(4000):
+        outcome = rng.random() < 0.5
+        predictor.predict_and_train(0x5000, outcome)
+        prediction = predictor.predict_and_train(0x6000, outcome)
+        if i > 2000 and prediction != outcome:
+            misses_on_second += 1
+    # The correlated follow-up should be essentially perfect late on.
+    assert misses_on_second < 100
+
+
+def test_non_speculative_update_breaks_close_correlation():
+    """The paper's `spec` feature: without speculative history update,
+    a correlated branch only a few branches downstream sees a stale
+    history and loses the correlation."""
+    def run(speculative: bool) -> int:
+        config = TournamentConfig(speculative_update=speculative,
+                                  update_delay=6)
+        predictor = TournamentPredictor(config)
+        rng = random.Random(11)
+        wrong = 0
+        for i in range(4000):
+            outcome = rng.random() < 0.5
+            predictor.predict_and_train(0x5000, outcome)
+            prediction = predictor.predict_and_train(0x6000, outcome)
+            if i > 2000 and prediction != outcome:
+                wrong += 1
+        return wrong
+
+    assert run(True) < 50
+    assert run(False) > 400
+
+
+def test_distant_recurrence_unharmed_by_non_speculative_update():
+    """A branch revisited far apart is insensitive to update delay."""
+    config = TournamentConfig(speculative_update=False, update_delay=6)
+    predictor = TournamentPredictor(config)
+    # 20 sites round-robin, each always-taken: delay 6 < 20 distance.
+    for i in range(4000):
+        predictor.predict_and_train(0x7000 + (i % 20) * 4, True)
+    assert predictor.stats.accuracy > 0.95
+
+
+def test_stats_reset():
+    predictor = TournamentPredictor()
+    predictor.predict_and_train(0x100, True)
+    predictor.stats.reset()
+    assert predictor.stats.lookups == 0
+
+
+def test_predict_is_stateless():
+    predictor = TournamentPredictor()
+    for _ in range(50):
+        predictor.predict_and_train(0x100, True)
+    before = predictor.stats.lookups
+    for _ in range(10):
+        predictor.predict(0x100)
+    assert predictor.stats.lookups == before

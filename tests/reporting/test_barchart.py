@@ -1,0 +1,58 @@
+"""Tests for the ASCII bar chart renderer."""
+
+import pytest
+
+from repro.reporting.barchart import render_grouped_bars
+
+
+def test_basic_rendering():
+    text = render_grouped_bars(
+        ["go", "swim"],
+        {"8-way": [3.0, 4.0], "alpha": [1.0, 1.2]},
+        title="demo",
+    )
+    assert "demo" in text
+    assert "go:" in text and "swim:" in text
+    assert "4.00" in text
+
+
+def test_bars_scale_together():
+    text = render_grouped_bars(
+        ["a"], {"big": [4.0], "small": [1.0]}, width=40
+    )
+    lines = [line for line in text.splitlines() if "█" in line]
+    big = next(line for line in lines if "big" in line)
+    small = next(line for line in lines if "small" in line)
+    assert big.count("█") == 40
+    assert small.count("█") == 10
+
+
+def test_mismatched_series_rejected():
+    with pytest.raises(ValueError, match="values for"):
+        render_grouped_bars(["a", "b"], {"s": [1.0]})
+
+
+def test_empty_groups_rejected():
+    with pytest.raises(ValueError):
+        render_grouped_bars([], {"s": []})
+
+
+def test_nonpositive_rejected():
+    with pytest.raises(ValueError):
+        render_grouped_bars(["a"], {"s": [0.0]})
+
+
+def test_figure2_result_renders_bars():
+    from repro.validation.experiments import Figure2Result
+
+    result = Figure2Result(
+        ipcs={
+            "8-way": {"go": (3.0, 2.9, 2.2)},
+            "sim-alpha": {"go": (1.0, 0.95, 0.9)},
+        },
+        benchmarks=["go"],
+    )
+    text = result.render_bars()
+    assert "Figure 2" in text
+    assert "8-way 1-cycle full bypass" in text
+    assert "sim-alpha 2-cycle partial bypass" in text

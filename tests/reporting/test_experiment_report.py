@@ -1,0 +1,22 @@
+"""Tests for the EXPERIMENTS.md generator's building blocks."""
+
+from repro.reporting.experiment_report import _md_table
+
+
+def test_md_table_basic():
+    text = _md_table(["a", "b"], [(1, 2.5), ("x", None)])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert "| 1 | 2.50 |" in lines
+    assert "| x | n/a |" in lines
+
+
+def test_md_table_nan_is_na():
+    text = _md_table(["v"], [(float("nan"),)])
+    assert "n/a" in text
+
+
+def test_md_table_handles_many_columns():
+    text = _md_table(list("abcdef"), [tuple(range(6))])
+    assert text.count("|") > 10

@@ -1,0 +1,81 @@
+"""Tests for table rendering and the published-data module."""
+
+import math
+
+import pytest
+
+from repro.reporting import paper_data
+from repro.reporting.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159) == "3.14"
+        assert format_value(3.14159, precision=3) == "3.142"
+
+    def test_nan_and_none(self):
+        assert format_value(float("nan")) == "n/a"
+        assert format_value(None) == "n/a"
+
+    def test_strings_and_ints(self):
+        assert format_value("abc") == "abc"
+        assert format_value(7) == "7"
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        text = render_table(
+            ["name", "value"],
+            [("alpha", 1.0), ("beta", 22.5)],
+            title="Demo",
+        )
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "22.50" in text
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # consistent column layout
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [(1,)])
+
+    def test_no_title(self):
+        text = render_table(["a"], [(1,)])
+        assert text.splitlines()[0].strip() == "a"
+
+
+class TestPaperData:
+    def test_table2_complete(self):
+        names = set(paper_data.TABLE2_NATIVE_IPC)
+        assert len(names) == 21
+        assert names == set(paper_data.TABLE2_VALIDATED_ERROR)
+        assert names == set(paper_data.TABLE2_INITIAL_ERROR)
+        assert names == set(paper_data.TABLE2_OUTORDER_DIFF)
+
+    def test_table3_complete(self):
+        assert len(paper_data.TABLE3) == 10
+        for values in paper_data.TABLE3.values():
+            assert len(values) == 4
+
+    def test_table4_features(self):
+        assert set(paper_data.TABLE4) == {
+            "ref", "addr", "eret", "luse", "pref", "spec", "stwt",
+            "vbuf", "maps", "slot", "trap",
+        }
+
+    def test_table5_luse_l1_is_nan(self):
+        value = paper_data.TABLE5["l1_latency_3_to_1"]["luse"]
+        assert math.isnan(value)
+
+    def test_figure2_benchmarks(self):
+        assert len(paper_data.FIGURE2_BENCHMARKS) == 11
+        for bench in paper_data.FIGURE2_BENCHMARKS:
+            configs = paper_data.FIGURE2_CRUZ_IPC[bench]
+            # Partial bypass is the slowest configuration in the study.
+            assert configs[2] < configs[0]
+
+    def test_calibration_winner(self):
+        winner = paper_data.CALIBRATION_TARGETS["winner"]
+        assert winner["page_policy"] == "open"
+        assert winner["cas_cycles"] == 4

@@ -1,0 +1,129 @@
+"""Tests for sim-outorder and the 8-way study simulator."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.functional.machine import run_program
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
+from repro.memory.cache import CacheConfig
+from repro.simulators.eightway import EightWayConfig, EightWaySim
+from repro.simulators.simoutorder import OutOrderConfig, SimOutOrder
+
+
+def _loop_trace(body_adds=8, iterations=300):
+    b = ProgramBuilder("loop")
+    b.load_imm("r9", 0)
+    b.label("loop")
+    for i in range(body_adds):
+        reg = f"r{1 + (i % 8)}"
+        b.emit(Opcode.ADDQ, dest=reg, srcs=(reg,), imm=1)
+    b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r10", srcs=("r9",), imm=iterations)
+    b.branch(Opcode.BNE, "r10", "loop")
+    b.halt()
+    return run_program(b.build())
+
+
+def _chain_trace(length=300):
+    b = ProgramBuilder("chain")
+    b.load_imm("r9", 0)
+    b.label("loop")
+    for _ in range(20):
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r10", srcs=("r9",), imm=length)
+    b.branch(Opcode.BNE, "r10", "loop")
+    b.halt()
+    return run_program(b.build())
+
+
+class TestSimOutOrder:
+    def test_width_bound(self):
+        result = SimOutOrder().run_trace(_loop_trace(), "loop")
+        assert result.ipc <= 4.05
+
+    def test_dependence_bound(self):
+        result = SimOutOrder().run_trace(_chain_trace(), "chain")
+        # 20-op serial chain + ~3 parallel ops per iteration.
+        assert result.ipc < 1.6
+
+    def test_no_octaword_alignment_sensitivity(self):
+        """Unlike the 21264 engine, fetch ignores alignment."""
+        b = ProgramBuilder("misaligned")
+        b.load_imm("r9", 0)
+        b.unop(2)  # loop head lands mid-octaword
+        b.label("loop")
+        for i in range(7):
+            reg = f"r{1 + i}"
+            b.emit(Opcode.ADDQ, dest=reg, srcs=(reg,), imm=1)
+        b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r10", srcs=("r9",), imm=300)
+        b.branch(Opcode.BNE, "r10", "loop")
+        b.halt()
+        result = SimOutOrder().run_trace(run_program(b.build()), "m")
+        assert result.ipc > 3.0
+
+    def test_l1_latency_config(self):
+        # A pointer chase puts the load latency on the critical path.
+        b = ProgramBuilder("chase")
+        head = b.alloc_words([0])
+        b.poke(head, head)  # self-pointing node
+        b.load_imm("r9", head)
+        b.load_imm("r1", 0)
+        b.label("loop")
+        b.emit(Opcode.LDQ, dest="r9", base="r9", disp=0)
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+        b.emit(Opcode.CMPLT, dest="r4", srcs=("r1",), imm=300)
+        b.branch(Opcode.BNE, "r4", "loop")
+        b.halt()
+        trace = run_program(b.build())
+        slow = SimOutOrder(OutOrderConfig(l1_latency=3)).run_trace(trace, "x")
+        fast = SimOutOrder(OutOrderConfig(l1_latency=1)).run_trace(trace, "x")
+        assert fast.cycles < slow.cycles
+
+    def test_separate_phys_regs_constrain(self):
+        trace = _loop_trace(body_adds=32, iterations=200)
+        unconstrained = SimOutOrder().run_trace(trace, "x")
+        constrained = SimOutOrder(
+            OutOrderConfig(separate_phys_regs=8)
+        ).run_trace(trace, "x")
+        assert constrained.cycles > unconstrained.cycles
+
+    def test_with_l1_latency_helper(self):
+        config = OutOrderConfig().with_l1_latency(1)
+        assert config.l1_latency == 1
+
+
+class TestEightWay:
+    def test_wider_than_outorder(self):
+        trace = _loop_trace(body_adds=24, iterations=200)
+        eight = EightWaySim().run_trace(trace, "x")
+        four = SimOutOrder().run_trace(trace, "x")
+        assert eight.ipc > four.ipc
+
+    def test_partial_bypass_costs(self):
+        trace = _chain_trace()
+        full = EightWaySim(
+            EightWayConfig().with_regfile(2, True)
+        ).run_trace(trace, "x")
+        partial = EightWaySim(
+            EightWayConfig().with_regfile(2, False)
+        ).run_trace(trace, "x")
+        assert partial.cycles > full.cycles
+
+    def test_regfile_depth_costs_on_mispredicts(self):
+        trace = _loop_trace()
+        shallow = EightWaySim(
+            EightWayConfig().with_regfile(1, True)
+        ).run_trace(trace, "x")
+        deep = EightWaySim(
+            EightWayConfig().with_regfile(3, True)
+        ).run_trace(trace, "x")
+        assert deep.cycles >= shallow.cycles
+
+    def test_config_naming(self):
+        config = EightWayConfig().with_regfile(2, False)
+        assert "rf2partial" in config.name

@@ -1,0 +1,74 @@
+"""Tests for the DCPI-style sampling profiler."""
+
+import pytest
+
+from repro.result import SimResult
+from repro.simulators.dcpi import SAMPLING_INTERVALS, DcpiProfiler
+
+
+def _result(cycles=100_000.0, instructions=50_000, workload="w"):
+    return SimResult("DS-10L", workload, cycles, instructions)
+
+
+def test_interval_range_enforced():
+    DcpiProfiler(interval_cycles=1_000)
+    DcpiProfiler(interval_cycles=64_000)
+    with pytest.raises(ValueError):
+        DcpiProfiler(interval_cycles=500)
+    with pytest.raises(ValueError):
+        DcpiProfiler(interval_cycles=100_000)
+
+
+def test_supported_intervals_all_valid():
+    for interval in SAMPLING_INTERVALS:
+        DcpiProfiler(interval_cycles=interval)
+
+
+def test_dilation_decreases_with_interval():
+    short = DcpiProfiler(interval_cycles=1_000)
+    long = DcpiProfiler(interval_cycles=64_000)
+    assert short.dilation_fraction() > long.dilation_fraction()
+
+
+def test_quantisation_grows_with_interval():
+    short = DcpiProfiler(interval_cycles=1_000)
+    long = DcpiProfiler(interval_cycles=64_000)
+    assert abs(long.quantisation_fraction("x")) > abs(
+        short.quantisation_fraction("x")
+    )
+
+
+def test_measurement_is_deterministic():
+    profiler = DcpiProfiler()
+    a = profiler.measure(_result())
+    b = profiler.measure(_result())
+    assert a.cycles == b.cycles
+
+
+def test_measurement_error_is_small():
+    profiler = DcpiProfiler()
+    measured = profiler.measure(_result())
+    assert abs(measured.cycles - 100_000.0) / 100_000.0 < 0.02
+
+
+def test_noise_varies_by_workload():
+    profiler = DcpiProfiler()
+    cycles = {
+        workload: profiler.measure(_result(workload=workload)).cycles
+        for workload in ("a", "b", "c", "d")
+    }
+    assert len(set(cycles.values())) > 1
+
+
+def test_measured_ipc_capped_at_retire_width():
+    profiler = DcpiProfiler()
+    absurd = _result(cycles=10.0, instructions=10_000)
+    measured = profiler.measure(absurd)
+    assert measured.instructions / measured.cycles <= 11.0
+
+
+def test_error_profile_components():
+    profiler = DcpiProfiler()
+    dilation, quantisation = profiler.error_profile("w")
+    assert dilation > 0
+    assert -0.01 < quantisation < 0.01

@@ -1,0 +1,99 @@
+"""More sim-outorder behaviours: predictors, window, commit."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.functional.machine import run_program
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
+from repro.simulators.simoutorder import OutOrderConfig, SimOutOrder
+
+
+def _loop(body_emit, iterations=300, name="loop"):
+    b = ProgramBuilder(name)
+    b.load_imm("r9", 0)
+    b.label("loop")
+    body_emit(b)
+    b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r10", srcs=("r9",), imm=iterations)
+    b.branch(Opcode.BNE, "r10", "loop")
+    b.halt()
+    return run_program(b.build())
+
+
+def test_btb_learns_stable_targets():
+    trace = _loop(lambda b: b.emit(Opcode.ADDQ, dest="r1",
+                                   srcs=("r1",), imm=1))
+    result = SimOutOrder().run_trace(trace, "loop")
+    # The loop-back branch trains quickly; its target stays in the BTB.
+    assert result.stats.branch_mispredicts < 20
+
+
+def test_ras_handles_calls():
+    b = ProgramBuilder("calls")
+    b.load_imm("r9", 0)
+    b.label("loop")
+    b.call("leaf")
+    b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r10", srcs=("r9",), imm=200)
+    b.branch(Opcode.BNE, "r10", "loop")
+    b.halt()
+    b.label("leaf")
+    b.emit(Opcode.ADDQ, dest="r3", srcs=("r3",), imm=1)
+    b.ret()
+    trace = run_program(b.build())
+    result = SimOutOrder().run_trace(trace, "calls")
+    assert result.stats.ras_mispredicts < 5
+
+
+def test_bigger_window_tolerates_latency():
+    b = ProgramBuilder("latency")
+    arrays = b.alloc(1 << 22, align=64)
+    b.load_imm("r9", arrays)
+    b.load_imm("r1", 0)
+    b.label("loop")
+    for i in range(2):
+        b.emit(Opcode.SLL, dest="r13", srcs=("r1",), imm=8)
+        b.emit(Opcode.LDA, dest="r13", srcs=("r13",), imm=i * 1048704)
+        b.emit(Opcode.ADDQ, dest="r13", srcs=("r13", "r9"))
+        b.emit(Opcode.LDQ, dest=f"r{3 + i}", base="r13", disp=0)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r2", srcs=("r1",), imm=300)
+    b.branch(Opcode.BNE, "r2", "loop")
+    b.halt()
+    trace = run_program(b.build())
+    small = SimOutOrder(OutOrderConfig(ruu_size=8)).run_trace(trace, "x")
+    big = SimOutOrder(OutOrderConfig(ruu_size=128)).run_trace(trace, "x")
+    assert big.cycles < small.cycles
+
+
+def test_commit_width_caps_ipc():
+    trace = _loop(lambda b: [
+        b.emit(Opcode.ADDQ, dest=f"r{1 + i}", srcs=(f"r{1 + i}",), imm=1)
+        for i in range(6)
+    ])
+    wide = SimOutOrder(OutOrderConfig(commit_width=8,
+                                      fetch_width=8,
+                                      issue_width=8,
+                                      int_alu_units=8)).run_trace(trace, "x")
+    narrow = SimOutOrder(OutOrderConfig(commit_width=2)).run_trace(trace, "x")
+    assert narrow.ipc <= 2.01
+    assert wide.ipc > narrow.ipc
+
+
+def test_lsq_pressure():
+    def body(b):
+        for i in range(4):
+            b.emit(Opcode.STQ, srcs=("r9",), base="r9", disp=4096 + 8 * i)
+    trace = _loop(body, iterations=200, name="stores")
+    roomy = SimOutOrder().run_trace(trace, "stores")
+    cramped = SimOutOrder(OutOrderConfig(lsq_size=2)).run_trace(
+        trace, "stores"
+    )
+    assert cramped.cycles >= roomy.cycles
+
+
+def test_name_property():
+    assert SimOutOrder().name == "sim-outorder"
+    assert SimOutOrder(OutOrderConfig(name="custom")).name == "custom"

@@ -1,0 +1,82 @@
+"""Tests for the dataflow-limit machine."""
+
+import pytest
+
+from repro.core.simalpha import SimAlpha
+from repro.functional.machine import run_program
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
+from repro.simulators.perfect import PerfectConfig, PerfectMachine
+from repro.simulators.simoutorder import SimOutOrder
+from repro.validation.harness import Harness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+def test_serial_chain_is_the_critical_path():
+    b = ProgramBuilder("chain")
+    b.load_imm("r1", 1)
+    for _ in range(100):
+        b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.halt()
+    result = PerfectMachine().run_trace(run_program(b.build()), "chain")
+    # 1 (lda) + 100 adds at latency 1 each.
+    assert result.cycles == 101.0
+
+
+def test_independent_work_is_free():
+    b = ProgramBuilder("parallel")
+    for i in range(64):
+        b.emit(Opcode.ADDQ, dest=f"r{1 + (i % 8)}",
+               srcs=(f"r{1 + (i % 8)}",), imm=1)
+    b.halt()
+    result = PerfectMachine().run_trace(run_program(b.build()), "parallel")
+    # Eight chains of eight: critical path 8 cycles.
+    assert result.cycles == 8.0
+
+
+def test_multiply_latency_counts():
+    b = ProgramBuilder("mul")
+    b.load_imm("r1", 1)
+    for _ in range(10):
+        b.emit(Opcode.MULQ, dest="r1", srcs=("r1",), imm=1)
+    b.halt()
+    result = PerfectMachine().run_trace(run_program(b.build()), "mul")
+    assert result.cycles == 1 + 10 * 7
+
+
+def test_load_latency_configurable():
+    b = ProgramBuilder("chase")
+    head = b.alloc_words([0])
+    b.poke(head, head)
+    b.load_imm("r9", head)
+    for _ in range(10):
+        b.emit(Opcode.LDQ, dest="r9", base="r9", disp=0)
+    b.halt()
+    trace = run_program(b.build())
+    default = PerfectMachine().run_trace(trace, "chase")
+    fast = PerfectMachine(PerfectConfig(load_latency=1)).run_trace(
+        trace, "chase"
+    )
+    assert default.cycles - fast.cycles == 10 * 2
+
+
+def test_bounds_every_real_machine(harness):
+    """No configuration may beat the dataflow limit."""
+    for workload in ("C-Ca", "E-D3", "gzip"):
+        trace = harness.workloads.trace(workload)
+        limit = PerfectMachine().run_trace(trace, workload)
+        for factory in (SimAlpha, SimOutOrder):
+            real = factory().run_trace(trace, workload)
+            assert real.cycles >= limit.cycles, (workload, real.simulator)
+
+
+def test_nops_are_free():
+    b = ProgramBuilder("nops")
+    b.unop(50)
+    b.halt()
+    result = PerfectMachine().run_trace(run_program(b.build()), "nops")
+    assert result.cycles == 1.0

@@ -1,0 +1,64 @@
+"""Tests for the NativeMachine (DS-10L stand-in)."""
+
+from repro.core.config import NativeEffects
+from repro.functional.machine import run_program
+from repro.isa.assembler import assemble
+from repro.simulators.refmachine import NativeMachine, make_native_machine
+
+
+def _trace():
+    return run_program(assemble("""
+        lda r1, #0
+    loop:
+        addq r1, r1, #1
+        cmplt r2, r1, #500
+        bne r2, loop
+        halt
+    """))
+
+
+def test_name_and_config():
+    machine = make_native_machine()
+    assert machine.name == "DS-10L"
+    assert machine.config.native == NativeEffects.ds10l()
+
+
+def test_all_native_effects_enabled():
+    effects = NativeEffects.ds10l()
+    assert effects.page_coloring
+    assert effects.controller_page_opt
+    assert effects.shared_maf
+    assert effects.store_port_contention
+    assert effects.pal_tlb_misses
+    assert effects.writeback_traffic
+    assert effects.split_memory_bus
+    assert effects.extra_replay_traps
+
+
+def test_none_disables_everything():
+    effects = NativeEffects.none()
+    assert effects == NativeEffects()
+
+
+def test_measured_differs_from_exact():
+    trace = _trace()
+    measured = NativeMachine(measure=True).run_trace(trace, "loop")
+    exact = NativeMachine(measure=False).run_trace(trace, "loop")
+    assert measured.cycles != exact.cycles
+    # ... but only slightly (DCPI error is sub-percent at 40K).
+    assert abs(measured.cycles - exact.cycles) / exact.cycles < 0.02
+
+
+def test_sampling_interval_configurable():
+    trace = _trace()
+    fine = NativeMachine(sampling_interval=1_000).run_trace(trace, "loop")
+    coarse = NativeMachine(sampling_interval=64_000).run_trace(trace, "loop")
+    # The 1K interval dilates execution more.
+    assert fine.cycles > coarse.cycles
+
+
+def test_deterministic():
+    trace = _trace()
+    a = NativeMachine().run_trace(trace, "loop")
+    b = NativeMachine().run_trace(trace, "loop")
+    assert a.cycles == b.cycles

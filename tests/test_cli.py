@@ -1,0 +1,48 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.validation.cli import _EXPERIMENTS, main
+
+
+def test_all_experiments_registered():
+    assert set(_EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4", "table5",
+        "figure2", "calibration", "bugwalk", "sampling",
+        "warmup", "baselines", "ablation", "diagnose",
+    }
+
+
+def test_warmup_quick(capsys):
+    assert main(["warmup", "--quick"]) == 0
+    assert "Warm-up profile" in capsys.readouterr().out
+
+
+def test_diagnose_quick(capsys):
+    assert main(["diagnose", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "masked_load_trap_addresses" in out
+    assert "Diagnosis" in out
+
+
+def test_sampling_runs(capsys):
+    assert main(["sampling"]) == 0
+    out = capsys.readouterr().out
+    assert "DCPI" in out
+    assert "completed in" in out
+
+
+def test_table1_runs(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "integer multiply" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["table9"])
+
+
+def test_quick_flag_accepted(capsys):
+    assert main(["sampling", "--quick"]) == 0

@@ -1,0 +1,71 @@
+"""Golden-number regression locks.
+
+The whole stack — workload generation, functional execution, every
+predictor, the memory hierarchy, DRAM, the pipeline engines, DCPI
+measurement — is deterministic.  These exact cycle counts pin the
+current model: any change to timing behaviour anywhere shows up here
+first, on purpose.  If a deliberate model change moves them, regenerate
+with the snippet in this file's docstring-footer and re-justify the
+EXPERIMENTS.md shapes.
+
+Regenerate::
+
+    python - <<'PY'
+    from repro.validation.harness import Harness
+    from repro.core import SimAlpha, make_sim_initial, make_sim_stripped
+    from repro.simulators import (SimOutOrder, NativeMachine,
+                                  EightWaySim)
+    h = Harness()
+    for factory, wl in [(SimAlpha, "C-Ca"), ...]:
+        r = h.run_one(factory, wl)
+        print(r.simulator, wl, r.cycles)
+    PY
+"""
+
+import pytest
+
+from repro.core import SimAlpha, make_sim_initial, make_sim_stripped
+from repro.simulators import EightWaySim, NativeMachine, SimOutOrder
+from repro.validation.harness import Harness
+
+_FACTORIES = {
+    "sim-alpha": SimAlpha,
+    "sim-initial": make_sim_initial,
+    "sim-stripped": make_sim_stripped,
+    "sim-outorder": SimOutOrder,
+    "DS-10L": NativeMachine,
+    "8-way-inhouse": EightWaySim,
+}
+
+#: (simulator name, workload, exact cycles)
+GOLDEN = [
+    ("sim-alpha", "C-Ca", 13615.0),
+    ("sim-alpha", "E-D3", 12930.0),
+    ("sim-alpha", "M-D", 31551.0),
+    ("sim-alpha", "gzip", 52986.0),
+    ("sim-initial", "C-Ca", 22638.0),
+    ("sim-stripped", "eon", 62066.0),
+    ("sim-outorder", "E-I", 12992.0),
+    ("DS-10L", "mesa", 36756.15654443807),
+    ("8-way-inhouse", "go", 10092.0),
+]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+@pytest.mark.parametrize(
+    "simulator,workload,cycles",
+    GOLDEN,
+    ids=[f"{s}-{w}" for s, w, _ in GOLDEN],
+)
+def test_golden_cycles(harness, simulator, workload, cycles):
+    result = harness.run_one(_FACTORIES[simulator], workload)
+    assert result.cycles == pytest.approx(cycles, abs=1e-6), (
+        f"{simulator} on {workload} moved: {result.cycles} vs golden "
+        f"{cycles}.  If this change is intentional, regenerate the "
+        f"GOLDEN table (see module docstring) and re-check the "
+        f"EXPERIMENTS.md shapes."
+    )

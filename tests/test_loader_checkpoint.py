@@ -1,0 +1,91 @@
+"""Tests for the program loader and architectural checkpoints."""
+
+import pytest
+
+from repro.functional.checkpoint import (
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+    snapshot,
+)
+from repro.functional.machine import FunctionalMachine
+from repro.isa.assembler import assemble
+from repro.isa.loader import load_program, program_digest, save_program
+from repro.workloads.kernels import checksum
+from repro.workloads.micro import control_recursive
+
+
+class TestLoader:
+    def test_save_load_roundtrip(self, tmp_path):
+        program = checksum(words=64)
+        path = tmp_path / "checksum.img"
+        digest = save_program(program, path)
+        reloaded = load_program(path)
+        assert program_digest(reloaded) == digest
+        assert reloaded.name == program.name
+
+    def test_digest_is_content_addressed(self):
+        a = checksum(words=64)
+        b = checksum(words=64)
+        c = checksum(words=65)
+        assert program_digest(a) == program_digest(b)
+        assert program_digest(a) != program_digest(c)
+
+    def test_reloaded_program_times_identically(self, tmp_path):
+        from repro.core.simalpha import SimAlpha
+        from repro.functional.machine import run_program
+
+        program = control_recursive(depth=50, outer=3)
+        path = tmp_path / "cr.img"
+        save_program(program, path)
+        reloaded = load_program(path)
+        original = SimAlpha().run_trace(run_program(program), "C-R")
+        replayed = SimAlpha().run_trace(run_program(reloaded), "C-R")
+        assert original.cycles == replayed.cycles
+
+
+class TestCheckpoint:
+    def _run_state(self):
+        program = assemble("""
+            lda r1, #42
+            lda r2, #4096
+            stq r1, 0(r2)
+            halt
+        """)
+        machine = FunctionalMachine(program)
+        machine.run()
+        return machine.state
+
+    def test_snapshot_restore_roundtrip(self):
+        state = self._run_state()
+        restored = restore(snapshot(state))
+        assert restored.read_int("r1") == 42
+        assert restored.memory.load_word(4096) == 42
+
+    def test_file_roundtrip(self, tmp_path):
+        state = self._run_state()
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(state, path)
+        restored = load_checkpoint(path)
+        assert restored.read_int("r2") == 4096
+        assert restored.memory.load_word(4096) == 42
+
+    def test_restore_is_independent(self):
+        state = self._run_state()
+        restored = restore(snapshot(state))
+        restored.write_int("r1", 0)
+        restored.memory.store_word(4096, 0)
+        assert state.read_int("r1") == 42
+        assert state.memory.load_word(4096) == 42
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="not a checkpoint"):
+            restore({"format": "something-else"})
+
+    def test_fp_state_preserved(self):
+        from repro.functional.machine import ArchState
+
+        state = ArchState()
+        state.write_fp("f3", 2.5)
+        restored = restore(snapshot(state))
+        assert restored.read_fp("f3") == 2.5

@@ -1,0 +1,45 @@
+"""Tests for the result records and the top-level public API."""
+
+import repro
+from repro.result import RunStats, SimResult
+
+
+class TestSimResult:
+    def test_ipc_cpi(self):
+        result = SimResult("s", "w", cycles=200.0, instructions=100)
+        assert result.ipc == 0.5
+        assert result.cpi == 2.0
+
+    def test_zero_guards(self):
+        assert SimResult("s", "w", 0.0, 100).ipc == 0.0
+        assert SimResult("s", "w", 100.0, 0).cpi == 0.0
+
+    def test_str(self):
+        text = str(SimResult("sim-alpha", "C-R", 100.0, 50))
+        assert "sim-alpha" in text and "C-R" in text and "0.50" in text
+
+
+class TestRunStats:
+    def test_replay_trap_aggregate(self):
+        stats = RunStats(store_replay_traps=2, load_order_traps=3,
+                         mbox_traps=5)
+        assert stats.replay_traps == 10
+
+    def test_defaults_zero(self):
+        stats = RunStats()
+        assert stats.branch_mispredicts == 0
+        assert stats.extra == {}
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_core_entry_points(self):
+        assert callable(repro.SimAlpha)
+        assert callable(repro.NativeMachine)
+        assert callable(repro.build_microbenchmark)

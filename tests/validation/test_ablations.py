@@ -1,0 +1,48 @@
+"""Tests for the ablation drivers (reduced workload sets)."""
+
+import pytest
+
+from repro.validation.ablations import (
+    ablate_native_effects,
+    paging_policy_study,
+    victim_buffer_sweep,
+)
+from repro.validation.harness import Harness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+class TestNativeEffectAblation:
+    def test_structure_and_directions(self, harness):
+        result = ablate_native_effects(harness, benchmarks=("mesa", "art"))
+        assert len(result.contribution) == 8
+        # PAL-code TLB handling can only slow the machine.
+        assert result.contribution["pal_tlb_misses"] <= 0.1
+        # The controller's extra open rows can only help.
+        assert result.contribution["controller_page_opt"] >= -0.1
+        assert "Ablation" in result.render()
+
+
+class TestPagingPolicy:
+    def test_three_policies(self, harness):
+        result = paging_policy_study(
+            harness, benchmarks=("mesa",), policies=("sequential", "hashed")
+        )
+        assert set(result.ipcs) == {"sequential", "hashed"}
+        for per_bench in result.ipcs.values():
+            assert per_bench["mesa"] > 0
+        assert result.hm("sequential") > 0
+
+
+class TestVictimBufferSweep:
+    def test_monotone_ish(self, harness):
+        result = victim_buffer_sweep(
+            harness, benchmarks=("vpr",), sizes=(0, 8)
+        )
+        by_size = {entries: gain for entries, _, gain in result.rows}
+        assert by_size[0] == 0.0
+        assert by_size[8] >= -0.5
+        assert "victim" in result.render()

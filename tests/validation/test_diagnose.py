@@ -1,0 +1,87 @@
+"""Tests for the event-divergence diagnosis tool."""
+
+import pytest
+
+from repro.core.simalpha import SimAlpha
+from repro.core.siminitial import make_sim_with_bugs
+from repro.result import RunStats, SimResult
+from repro.simulators.refmachine import make_native_machine
+from repro.validation.diagnose import diagnose
+from repro.validation.harness import Harness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+def test_workload_mismatch_rejected():
+    a = SimResult("s", "x", 100.0, 100)
+    b = SimResult("r", "y", 100.0, 100)
+    with pytest.raises(ValueError, match="mismatch"):
+        diagnose(a, b)
+
+
+def test_identical_runs_diverge_nowhere():
+    stats = RunStats(branch_mispredicts=10)
+    a = SimResult("s", "w", 100.0, 1000, stats)
+    b = SimResult("r", "w", 100.0, 1000, stats)
+    result = diagnose(a, b)
+    assert result.cpi_error_percent == 0.0
+    assert all(d.delta_per_ki == 0.0 for d in result.divergences)
+
+
+def test_synthetic_divergence_ranked_first():
+    a = SimResult("s", "w", 100.0, 1000,
+                  RunStats(branch_mispredicts=100, dcache_misses=5))
+    b = SimResult("r", "w", 100.0, 1000,
+                  RunStats(branch_mispredicts=10, dcache_misses=5))
+    result = diagnose(a, b)
+    assert result.divergences[0].event == "branch_mispredicts"
+    assert result.divergences[0].delta_per_ki == pytest.approx(90.0)
+
+
+def test_minimum_delta_filters():
+    a = SimResult("s", "w", 100.0, 1000, RunStats(branch_mispredicts=11))
+    b = SimResult("r", "w", 100.0, 1000, RunStats(branch_mispredicts=10))
+    filtered = diagnose(a, b, minimum_delta=5.0)
+    assert all(d.event != "branch_mispredicts"
+               for d in filtered.divergences)
+
+
+def test_points_at_injected_bug(harness):
+    """Injecting the masked-address bug must surface load_order_traps
+    as a leading divergence — the paper's M-D debugging session."""
+    trace = harness.workloads.trace("M-I")
+    reference = make_native_machine().run_trace(trace, "M-I")
+    buggy = make_sim_with_bugs("masked_load_trap_addresses").run_trace(
+        trace, "M-I"
+    )
+    result = diagnose(buggy, reference)
+    leading = [d.event for d in result.top(3) if abs(d.delta_per_ki) > 0]
+    assert "load_order_traps" in leading
+
+
+def test_penalty_only_bug_yields_penalty_hint(harness):
+    """late_branch_recovery changes *penalties*, not event rates: the
+    diagnosis must say so rather than pointing at an event."""
+    trace = harness.workloads.trace("C-Ca")
+    reference = make_native_machine().run_trace(trace, "C-Ca")
+    buggy = make_sim_with_bugs("late_branch_recovery").run_trace(
+        trace, "C-Ca"
+    )
+    result = diagnose(buggy, reference)
+    assert result.cpi_error_percent < -20
+    text = result.render()
+    assert "Diagnosis for C-Ca" in text
+    assert "penalty" in text
+
+
+def test_event_bug_yields_event_hint(harness):
+    trace = harness.workloads.trace("M-I")
+    reference = make_native_machine().run_trace(trace, "M-I")
+    buggy = make_sim_with_bugs("masked_load_trap_addresses").run_trace(
+        trace, "M-I"
+    )
+    text = diagnose(buggy, reference).render()
+    assert "where to look first" in text

@@ -1,0 +1,92 @@
+"""Tests (including property-based) for the error metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.validation.metrics import (
+    arithmetic_mean,
+    harmonic_mean,
+    mean_absolute_error,
+    percent_change,
+    percent_error_cpi,
+    std_deviation,
+)
+
+positive_floats = st.floats(min_value=0.01, max_value=1e6)
+
+
+class TestPercentErrorCpi:
+    def test_sign_convention(self):
+        """Slower simulator (higher CPI) => negative error, as in the
+        paper's Tables 2 and 3."""
+        assert percent_error_cpi(2.0, 1.0) == -100.0
+        assert percent_error_cpi(0.5, 1.0) == 50.0
+        assert percent_error_cpi(1.0, 1.0) == 0.0
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            percent_error_cpi(1.0, 0.0)
+
+    @given(positive_floats, positive_floats)
+    def test_antisymmetry_direction(self, sim, ref):
+        error = percent_error_cpi(sim, ref)
+        assert (error < 0) == (sim > ref)
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+
+    def test_harmonic_known_value(self):
+        assert harmonic_mean([1.0, 1.0]) == 1.0
+        assert harmonic_mean([2.0, 2.0]) == 2.0
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error([-10, 10, -20]) == pytest.approx(40 / 3)
+
+    def test_empty_rejected(self):
+        for fn in (arithmetic_mean, harmonic_mean, std_deviation,
+                   mean_absolute_error):
+            with pytest.raises(ValueError):
+                fn([])
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(st.lists(positive_floats, min_size=1, max_size=50))
+    def test_harmonic_le_arithmetic(self, values):
+        assert harmonic_mean(values) <= arithmetic_mean(values) * (1 + 1e-9)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=50))
+    def test_harmonic_within_range(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) * (1 - 1e-9) <= hm <= max(values) * (1 + 1e-9)
+
+
+class TestChangeAndDeviation:
+    def test_percent_change(self):
+        assert percent_change(1.1, 1.0) == pytest.approx(10.0)
+        assert percent_change(0.9, 1.0) == pytest.approx(-10.0)
+
+    def test_percent_change_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            percent_change(1.0, 0.0)
+
+    def test_std_deviation_known(self):
+        assert std_deviation([2, 2, 2]) == 0.0
+        assert std_deviation([1, 3]) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50))
+    def test_std_nonnegative(self, values):
+        assert std_deviation(values) >= 0.0
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+           st.floats(-100, 100))
+    def test_std_shift_invariant(self, values, shift):
+        base = std_deviation(values)
+        shifted = std_deviation([v + shift for v in values])
+        assert math.isclose(base, shifted, abs_tol=1e-6)

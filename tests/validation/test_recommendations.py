@@ -1,0 +1,74 @@
+"""Tests for the Section 7 recommendation experiments."""
+
+import math
+
+import pytest
+
+from repro.validation.harness import Harness
+from repro.validation.recommendations import (
+    baseline_spread,
+    parameter_sensitivity,
+    stability_score,
+)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+class TestBaselineSpread:
+    def test_five_groups(self, harness):
+        result = baseline_spread(harness, workload="compress")
+        assert len(result.ipcs) == 5
+        assert all(ipc > 0 for ipc in result.ipcs.values())
+
+    def test_spread_is_large(self, harness):
+        """The ISCA-27 phenomenon: a multi-x IPC spread for one
+        benchmark across plausible simulators."""
+        result = baseline_spread(harness, workload="compress")
+        assert result.spread_ratio > 2.0
+
+    def test_idealized_fastest_validated_family_slowest(self, harness):
+        result = baseline_spread(harness, workload="compress")
+        ordered = sorted(result.ipcs.items(), key=lambda kv: kv[1])
+        assert "8-wide" in ordered[-1][0]
+        assert "validated" in ordered[0][0] or "academic" in ordered[0][0]
+
+    def test_render(self, harness):
+        result = baseline_spread(harness, workload="compress")
+        assert "Common-baselines" in result.render()
+
+
+class TestParameterSensitivity:
+    def test_benefit_varies_with_background(self, harness):
+        result = parameter_sensitivity(harness, benchmarks=("mesa",))
+        assert len(result.rows) == 3
+        low, high = result.benefit_range
+        assert low <= high
+        assert "Consistent-parameters" in result.render()
+
+
+class TestStabilityScore:
+    def test_perfectly_stable(self):
+        assert stability_score({"a": 5.0, "b": 5.0}) == 0.0
+
+    def test_unstable(self):
+        score = stability_score({"a": 10.0, "b": -2.0})
+        assert score > 1.0
+
+    def test_ignores_nan(self):
+        score = stability_score({"a": 5.0, "b": float("nan"), "c": 5.0})
+        assert score == 0.0
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            stability_score({"a": float("nan")})
+
+    def test_zero_benefit_defined(self):
+        assert stability_score({"a": 0.0, "b": 0.0}) == 0.0
+
+    def test_scale_invariant(self):
+        small = stability_score({"a": 1.0, "b": 2.0})
+        big = stability_score({"a": 10.0, "b": 20.0})
+        assert small == pytest.approx(big)

@@ -1,0 +1,51 @@
+"""Tests for the warm-up / steady-state analysis."""
+
+import pytest
+
+from repro.validation.harness import Harness
+from repro.validation.warmup import warmup_study
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+def test_profile_structure(harness):
+    profile = warmup_study("gzip", harness=harness, window_size=4096)
+    assert len(profile.window_ipcs) >= 2
+    assert profile.steady_ipc > 0
+    assert "Warm-up profile" in profile.render()
+
+
+def test_cold_start_is_slower(harness):
+    """The first window carries cold caches/predictors: below steady."""
+    profile = warmup_study("gzip", harness=harness, window_size=2048)
+    assert profile.window_ipcs[0] < profile.steady_ipc
+
+
+def test_settles(harness):
+    profile = warmup_study("E-D2", harness=harness, window_size=4096,
+                           tolerance=0.10)
+    assert profile.settled_window is not None
+    assert profile.settled_instructions <= 5 * 4096
+
+
+def test_truncation_error_shrinks(harness):
+    profile = warmup_study("gzip", harness=harness, window_size=2048)
+    early = abs(profile.truncation_error(1))
+    late = abs(profile.truncation_error(len(profile.window_ipcs)))
+    assert late < early
+
+
+def test_truncation_error_bounds(harness):
+    profile = warmup_study("E-D1", harness=harness, window_size=4096)
+    with pytest.raises(ValueError):
+        profile.truncation_error(0)
+    with pytest.raises(ValueError):
+        profile.truncation_error(10_000)
+
+
+def test_window_too_big_rejected(harness):
+    with pytest.raises(ValueError, match="fewer than two"):
+        warmup_study("E-D1", harness=harness, window_size=10**7)

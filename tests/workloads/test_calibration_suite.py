@@ -1,0 +1,123 @@
+"""Tests for the calibration kernels and the workload registry."""
+
+import pytest
+
+from repro.functional.machine import run_program
+from repro.isa.instructions import InstrClass
+from repro.workloads.calibration import (
+    STREAM_KERNELS,
+    calibration_suite,
+    lmbench_latency,
+    stream_kernel,
+    stream_suite,
+)
+from repro.workloads.suite import (
+    WorkloadSet,
+    micro_names,
+    spec2000_names,
+    spec95_names,
+)
+
+
+class TestStream:
+    @pytest.mark.parametrize("kernel", STREAM_KERNELS)
+    def test_kernels_build_and_run(self, kernel):
+        program = stream_kernel(kernel, elements=512, passes=1)
+        trace = run_program(program)
+        loads = sum(d.is_load for d in trace)
+        stores = sum(d.is_store for d in trace)
+        assert loads >= 512
+        assert stores >= 512
+
+    def test_add_kernel_has_two_loads_per_store(self):
+        trace = run_program(stream_kernel("add", elements=256, passes=1))
+        loads = sum(d.is_load for d in trace)
+        stores = sum(d.is_store for d in trace)
+        assert loads == 2 * stores
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            stream_kernel("memset")
+
+    def test_suite_builds_all_four(self):
+        programs = stream_suite(elements=128, passes=1)
+        assert [p.name for p in programs] == [
+            f"stream-{k}" for k in STREAM_KERNELS
+        ]
+
+    def test_offsets_wrap(self):
+        trace = run_program(stream_kernel("copy", elements=64, passes=3))
+        loads = [d.eaddr for d in trace if d.is_load]
+        assert len(set(loads)) == 64  # three passes revisit 64 slots
+
+
+class TestLmbench:
+    @pytest.mark.parametrize("level", ["l1", "l2", "memory"])
+    def test_levels_build(self, level):
+        program = lmbench_latency(level=level, traversals=1)
+        trace = run_program(program)
+        assert any(d.is_load for d in trace)
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            lmbench_latency(level="l5")
+
+    def test_footprints_ordered(self):
+        def footprint(level):
+            program = lmbench_latency(level=level, traversals=1)
+            addresses = list(program.data)
+            return max(addresses) - min(addresses)
+
+        assert footprint("l1") < footprint("l2") < footprint("memory")
+
+
+class TestWorkloadSet:
+    def test_names_cover_all_suites(self):
+        ws = WorkloadSet()
+        names = ws.names()
+        for name in micro_names() + spec2000_names() + spec95_names():
+            assert name in names
+
+    def test_trace_cached(self):
+        ws = WorkloadSet()
+        first = ws.trace("E-D1")
+        second = ws.trace("E-D1")
+        assert first is second
+
+    def test_program_cached(self):
+        ws = WorkloadSet()
+        assert ws.program("C-S1") is ws.program("C-S1")
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            WorkloadSet().program("quake3")
+
+    def test_register_calibration(self):
+        ws = WorkloadSet()
+        names = ws.register_calibration()
+        assert "stream-copy" in names
+        assert "lmbench-memory" in names
+        assert "M-M" in names
+        ws.trace("stream-copy")
+
+    def test_register_custom_program(self):
+        from repro.isa.assembler import assemble
+
+        ws = WorkloadSet()
+        program = assemble("halt")
+        program.name = "custom"
+        ws.register(program)
+        assert len(ws.trace("custom")) == 1
+
+    def test_traces_helper(self):
+        ws = WorkloadSet()
+        pairs = ws.traces(["E-D1", "E-D2"])
+        assert [name for name, _ in pairs] == ["E-D1", "E-D2"]
+
+
+def test_calibration_suite_contents():
+    programs = calibration_suite()
+    assert set(programs) == {
+        "M-M", "stream-copy", "stream-scale", "stream-add", "stream-triad",
+        "lmbench-l1", "lmbench-l2", "lmbench-memory",
+    }

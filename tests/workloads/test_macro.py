@@ -1,0 +1,138 @@
+"""Tests for the synthetic macrobenchmark generator."""
+
+import pytest
+
+from repro.functional.machine import run_program
+from repro.isa.instructions import InstrClass
+from repro.workloads.macro import (
+    SPEC2000_PROFILES,
+    SPEC95_PROFILES,
+    WorkloadProfile,
+    build_macro,
+    build_spec2000,
+    build_spec95,
+)
+
+_TABLE3_ORDER = [
+    "gzip", "vpr", "gcc", "parser", "eon", "twolf",
+    "mesa", "art", "equake", "lucas",
+]
+
+
+def test_spec2000_suite_matches_table3():
+    assert list(SPEC2000_PROFILES) == _TABLE3_ORDER
+
+
+def test_spec95_suite_has_eleven():
+    assert len(SPEC95_PROFILES) == 11
+
+
+def test_unknown_names():
+    with pytest.raises(KeyError):
+        build_spec2000("doom")
+    with pytest.raises(KeyError):
+        build_spec95("doom")
+
+
+@pytest.mark.parametrize("name", _TABLE3_ORDER)
+def test_every_proxy_builds_and_runs(name):
+    trace = run_program(build_spec2000(name))
+    assert 10_000 < len(trace) < 200_000
+
+
+def test_generation_is_deterministic():
+    a = build_spec2000("gzip")
+    b = build_spec2000("gzip")
+    assert [str(i) for i in a.instructions] == [str(i) for i in b.instructions]
+    trace_a = run_program(a)
+    trace_b = run_program(b)
+    assert len(trace_a) == len(trace_b)
+    assert all(
+        x.pc == y.pc and x.taken == y.taken
+        for x, y in zip(trace_a[:5000], trace_b[:5000])
+    )
+
+
+def test_seed_changes_program():
+    base = SPEC2000_PROFILES["gzip"]
+    from dataclasses import replace
+
+    other = replace(base, seed=base.seed + 1)
+    a = build_macro(base)
+    b = build_macro(other)
+    assert [str(i) for i in a.instructions] != [str(i) for i in b.instructions]
+
+
+class TestProfileKnobs:
+    def _mix(self, profile):
+        trace = run_program(build_macro(profile))
+        total = len(trace)
+        return {
+            "loads": sum(d.is_load for d in trace) / total,
+            "stores": sum(d.is_store for d in trace) / total,
+            "fp": sum(d.is_fp for d in trace) / total,
+            "control": sum(d.is_control for d in trace) / total,
+            "nops": sum(d.is_nop for d in trace) / total,
+        }
+
+    def test_fp_ratio_controls_fp_mix(self):
+        int_profile = WorkloadProfile(name="t-int", fp_ratio=0.0,
+                                      iterations=30)
+        fp_profile = WorkloadProfile(name="t-fp", fp_ratio=0.7,
+                                     iterations=30)
+        assert self._mix(fp_profile)["fp"] > self._mix(int_profile)["fp"] + 0.1
+
+    def test_loads_knob(self):
+        light = WorkloadProfile(name="t-l", loads_per_segment=0.3,
+                                iterations=30)
+        heavy = WorkloadProfile(name="t-h", loads_per_segment=2.5,
+                                iterations=30)
+        assert self._mix(heavy)["loads"] > self._mix(light)["loads"]
+
+    def test_unop_knob(self):
+        none = WorkloadProfile(name="t-n", unop_frac=0.0, iterations=30)
+        many = WorkloadProfile(name="t-m", unop_frac=1.0, iterations=30)
+        # Only the one-off alignment padding before the loop for `none`.
+        assert self._mix(none)["nops"] < 0.001
+        assert self._mix(many)["nops"] > 0.02
+
+    def test_calls_emitted(self):
+        profile = WorkloadProfile(name="t-c", call_frac=1.0, functions=3,
+                                  iterations=30)
+        trace = run_program(build_macro(profile))
+        calls = sum(d.klass is InstrClass.CALL for d in trace)
+        rets = sum(d.klass is InstrClass.RETURN for d in trace)
+        assert calls == rets > 0
+
+    def test_icache_thrash_spreads_code(self):
+        compact = build_macro(WorkloadProfile(
+            name="t-k", call_frac=0.5, functions=3, iterations=5
+        ))
+        thrashed = build_macro(WorkloadProfile(
+            name="t-t", call_frac=0.5, functions=3, icache_thrash=True,
+            iterations=5
+        ))
+        assert len(thrashed.instructions) > len(compact.instructions) + 8000
+
+    def test_streams_emitted(self):
+        profile = WorkloadProfile(name="t-s", streams=2, stream_frac=1.0,
+                                  loads_per_segment=1.0, iterations=30)
+        trace = run_program(build_macro(profile))
+        loads = [d for d in trace if d.is_load]
+        assert loads
+        # Stream addresses are sequential per stream.
+        stream_loads = [d.eaddr for d in loads]
+        assert len(set(stream_loads)) > len(stream_loads) // 4
+
+    def test_conflict_knob_produces_store_load_pairs(self):
+        profile = WorkloadProfile(
+            name="t-x", conflict_frac=1.0, stores_per_segment=1.0,
+            iterations=30,
+        )
+        trace = run_program(build_macro(profile))
+        pairs = 0
+        for i, d in enumerate(trace[:-1]):
+            if d.is_store and trace[i + 1].is_load:
+                if trace[i + 1].eaddr == d.eaddr:
+                    pairs += 1
+        assert pairs > 50

@@ -1,0 +1,144 @@
+"""Tests for the 21-entry microbenchmark suite."""
+
+import pytest
+
+from repro.functional.machine import run_program
+from repro.isa.instructions import InstrClass, Opcode
+from repro.workloads.micro import (
+    MICROBENCHMARKS,
+    build_microbenchmark,
+    control_conditional,
+    control_switch,
+    execute_dependent,
+    memory_memory,
+    microbenchmark_suite,
+)
+
+_TABLE2_ORDER = [
+    "C-Ca", "C-Cb", "C-R", "C-S1", "C-S2", "C-S3", "C-O",
+    "E-I", "E-F", "E-D1", "E-D2", "E-D3", "E-D4", "E-D5", "E-D6",
+    "E-DM1", "M-I", "M-D", "M-L2", "M-M", "M-IP",
+]
+
+
+def test_suite_has_21_benchmarks_in_table2_order():
+    assert list(MICROBENCHMARKS) == _TABLE2_ORDER
+
+
+def test_build_by_name():
+    program = build_microbenchmark("C-R")
+    assert program.name == "C-R"
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError, match="unknown microbenchmark"):
+        build_microbenchmark("C-X")
+
+
+@pytest.mark.parametrize("name", _TABLE2_ORDER)
+def test_every_benchmark_builds_and_runs(name):
+    program = build_microbenchmark(name)
+    trace = run_program(program)
+    assert len(trace) > 1000
+    assert trace[-1].opcode is Opcode.HALT
+
+
+def test_microbenchmark_suite_builds_all():
+    programs = microbenchmark_suite()
+    assert len(programs) == 21
+
+
+class TestControl:
+    def test_cc_variants_differ_only_in_padding(self):
+        a = control_conditional(variant="a")
+        b = control_conditional(variant="b")
+        non_nop_a = [i.opcode for i in a if i.klass is not InstrClass.NOP]
+        non_nop_b = [i.opcode for i in b if i.klass is not InstrClass.NOP]
+        assert non_nop_a == non_nop_b
+        # The padding *placement* differs (that is the whole point:
+        # different line-predictor training), even if counts coincide.
+        layout_a = [i.opcode for i in a]
+        layout_b = [i.opcode for i in b]
+        assert layout_a != layout_b
+
+    def test_cc_alternates(self):
+        trace = run_program(control_conditional(iterations=100))
+        branches = [d for d in trace
+                    if d.klass is InstrClass.COND_BRANCH and d.slot is not None]
+        # The if-branch alternates; the loop-back is nearly always taken.
+        outcomes = [d.taken for d in branches]
+        assert True in outcomes and False in outcomes
+
+    def test_cr_recursion_depth(self):
+        trace = run_program(build_microbenchmark("C-R"))
+        calls = sum(1 for d in trace if d.klass is InstrClass.CALL)
+        rets = sum(1 for d in trace if d.klass is InstrClass.RETURN)
+        assert calls == rets
+        assert calls > 1000
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_cs_case_period(self, n):
+        program = control_switch(n, iterations=60, cases=10)
+        trace = run_program(program)
+        jumps = [d for d in trace if d.klass is InstrClass.JUMP]
+        assert len(jumps) == 60
+        # Target changes exactly every n executions.
+        targets = [d.next_pc for d in jumps]
+        for i in range(0, 30, n):
+            group = targets[i:i + n]
+            assert len(set(group)) == 1
+
+    def test_cs_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            control_switch(0)
+
+
+class TestExecute:
+    def test_ei_has_no_memory_ops(self):
+        trace = run_program(build_microbenchmark("E-I"))
+        assert not any(d.is_memory for d in trace)
+
+    def test_ef_is_fp(self):
+        trace = run_program(build_microbenchmark("E-F"))
+        fp_ops = sum(d.klass is InstrClass.FP_ADD for d in trace)
+        assert fp_ops > len(trace) * 0.9
+
+    def test_edn_dependence_distance(self):
+        program = execute_dependent(3, iterations=2, body=12)
+        body = [i for i in program.instructions
+                if i.opcode is Opcode.ADDQ and i.imm == 1 and i.dest != "r1"]
+        dests = [i.dest for i in body[:12]]
+        assert dests[0] == dests[3] == dests[6]
+        assert dests[1] == dests[4]
+
+    def test_edn_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            execute_dependent(9)
+
+    def test_edm1_is_multiplies(self):
+        trace = run_program(build_microbenchmark("E-DM1"))
+        muls = sum(d.klass is InstrClass.INT_MUL for d in trace)
+        assert muls > len(trace) * 0.8
+
+
+class TestMemory:
+    def test_md_chain_is_dependent(self):
+        trace = run_program(build_microbenchmark("M-D"))
+        loads = [d for d in trace if d.is_load]
+        # Every load's address register is its own destination (chase).
+        assert all("r9" in d.srcs and d.dest == "r9" for d in loads)
+
+    def test_mm_footprint_exceeds_l2(self):
+        program = memory_memory()
+        addresses = {a for a in program.data}
+        span = max(addresses) - min(addresses)
+        assert span > 2 * 1024 * 1024
+
+    def test_mi_loads_are_independent(self):
+        trace = run_program(build_microbenchmark("M-I"))
+        loads = [d for d in trace if d.is_load]
+        assert all(d.dest != "r9" for d in loads)  # base never clobbered
+
+    def test_mip_code_exceeds_icache(self):
+        program = build_microbenchmark("M-IP")
+        assert len(program.instructions) * 4 > 64 * 1024

@@ -1,0 +1,71 @@
+"""Shape tests across microbenchmark parameter sweeps.
+
+The microbenchmark families are *parameterised* probes; their IPC must
+move the way the mechanism they isolate predicts: E-Dn scales with the
+number of independent chains, C-Sn improves with jump-target dwell
+time, and the memory chases order by hierarchy level.
+"""
+
+import pytest
+
+from repro.core.simalpha import SimAlpha
+from repro.functional.machine import run_program
+from repro.validation.harness import Harness
+from repro.workloads.micro import control_switch, execute_dependent
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness()
+
+
+def _ipc(program):
+    return SimAlpha().run_trace(run_program(program), program.name).ipc
+
+
+class TestEdnScaling:
+    def test_ipc_tracks_chain_count_up_to_width(self):
+        """E-Dn IPC ~= n for n <= 3 (one add per chain per cycle)."""
+        ipcs = {n: _ipc(execute_dependent(n, iterations=150))
+                for n in (1, 2, 3)}
+        assert ipcs[1] == pytest.approx(1.0, abs=0.1)
+        assert ipcs[2] == pytest.approx(2.0, abs=0.15)
+        assert ipcs[3] == pytest.approx(3.0, abs=0.25)
+
+    def test_saturates_below_issue_width(self):
+        """Beyond the ~4-wide core the chains stop helping."""
+        six = _ipc(execute_dependent(6, iterations=150))
+        eight = _ipc(execute_dependent(8, iterations=150))
+        assert six <= 4.05 and eight <= 4.05
+
+
+class TestCsnScaling:
+    def test_longer_dwell_means_fewer_flushes(self):
+        """C-Sn improves with n: the jump target changes less often."""
+        ipcs = [_ipc(control_switch(n, iterations=800)) for n in (1, 2, 4)]
+        assert ipcs[0] < ipcs[1] < ipcs[2]
+
+    def test_more_cases_do_not_help_cs1(self):
+        """With a per-iteration target change, the case count is
+        irrelevant to the flush rate."""
+        few = _ipc(control_switch(1, iterations=600, cases=4))
+        many = _ipc(control_switch(1, iterations=600, cases=16))
+        assert many == pytest.approx(few, rel=0.15)
+
+
+class TestMemoryLevels:
+    def test_chase_ipc_orders_by_level(self, harness):
+        """M-D > M-L2 > M-M: latency per level orders the chases."""
+        sim = SimAlpha()
+        ipcs = {}
+        for name in ("M-D", "M-L2", "M-M"):
+            trace = harness.workloads.trace(name)
+            ipcs[name] = sim.run_trace(trace, name).ipc
+        assert ipcs["M-D"] > ipcs["M-L2"] > ipcs["M-M"]
+
+    def test_bandwidth_beats_latency(self, harness):
+        """M-I (independent loads) far outruns M-D (dependent chase)."""
+        sim = SimAlpha()
+        mi = sim.run_trace(harness.workloads.trace("M-I"), "M-I").ipc
+        md = sim.run_trace(harness.workloads.trace("M-D"), "M-D").ipc
+        assert mi > 1.2 * md

@@ -1,0 +1,46 @@
+"""The SPEC95 proxies (Figure 2's workloads) run on every machine."""
+
+import pytest
+
+from repro.core.simalpha import SimAlpha
+from repro.functional.machine import run_program
+from repro.simulators.eightway import EightWaySim
+from repro.workloads.macro import SPEC95_PROFILES, build_spec95
+
+_FIGURE2_ORDER = [
+    "go", "compress", "gcc95", "ijpeg", "perl",
+    "swim", "mgrid", "applu", "turb3d", "fpppp", "wave5",
+]
+
+
+def test_figure2_order():
+    assert list(SPEC95_PROFILES) == _FIGURE2_ORDER
+
+
+@pytest.mark.parametrize("name", _FIGURE2_ORDER)
+def test_proxy_builds_and_times(name):
+    trace = run_program(build_spec95(name))
+    assert len(trace) > 10_000
+    result = SimAlpha().run_trace(trace, name)
+    assert 0.1 < result.ipc < 4.5
+
+
+def test_fp_proxies_are_fp_heavy():
+    int_trace = run_program(build_spec95("go"))
+    fp_trace = run_program(build_spec95("swim"))
+    int_fp = sum(d.is_fp for d in int_trace) / len(int_trace)
+    fp_fp = sum(d.is_fp for d in fp_trace) / len(fp_trace)
+    assert int_fp == 0.0
+    assert fp_fp > 0.05
+
+
+def test_eightway_beats_simalpha_on_spec95():
+    """The Figure 2 premise: the idealized machine's IPCs tower."""
+    wins = 0
+    for name in ("go", "swim", "fpppp"):
+        trace = run_program(build_spec95(name))
+        alpha = SimAlpha().run_trace(trace, name)
+        eight = EightWaySim().run_trace(trace, name)
+        if eight.ipc > 1.5 * alpha.ipc:
+            wins += 1
+    assert wins >= 2
