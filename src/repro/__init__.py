@@ -40,6 +40,12 @@ from repro.core import (
     make_sim_stripped,
     make_sim_with_bugs,
 )
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    PipelineTracer,
+    RunProvenance,
+)
 from repro.result import RunStats, SimResult
 from repro.simulators import (
     DcpiProfiler,
@@ -70,6 +76,10 @@ __all__ = [
     "make_sim_with_bugs",
     "RunStats",
     "SimResult",
+    "Instrumentation",
+    "MetricsRegistry",
+    "PipelineTracer",
+    "RunProvenance",
     "DcpiProfiler",
     "EightWaySim",
     "NativeMachine",

@@ -152,6 +152,7 @@ class AlphaPipeline:
         workload: str = "",
         *,
         window_size: Optional[int] = None,
+        observer=None,
     ) -> SimResult:
         """Time ``trace``.
 
@@ -159,6 +160,12 @@ class AlphaPipeline:
         recorded every that-many instructions into
         ``stats.extra["window_retire_times"]`` — the raw material for
         warm-up and steady-state analysis.
+
+        ``observer`` is a :class:`repro.obs.RunObserver` (or ``None``):
+        when set, the engine reports per-instruction stage times and
+        event deltas to it, feeding the pipeline tracer and the
+        CPI-stack accountant.  The disabled path costs one identity
+        check per instruction.
         """
         cfg = self.config
         features = cfg.features
@@ -267,8 +274,13 @@ class AlphaPipeline:
         instructions = 0
         window_marks: List[float] = []
 
+        if observer is not None and observer.metrics is not None:
+            hier.attach_metrics(observer.metrics)
+
         for dyn in trace:
             instructions += 1
+            if observer is not None:
+                observer.begin(stats)
             if window_size is not None and not instructions % window_size:
                 window_marks.append(
                     final_retire if final_retire > last_retire
@@ -328,11 +340,15 @@ class AlphaPipeline:
                 retire = max(fetch_time + 2, last_retire)
                 last_retire = retire
                 final_retire = retire if retire > final_retire else final_retire
+                if observer is not None:
+                    observer.commit_short(dyn, fetch_time, retire, stats)
                 continue
             if klass is InstrClass.HALT:
                 retire = max(fetch_time + front_depth + 1, last_retire)
                 last_retire = retire
                 final_retire = retire if retire > final_retire else final_retire
+                if observer is not None:
+                    observer.commit_short(dyn, fetch_time, retire, stats)
                 continue
 
             # ----------------------------------------------------------
@@ -663,6 +679,12 @@ class AlphaPipeline:
             if features.stwt:
                 store_wait.tick()
 
+            if observer is not None:
+                observer.commit(
+                    dyn, fetch_time, map_time, issue_time, complete,
+                    retire, stats,
+                )
+
             # Periodic pruning of unbounded maps.
             if not instructions % 8192:
                 now = issue_time
@@ -692,10 +714,13 @@ class AlphaPipeline:
         if window_size is not None:
             stats.extra["window_size"] = window_size
             stats.extra["window_retire_times"] = window_marks
-        return SimResult(
+        result = SimResult(
             simulator=self.config.name,
             workload=workload,
             cycles=max(final_retire, 1.0),
             instructions=instructions,
             stats=stats,
         )
+        if observer is not None:
+            observer.finalize(result)
+        return result

@@ -18,6 +18,7 @@ from repro.core.pipeline import AlphaPipeline
 from repro.functional.machine import run_program
 from repro.functional.trace import DynInstr
 from repro.isa.program import Program
+from repro.obs.provenance import capture_provenance
 from repro.result import SimResult
 
 __all__ = ["SimAlpha"]
@@ -44,14 +45,21 @@ class SimAlpha:
         workload: str = "",
         *,
         window_size: Optional[int] = None,
+        observer=None,
     ) -> SimResult:
         """Time a pre-computed dynamic trace (fresh pipeline state).
 
         ``window_size`` enables windowed retire-time recording for
-        warm-up analysis (see :mod:`repro.validation.warmup`).
+        warm-up analysis (see :mod:`repro.validation.warmup`);
+        ``observer`` (a :class:`repro.obs.RunObserver`) enables the
+        instrumentation layer for this run.
         """
         pipeline = AlphaPipeline(self.config)
-        return pipeline.run_trace(trace, workload, window_size=window_size)
+        result = pipeline.run_trace(
+            trace, workload, window_size=window_size, observer=observer
+        )
+        result.provenance = capture_provenance(self.config)
+        return result
 
     def run_program(self, program: Program) -> SimResult:
         """Functionally execute ``program``, then time its trace."""

@@ -165,6 +165,27 @@ class MemoryHierarchy:
         # lines park here and install into the I-cache only on demand,
         # so prefetching never pollutes the cache.
         self._prefetch_buffer: dict = {}
+        # Cached metrics instruments (attach_metrics); None keeps the
+        # access paths at one identity check per request.
+        self._m_ifetches = None
+        self._m_ifetch_hits = None
+        self._m_loads = None
+        self._m_load_hits = None
+        self._m_stores = None
+        self._m_store_hits = None
+
+    def attach_metrics(self, registry) -> None:
+        """Count hierarchy traffic into a :class:`MetricsRegistry`.
+
+        Instrument handles are cached here so the per-access cost is a
+        bound-method call on a counter, nothing more.
+        """
+        self._m_ifetches = registry.counter("memory.ifetches")
+        self._m_ifetch_hits = registry.counter("memory.ifetch_l1_hits")
+        self._m_loads = registry.counter("memory.loads")
+        self._m_load_hits = registry.counter("memory.load_l1_hits")
+        self._m_stores = registry.counter("memory.stores")
+        self._m_store_hits = registry.counter("memory.store_l1_hits")
 
     # ------------------------------------------------------------------
     # Address translation
@@ -257,6 +278,10 @@ class MemoryHierarchy:
         """
         cfg = self.config
         result = self.l1i.access(vaddr)
+        if self._m_ifetches is not None:
+            self._m_ifetches.inc()
+            if result.hit:
+                self._m_ifetch_hits.inc()
         if result.hit:
             pending = self.maf_i.fill_time(self.l1i.block_of(vaddr), time)
             ready = time + 1
@@ -331,6 +356,10 @@ class MemoryHierarchy:
         time = self._acquire_dport(time)
         hit_latency = cfg.l1d_load_to_use + (cfg.fp_load_extra if fp else 0)
         result = self.l1d.access(vaddr)
+        if self._m_loads is not None:
+            self._m_loads.inc()
+            if result.hit:
+                self._m_load_hits.inc()
         if result.hit:
             # A tag hit on a block whose fill is still in flight waits
             # for the fill (the tags allocate at miss time).
@@ -398,6 +427,10 @@ class MemoryHierarchy:
             time = self._acquire_dport(time)
 
         result = self.l1d.access(vaddr, write=True)
+        if self._m_stores is not None:
+            self._m_stores.inc()
+            if result.hit:
+                self._m_store_hits.inc()
         if result.hit:
             return LoadResult(
                 time + 1, True, False, False,

@@ -1,0 +1,153 @@
+"""CPI-stack accounting: where did the cycles go?
+
+The engine is dependence-driven — it computes event *times*, not a
+cycle-by-cycle state machine — so cycles are attributed the way
+trace-driven CPI stacks conventionally are: retirement is in order, so
+the gap between consecutive retire times is exactly the cost the
+program paid for that instruction, and the whole run's cycle count is
+the sum of those gaps.  Each gap is charged, whole, to the mechanism
+that dominated it:
+
+``base``
+    pipeline throughput — nothing unusual happened;
+``fetch``
+    instruction supply (I-cache misses, line/way mispredicts on
+    sequential flow);
+``issue``
+    rename/window/issue-side stalls (map stalls, store-wait holds,
+    queue back-pressure delaying issue past the earliest possible
+    cycle);
+``memory``
+    data-side misses (D-cache, L2, DTLB, MAF, victim-buffer detours,
+    load-use squashes);
+``trap``
+    replay traps (store/load order, mbox) and their refetch shadows;
+``bubble``
+    control-flow redirect bubbles (branch/RAS/jmp mispredicts), charged
+    to the instructions fetched after the redirect.
+
+Because every gap lands in exactly one bucket, the components sum to
+the total CPI by construction; :meth:`CpiStackAccountant.stack` folds
+any floating-point summation residue into ``base`` so the identity
+holds to machine precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CPI_COMPONENTS", "CpiStackAccountant", "cpi_stack_total"]
+
+#: Component names, in rendering order.
+CPI_COMPONENTS: Tuple[str, ...] = (
+    "base", "fetch", "issue", "memory", "trap", "bubble",
+)
+
+#: Architectural event names (RunStats counters) per blame group.
+TRAP_EVENTS = frozenset(
+    ("store_replay_traps", "load_order_traps", "mbox_traps")
+)
+MEMORY_EVENTS = frozenset(
+    ("dcache_misses", "l2_misses", "dtlb_misses", "victim_hits",
+     "maf_stalls", "loaduse_mispredicts")
+)
+FETCH_EVENTS = frozenset(
+    ("icache_misses", "line_mispredicts", "way_mispredicts")
+)
+REDIRECT_EVENTS = frozenset(
+    ("branch_mispredicts", "ras_mispredicts", "jmp_mispredicts")
+)
+ISSUE_EVENTS = frozenset(("maps_stalls", "store_wait_holds"))
+
+
+class CpiStackAccountant:
+    """Accumulates per-component cycle totals over one run."""
+
+    __slots__ = ("cycles", "counts", "_pending")
+
+    def __init__(self) -> None:
+        self.cycles: Dict[str, float] = {c: 0.0 for c in CPI_COMPONENTS}
+        self.counts: Dict[str, int] = {c: 0 for c in CPI_COMPONENTS}
+        #: Redirect cause set by the previous instruction, whose bubble
+        #: surfaces as the *next* instructions' retire gap.
+        self._pending: Optional[str] = None
+
+    def classify(
+        self,
+        events: Tuple[str, ...],
+        *,
+        issue_stalled: bool = False,
+    ) -> str:
+        """The component charged for an instruction's retire gap."""
+        pending, self._pending = self._pending, None
+        cause = None
+        for name in events:
+            if name in TRAP_EVENTS:
+                cause = "trap"
+                break
+        if cause is None and pending is not None:
+            cause = pending
+        if cause is None:
+            for name in events:
+                if name in MEMORY_EVENTS:
+                    cause = "memory"
+                    break
+        if cause is None:
+            for name in events:
+                if name in FETCH_EVENTS:
+                    cause = "fetch"
+                    break
+        if cause is None:
+            if issue_stalled:
+                cause = "issue"
+            else:
+                for name in events:
+                    if name in ISSUE_EVENTS:
+                        cause = "issue"
+                        break
+        if cause is None:
+            cause = "base"
+        # Redirect shadows land on the instructions *after* the event.
+        for name in events:
+            if name in TRAP_EVENTS:
+                self._pending = "trap"
+                break
+            if name in REDIRECT_EVENTS:
+                self._pending = "bubble"
+                break
+        return cause
+
+    def account(
+        self,
+        delta: float,
+        events: Tuple[str, ...],
+        *,
+        issue_stalled: bool = False,
+    ) -> str:
+        """Charge a retire gap; returns the component it went to."""
+        cause = self.classify(events, issue_stalled=issue_stalled)
+        if delta > 0.0:
+            self.cycles[cause] += delta
+        self.counts[cause] += 1
+        return cause
+
+    def stack(self, cycles: float, instructions: int) -> Dict[str, float]:
+        """Cycles-per-instruction per component, summing to the CPI.
+
+        ``cycles``/``instructions`` are the run's reported totals; any
+        difference between the accounted gaps and the reported cycle
+        count (float summation residue, the engine's >=1-cycle floor)
+        is folded into ``base`` so the components sum to the CPI
+        exactly.
+        """
+        if instructions <= 0:
+            return {c: 0.0 for c in CPI_COMPONENTS}
+        accounted = sum(self.cycles.values())
+        adjusted = dict(self.cycles)
+        adjusted["base"] += cycles - accounted
+        return {c: adjusted[c] / instructions for c in CPI_COMPONENTS}
+
+
+def cpi_stack_total(stack: Dict[str, float]) -> float:
+    """Sum of a stack's components (== the CPI it decomposes)."""
+    return sum(stack.values())

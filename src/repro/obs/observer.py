@@ -1,0 +1,209 @@
+"""The engine-side observer: one object, one hook, three consumers.
+
+:class:`RunObserver` is what :meth:`AlphaPipeline.run_trace` talks to
+when instrumentation is on.  The engine calls :meth:`begin` at the top
+of each instruction (to snapshot the architectural event counters) and
+one ``commit`` variant at the bottom; the observer diffs the counters,
+charges the retire gap to a CPI-stack component, feeds the tracer's
+ring buffer, and bumps registry counters.  When instrumentation is off
+the engine holds ``None`` instead and pays one identity check per
+instruction — that is the entire disabled-mode cost.
+
+:class:`Instrumentation` is the user-facing bundle: it owns the
+metrics registry and the per-run tracers/accountants, builds one
+:class:`RunObserver` per timing run, and exposes the collected tracers
+afterwards for export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.cpistack import CpiStackAccountant
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import PipelineTracer, TraceEvent
+
+__all__ = ["RunObserver", "Instrumentation", "EVENT_FIELDS"]
+
+#: RunStats counters snapshotted per instruction, in snapshot order.
+EVENT_FIELDS: Tuple[str, ...] = (
+    "icache_misses",
+    "line_mispredicts",
+    "way_mispredicts",
+    "branch_mispredicts",
+    "ras_mispredicts",
+    "jmp_mispredicts",
+    "loaduse_mispredicts",
+    "dcache_misses",
+    "l2_misses",
+    "dtlb_misses",
+    "victim_hits",
+    "maf_stalls",
+    "store_replay_traps",
+    "load_order_traps",
+    "mbox_traps",
+    "maps_stalls",
+    "store_wait_holds",
+)
+
+
+class RunObserver:
+    """Per-run sink for the engine's instrumentation hook."""
+
+    __slots__ = (
+        "tracer", "accountant", "metrics",
+        "simulator", "workload",
+        "_prev_retire", "_pre", "_seq", "_instr_counter",
+    )
+
+    def __init__(
+        self,
+        *,
+        tracer: Optional[PipelineTracer] = None,
+        accountant: Optional[CpiStackAccountant] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        simulator: str = "",
+        workload: str = "",
+    ):
+        self.tracer = tracer
+        self.accountant = accountant
+        self.metrics = metrics
+        self.simulator = simulator
+        self.workload = workload
+        self._prev_retire = 0.0
+        self._pre: Tuple[int, ...] = ()
+        self._seq = 0
+        self._instr_counter = (
+            metrics.counter("pipeline.instructions")
+            if metrics is not None else None
+        )
+
+    # -- engine hook ------------------------------------------------------
+
+    def begin(self, stats) -> None:
+        """Snapshot the event counters before an instruction is timed."""
+        self._pre = tuple(getattr(stats, f) for f in EVENT_FIELDS)
+
+    def commit(
+        self,
+        dyn,
+        fetch: float,
+        map_time: float,
+        issue: float,
+        complete: float,
+        retire: float,
+        stats,
+    ) -> None:
+        """Record one fully timed instruction."""
+        pre = self._pre
+        events = tuple(
+            name
+            for name, before in zip(EVENT_FIELDS, pre)
+            if getattr(stats, name) > before
+        )
+        delta = retire - self._prev_retire
+        self._prev_retire = retire
+        seq = self._seq
+        self._seq = seq + 1
+
+        cause = "base"
+        if self.accountant is not None:
+            # Queue back-pressure / dependence stalls push issue past
+            # the earliest possible cycle after map.
+            cause = self.accountant.account(
+                delta, events, issue_stalled=issue > map_time + 1.000001
+            )
+        if self.tracer is not None:
+            self.tracer.record(TraceEvent(
+                seq=seq,
+                pc=dyn.pc,
+                op=dyn.opcode.name.lower(),
+                klass=dyn.klass.name,
+                fetch=fetch,
+                map=map_time,
+                issue=issue,
+                complete=complete,
+                retire=retire,
+                cause=cause,
+                events=events,
+            ))
+        if self._instr_counter is not None:
+            self._instr_counter.inc()
+
+    def commit_short(self, dyn, fetch: float, retire: float, stats) -> None:
+        """Record an early-retiring instruction (nop removal, halt)."""
+        self.commit(dyn, fetch, retire, retire, retire, retire, stats)
+
+    # -- result decoration ------------------------------------------------
+
+    def finalize(self, result) -> None:
+        """Attach the accumulated CPI stack to a finished result."""
+        if self.accountant is not None:
+            result.cpi_stack = self.accountant.stack(
+                result.cycles, result.instructions
+            )
+        if self.metrics is not None:
+            self.metrics.counter("pipeline.runs").inc()
+
+
+class Instrumentation:
+    """User-facing bundle: registry + per-run tracers and CPI stacks.
+
+    ``enabled=False`` makes :meth:`observer` return ``None``, which the
+    engine treats as "no instrumentation" — the zero-cost mode.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        trace: bool = False,
+        trace_capacity: int = 65_536,
+        cpi_stacks: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.enabled = enabled
+        self.trace = trace
+        self.trace_capacity = trace_capacity
+        self.cpi_stacks = cpi_stacks
+        self.registry = registry if registry is not None else MetricsRegistry(
+            enabled=enabled
+        )
+        #: (simulator, workload, observer) per run, in run order.
+        self.runs: List[Tuple[str, str, RunObserver]] = []
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        return cls(enabled=False)
+
+    def observer(
+        self, *, simulator: str = "", workload: str = ""
+    ) -> Optional[RunObserver]:
+        """A fresh per-run observer, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        observer = RunObserver(
+            tracer=(
+                PipelineTracer(self.trace_capacity) if self.trace else None
+            ),
+            accountant=CpiStackAccountant() if self.cpi_stacks else None,
+            metrics=self.registry if self.registry.enabled else None,
+            simulator=simulator,
+            workload=workload,
+        )
+        self.runs.append((simulator, workload, observer))
+        return observer
+
+    def tracers(self) -> Dict[Tuple[str, str], PipelineTracer]:
+        """Tracers collected so far, keyed by (simulator, workload)."""
+        return {
+            (sim, wl): obs.tracer
+            for sim, wl, obs in self.runs
+            if obs.tracer is not None
+        }
+
+    def last_tracer(self) -> Optional[PipelineTracer]:
+        for _, _, obs in reversed(self.runs):
+            if obs.tracer is not None:
+                return obs.tracer
+        return None

@@ -1,0 +1,110 @@
+"""Run provenance: enough metadata to trust (or reject) an old result.
+
+A grid of numbers with no record of which configuration, code version,
+or machine produced it is unfalsifiable — the paper's whole methodology
+is about knowing *exactly* what a simulator modelled when it produced a
+number.  :class:`RunProvenance` captures the reproducibility
+fingerprint of one timing run:
+
+* ``config_hash`` — SHA-256 (truncated) over the simulator's fully
+  resolved :class:`~repro.core.config.MachineConfig`, so two results
+  are comparable iff their hashes match;
+* ``package_version`` — the ``repro`` release that produced it;
+* ``created`` — wall-clock time (UTC, ISO-8601);
+* ``host`` / ``platform`` / ``python`` — where it ran.
+
+Hashes are computed once per simulator configuration and cached (the
+configs are frozen dataclasses), so attaching provenance to every cell
+of a large grid costs one dict lookup per run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform as _platform
+import socket
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+__all__ = ["RunProvenance", "config_hash", "capture_provenance"]
+
+#: config id -> (config, hash) memo.  The strong reference to the
+#: config keeps its id from being reused while the entry is live
+#: (configs are frozen, so the hash can never go stale).
+_HASH_CACHE: Dict[int, tuple] = {}
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports result.py which imports
+    # this module, so a top-level import would cycle.
+    try:
+        from repro import __version__
+        return __version__
+    except Exception:  # pragma: no cover - partial-install fallback
+        return "unknown"
+
+
+def config_hash(config: object) -> str:
+    """A stable 16-hex-digit digest of a configuration dataclass.
+
+    Accepts any (possibly nested) dataclass — in practice a
+    ``MachineConfig`` — and hashes its canonical JSON form.  Non-JSON
+    leaf values (enums, callables) fall back to ``repr``.
+    """
+    if config is None:
+        return "none"
+    key = id(config)
+    cached = _HASH_CACHE.get(key)
+    if cached is not None:
+        return cached[1]
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    if len(_HASH_CACHE) > 4096:  # unbounded-growth guard
+        _HASH_CACHE.clear()
+    _HASH_CACHE[key] = (config, digest)
+    return digest
+
+
+@dataclass(frozen=True)
+class RunProvenance:
+    """The reproducibility fingerprint of one timing run."""
+
+    config_hash: str
+    config_name: str = ""
+    package_version: str = ""
+    created: str = ""
+    host: str = ""
+    platform: str = ""
+    python: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, str]) -> "RunProvenance":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+def capture_provenance(
+    config: Optional[object] = None,
+    *,
+    name: str = "",
+) -> RunProvenance:
+    """Provenance for a run of ``config`` on this host, right now."""
+    return RunProvenance(
+        config_hash=config_hash(config),
+        config_name=name or getattr(config, "name", ""),
+        package_version=_package_version(),
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        host=socket.gethostname(),
+        platform=_platform.platform(),
+        python=_platform.python_version(),
+    )

@@ -1,0 +1,199 @@
+"""A small metrics registry: counters, gauges, and wall-clock timers.
+
+The registry is the collection point for everything the harness and the
+hierarchy want to count about a run *of the tooling itself* (cell wall
+times, cache accesses, experiment durations) — as opposed to the
+architectural event counts that live in :class:`repro.result.RunStats`.
+
+Two cost modes:
+
+* **enabled** — instruments are real objects that accumulate values;
+* **disabled** — :meth:`MetricsRegistry.counter` (and friends) hand
+  back shared no-op instruments whose mutation methods do nothing, so
+  instrumented code paths can call them unconditionally without
+  branching.  A disabled registry never allocates per-name state.
+
+Instrument handles are stable: call sites that care about hot-path cost
+should look an instrument up once and keep the reference.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_TIMER",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Timer:
+    """Accumulated wall-clock time over any number of observations."""
+
+    __slots__ = ("name", "total", "count")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.total += seconds
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def time(self) -> "_TimerContext":
+        """Context manager measuring one observation."""
+        return _TimerContext(self)
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter for disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+
+#: Shared no-op instruments (what a disabled registry hands out).
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_TIMER = _NullTimer("null")
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Names are free-form dotted paths (``"harness.cell.sim-alpha.C-R"``).
+    A disabled registry returns the shared null instruments and records
+    nothing.
+    """
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    @classmethod
+    def disabled(cls) -> "MetricsRegistry":
+        return cls(enabled=False)
+
+    # -- instrument access ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        if not self.enabled:
+            return NULL_TIMER
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    # -- introspection ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._timers
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """All instrument values as plain data, suitable for JSON."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "timers": {
+                n: {"total_s": t.total, "count": t.count, "mean_s": t.mean}
+                for n, t in sorted(self._timers.items())
+            },
+        }
+
+    def write_json(self, path: str, *, extra: Optional[Dict] = None) -> None:
+        """Dump :meth:`snapshot` (plus optional metadata) to ``path``."""
+        payload = dict(self.snapshot())
+        if extra:
+            payload["meta"] = extra
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

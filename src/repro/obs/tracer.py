@@ -1,0 +1,213 @@
+"""Per-instruction pipeline event tracing.
+
+The :class:`PipelineTracer` receives one :class:`TraceEvent` per
+retired instruction from the engine's observer hook and keeps the most
+recent ``capacity`` of them in a ring buffer (tracing a billion-cycle
+run must not hold a billion records).  Two export formats:
+
+* **JSONL** — one JSON object per line, self-describing, easy to grep
+  and diff.  The first line is a header object carrying the workload,
+  simulator, drop count, and (when available) run provenance.
+* **Chrome trace-event JSON** — loads directly into ``chrome://tracing``
+  or https://ui.perfetto.dev.  Each pipeline stage becomes a duration
+  slice on its own track, with the cycle number standing in for the
+  microsecond timestamp, so the pipeline's overlap structure is visible
+  on a timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "PipelineTracer"]
+
+#: Track (Chrome "thread") ids per pipeline stage, in display order.
+_STAGE_TRACKS = (("fetch", 1), ("map", 2), ("execute", 3), ("retire", 4))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instruction's passage through the pipeline."""
+
+    seq: int              #: dynamic instruction index
+    pc: int
+    op: str               #: opcode mnemonic
+    klass: str            #: instruction class name
+    fetch: float          #: cycle the octaword's data was up
+    map: float            #: cycle the instruction was renamed
+    issue: float          #: cycle it left the issue queue
+    complete: float       #: cycle its result wrote back
+    retire: float         #: cycle it retired
+    cause: str            #: CPI-stack component its retire delta went to
+    events: Tuple[str, ...] = ()   #: architectural events it triggered
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "event",
+            "seq": self.seq,
+            "pc": self.pc,
+            "op": self.op,
+            "class": self.klass,
+            "fetch": self.fetch,
+            "map": self.map,
+            "issue": self.issue,
+            "complete": self.complete,
+            "retire": self.retire,
+            "cause": self.cause,
+            "events": list(self.events),
+        }
+
+
+class PipelineTracer:
+    """Bounded ring buffer of :class:`TraceEvent` records."""
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.recorded = 0     #: total events ever offered
+
+    def record(self, event: TraceEvent) -> None:
+        self.recorded += 1
+        self._ring.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained window, oldest first."""
+        return list(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self.recorded - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- exporters --------------------------------------------------------
+
+    def header(
+        self,
+        *,
+        simulator: str = "",
+        workload: str = "",
+        provenance: Optional[Dict] = None,
+    ) -> Dict:
+        head: Dict = {
+            "type": "header",
+            "format": "repro-pipeline-trace/1",
+            "simulator": simulator,
+            "workload": workload,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+        }
+        if provenance is not None:
+            head["provenance"] = provenance
+        return head
+
+    def write_jsonl(
+        self,
+        path: str,
+        *,
+        simulator: str = "",
+        workload: str = "",
+        provenance: Optional[Dict] = None,
+    ) -> None:
+        """One header line, then one line per retained event."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.header(
+                simulator=simulator, workload=workload, provenance=provenance
+            )) + "\n")
+            for event in self._ring:
+                handle.write(json.dumps(event.to_dict()) + "\n")
+
+    def chrome_events(self) -> List[Dict]:
+        """The retained window as Chrome trace-event dicts.
+
+        Pipeline stages map to duration ("ph": "X") slices on four
+        tracks; zero-length stages get a minimal visible duration.
+        Architectural events ride along in each slice's ``args``.
+        """
+        out: List[Dict] = [
+            {
+                "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+                "args": {"name": f"{stage} stage"},
+            }
+            for stage, tid in _STAGE_TRACKS
+        ]
+        for event in self._ring:
+            spans = (
+                ("fetch", 1, event.fetch, event.map),
+                ("map", 2, event.map, event.issue),
+                ("execute", 3, event.issue, event.complete),
+                ("retire", 4, event.complete, event.retire),
+            )
+            args = {
+                "seq": event.seq,
+                "pc": f"0x{event.pc:x}",
+                "class": event.klass,
+                "cause": event.cause,
+                "events": list(event.events),
+            }
+            for stage, tid, start, end in spans:
+                out.append({
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "name": event.op,
+                    "cat": stage,
+                    "ts": start,
+                    "dur": max(end - start, 0.05),
+                    "args": args,
+                })
+        return out
+
+    def write_chrome_trace(
+        self,
+        path: str,
+        *,
+        simulator: str = "",
+        workload: str = "",
+        provenance: Optional[Dict] = None,
+    ) -> None:
+        """A complete ``chrome://tracing`` JSON object file."""
+        payload = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ns",
+            "otherData": self.header(
+                simulator=simulator, workload=workload, provenance=provenance
+            ),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+
+
+def validate_chrome_trace(payload: Dict) -> List[str]:
+    """Schema problems in a Chrome trace-event payload (empty = valid).
+
+    Checks the subset of the trace-event format the viewers require:
+    a ``traceEvents`` list whose entries carry ``ph``/``pid``/``tid``/
+    ``name``, with duration events also needing numeric ``ts``/``dur``.
+    """
+    problems: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                problems.append(f"event {index}: missing {key!r}")
+        if event.get("ph") == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    problems.append(f"event {index}: non-numeric {key!r}")
+    return problems
+
+
+__all__.append("validate_chrome_trace")

@@ -1,11 +1,17 @@
 """Table/chart rendering and the paper's published numbers."""
 
 from repro.reporting.barchart import render_grouped_bars
+from repro.reporting.cpistack import (
+    render_cpi_stack_bars,
+    render_cpi_stack_table,
+)
 from repro.reporting.tables import format_value, render_table
 from repro.reporting import paper_data
 
 __all__ = [
     "render_grouped_bars",
+    "render_cpi_stack_bars",
+    "render_cpi_stack_table",
     "format_value",
     "render_table",
     "paper_data",

@@ -1,0 +1,82 @@
+"""CPI-stack rendering: the attribution table and the stacked bars.
+
+Input is what the instrumented runs produce: a mapping of workload
+name -> CPI stack (component -> cycles/instr, summing to the CPI; see
+:mod:`repro.obs.cpistack`).  The table gives exact numbers per
+component; the stacked bars show, per workload, how the CPI divides —
+the visual the paper's debugging loop (Section 3.4) works from when
+deciding which mechanism to chase next.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.cpistack import CPI_COMPONENTS
+from repro.reporting.tables import render_table
+
+__all__ = ["render_cpi_stack_table", "render_cpi_stack_bars"]
+
+#: Fill glyph per component, in CPI_COMPONENTS order.
+_FILLS = ("█", "▓", "▒", "░", "▚", "▞")
+
+
+def render_cpi_stack_table(
+    stacks: Mapping[str, Dict[str, float]],
+    *,
+    components: Sequence[str] = CPI_COMPONENTS,
+    title: str = "CPI stacks (cycles per instruction by mechanism)",
+    precision: int = 4,
+) -> str:
+    """One row per workload: components, then their sum (the CPI)."""
+    if not stacks:
+        raise ValueError("no CPI stacks to render")
+    headers = ["workload", *components, "cpi"]
+    rows = []
+    for workload, stack in stacks.items():
+        values = [stack.get(c, 0.0) for c in components]
+        rows.append([workload, *values, sum(values)])
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def render_cpi_stack_bars(
+    stacks: Mapping[str, Dict[str, float]],
+    *,
+    components: Sequence[str] = CPI_COMPONENTS,
+    width: int = 56,
+    title: str = "CPI stacks",
+) -> str:
+    """Stacked horizontal bars, one per workload, on a shared scale.
+
+    Each component renders as a run of its legend glyph sized by its
+    share of the longest bar; components that round below one cell are
+    dropped from the drawing (they remain in the table).
+    """
+    if not stacks:
+        raise ValueError("no CPI stacks to render")
+    totals = {w: sum(s.get(c, 0.0) for c in components)
+              for w, s in stacks.items()}
+    peak = max(totals.values())
+    if peak <= 0:
+        raise ValueError("all CPI stacks are empty")
+    name_width = max(len(w) for w in stacks)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    legend = "  ".join(
+        f"{_FILLS[i % len(_FILLS)]} {c}" for i, c in enumerate(components)
+    )
+    lines.append(legend)
+    lines.append(" " * (name_width + 2)
+                 + f"0 {'-' * (width - 2)} {peak:.2f} CPI")
+    for workload, stack in stacks.items():
+        bar = ""
+        for i, component in enumerate(components):
+            cells = int(round(stack.get(component, 0.0) / peak * width))
+            bar += _FILLS[i % len(_FILLS)] * cells
+        lines.append(
+            f"{workload.ljust(name_width)}  {bar} {totals[workload]:.3f}"
+        )
+    return "\n".join(lines)

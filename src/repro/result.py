@@ -8,10 +8,11 @@ results purely through this record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Protocol, Sequence
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import Dict, Optional, Protocol, Sequence
 
 from repro.functional.trace import DynInstr
+from repro.obs.provenance import RunProvenance
 
 __all__ = ["RunStats", "SimResult", "Simulator"]
 
@@ -46,6 +47,25 @@ class RunStats:
         """All pipeline-flushing replay traps."""
         return self.store_replay_traps + self.load_order_traps + self.mbox_traps
 
+    def to_dict(self) -> Dict:
+        """All counters plus ``extra`` as plain JSON-ready data."""
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in dc_fields(self)
+            if f.name != "extra"
+        }
+        payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunStats":
+        names = {f.name for f in dc_fields(cls)}
+        known = {k: v for k, v in payload.items() if k in names}
+        extra = known.pop("extra", {}) or {}
+        stats = cls(**known)
+        stats.extra = dict(extra)
+        return stats
+
 
 @dataclass
 class SimResult:
@@ -56,6 +76,11 @@ class SimResult:
     cycles: float
     instructions: int
     stats: RunStats = field(default_factory=RunStats)
+    #: CPI decomposition (component -> cycles/instr), attached when the
+    #: run was instrumented (see :mod:`repro.obs.cpistack`).
+    cpi_stack: Optional[Dict[str, float]] = None
+    #: Reproducibility fingerprint (see :mod:`repro.obs.provenance`).
+    provenance: Optional[RunProvenance] = None
 
     @property
     def ipc(self) -> float:
@@ -70,6 +95,35 @@ class SimResult:
             f"{self.simulator} on {self.workload}: "
             f"{self.instructions} instructions in {self.cycles:.0f} cycles "
             f"(IPC {self.ipc:.2f})"
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "simulator": self.simulator,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "stats": self.stats.to_dict(),
+            "cpi_stack": dict(self.cpi_stack) if self.cpi_stack else None,
+            "provenance": (
+                self.provenance.to_dict() if self.provenance else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SimResult":
+        provenance = payload.get("provenance")
+        return cls(
+            simulator=payload["simulator"],
+            workload=payload["workload"],
+            cycles=payload["cycles"],
+            instructions=payload["instructions"],
+            stats=RunStats.from_dict(payload.get("stats") or {}),
+            cpi_stack=payload.get("cpi_stack") or None,
+            provenance=(
+                RunProvenance.from_dict(provenance) if provenance else None
+            ),
         )
 
 

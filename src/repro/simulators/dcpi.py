@@ -88,7 +88,14 @@ class DcpiProfiler:
         )
         measured = result.cycles * factor
         measured = max(measured, float(result.instructions) / 11.0)
-        return dc_replace(result, cycles=measured)
+        # Measurement dilation applies to every cycle alike, so an
+        # attached CPI stack scales uniformly and keeps summing to the
+        # (measured) CPI.
+        stack = result.cpi_stack
+        if stack is not None and result.cycles:
+            scale = measured / result.cycles
+            stack = {c: v * scale for c, v in stack.items()}
+        return dc_replace(result, cycles=measured, cpi_stack=stack)
 
     def error_profile(self, workload: str) -> Tuple[float, float]:
         """(dilation, quantisation) relative components for analysis.

@@ -71,8 +71,14 @@ class NativeMachine:
     def config(self) -> MachineConfig:
         return self._machine.config
 
-    def run_trace(self, trace: Sequence[DynInstr], workload: str = "") -> SimResult:
-        result = self._machine.run_trace(trace, workload)
+    def run_trace(
+        self,
+        trace: Sequence[DynInstr],
+        workload: str = "",
+        *,
+        observer=None,
+    ) -> SimResult:
+        result = self._machine.run_trace(trace, workload, observer=observer)
         if not self.measure:
             return result
         from repro.simulators.dcpi import DcpiProfiler

@@ -6,11 +6,20 @@ Useful for quick looks without the pytest-benchmark harness::
     repro-experiments table2
     repro-experiments table4 --quick
     repro-experiments all
+
+The ``trace`` subcommand instruments a single run instead: it prints
+the workload's CPI stack and writes a JSONL pipeline trace plus a
+Chrome trace-event file (loadable in ``chrome://tracing``)::
+
+    repro-experiments trace M-D
+    repro-experiments trace C-R --simulator sim-initial --emit-trace out/
+    repro-experiments table2 --quick --metrics-out metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -34,6 +43,20 @@ from repro.validation.harness import Harness
 from repro.workloads.suite import micro_names, spec2000_names, spec95_names
 
 __all__ = ["main"]
+
+#: Simulator factories the ``trace`` subcommand can instrument.
+def _trace_simulators() -> Dict[str, Callable[[], object]]:
+    from repro.core.simalpha import SimAlpha
+    from repro.core.siminitial import make_sim_initial
+    from repro.core.simstripped import make_sim_stripped
+    from repro.simulators.refmachine import make_native_machine
+
+    return {
+        "sim-alpha": SimAlpha,
+        "sim-initial": make_sim_initial,
+        "sim-stripped": make_sim_stripped,
+        "native": make_native_machine,
+    }
 
 #: Reduced workload sets for --quick runs.
 _QUICK_MICRO = ("C-Ca", "C-R", "C-S1", "E-I", "E-D3", "M-D", "M-M")
@@ -141,6 +164,85 @@ def _run_diagnose(quick: bool) -> str:
     return "\n\n".join(parts)
 
 
+def run_trace_command(
+    workload: str,
+    *,
+    simulator: str = "sim-alpha",
+    out_dir: str = ".",
+    capacity: int = 65_536,
+    metrics_out: str = "",
+) -> str:
+    """Instrument one run: CPI stack to stdout, trace files to disk."""
+    from repro.obs import Instrumentation
+    from repro.reporting import (
+        render_cpi_stack_bars,
+        render_cpi_stack_table,
+    )
+
+    factories = _trace_simulators()
+    try:
+        factory = factories[simulator]
+    except KeyError:
+        raise SystemExit(
+            f"unknown simulator {simulator!r}; choose from "
+            f"{sorted(factories)}"
+        ) from None
+    if capacity <= 0:
+        raise SystemExit(
+            f"--trace-limit must be positive (got {capacity})"
+        )
+
+    instrumentation = Instrumentation(trace=True, trace_capacity=capacity)
+    harness = Harness(metrics=instrumentation.registry)
+    try:
+        result = harness.run_one(
+            factory, workload, instrumentation=instrumentation
+        )
+    except KeyError as error:
+        # WorkloadSet raises a descriptive KeyError naming the known
+        # workloads; surface it as a CLI error, not a traceback.
+        raise SystemExit(str(error.args[0])) from None
+
+    os.makedirs(out_dir, exist_ok=True)
+    provenance = result.provenance.to_dict() if result.provenance else None
+    tracer = instrumentation.last_tracer()
+    jsonl_path = os.path.join(out_dir, f"{workload}.trace.jsonl")
+    chrome_path = os.path.join(out_dir, f"{workload}.chrome.json")
+    tracer.write_jsonl(
+        jsonl_path, simulator=result.simulator, workload=workload,
+        provenance=provenance,
+    )
+    tracer.write_chrome_trace(
+        chrome_path, simulator=result.simulator, workload=workload,
+        provenance=provenance,
+    )
+    if metrics_out:
+        instrumentation.registry.write_json(
+            metrics_out, extra={"command": "trace", "workload": workload}
+        )
+
+    stacks = {workload: result.cpi_stack}
+    parts = [
+        str(result),
+        "",
+        render_cpi_stack_table(stacks),
+        "",
+        render_cpi_stack_bars(stacks),
+        "",
+        f"pipeline trace (JSONL):       {jsonl_path}",
+        f"chrome://tracing event file:  {chrome_path}",
+        f"events retained: {len(tracer)} of {tracer.recorded} "
+        f"({tracer.dropped} dropped by the ring bound)",
+    ]
+    if provenance:
+        parts.append(
+            f"provenance: config={provenance['config_hash']} "
+            f"version={provenance['package_version']} "
+            f"host={provenance['host']}"
+        )
+    return "\n".join(parts)
+
+
 _EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "table1": _run_table1,
     "table2": _run_table2,
@@ -168,25 +270,71 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which experiment to run",
+        choices=sorted(_EXPERIMENTS) + ["all", "trace"],
+        help="which experiment to run, or 'trace' to instrument one run",
+    )
+    parser.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload to trace (trace subcommand only), e.g. M-D or gzip",
     )
     parser.add_argument(
         "--quick", action="store_true",
         help="use reduced workload/parameter sets",
     )
+    parser.add_argument(
+        "--simulator", default="sim-alpha",
+        help="simulator for the trace subcommand "
+             "(sim-alpha, sim-initial, sim-stripped, native)",
+    )
+    parser.add_argument(
+        "--emit-trace", metavar="DIR", default=".",
+        help="directory for the trace subcommand's JSONL and Chrome "
+             "trace-event files (default: current directory)",
+    )
+    parser.add_argument(
+        "--trace-limit", type=int, default=65_536, metavar="N",
+        help="ring-buffer capacity: keep the last N instructions "
+             "(default: 65536)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default="",
+        help="write a metrics-registry JSON snapshot (per-experiment "
+             "wall times, or per-cell timings for trace) to FILE",
+    )
     args = parser.parse_args(argv)
 
+    if args.experiment == "trace":
+        if not args.workload:
+            parser.error("trace requires a workload name, e.g. "
+                         "'repro-experiments trace M-D'")
+        print(run_trace_command(
+            args.workload,
+            simulator=args.simulator,
+            out_dir=args.emit_trace,
+            capacity=args.trace_limit,
+            metrics_out=args.metrics_out,
+        ))
+        return 0
+
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=bool(args.metrics_out))
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
     for name in names:
         started = time.time()
-        output = _EXPERIMENTS[name](args.quick)
+        with registry.timer(f"experiment.{name}").time():
+            output = _EXPERIMENTS[name](args.quick)
         elapsed = time.time() - started
         print(output)
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
+    if args.metrics_out:
+        registry.write_json(
+            args.metrics_out,
+            extra={"experiments": names, "quick": args.quick},
+        )
     return 0
 
 

@@ -3,9 +3,14 @@ sets and organise the results for the experiment drivers."""
 
 from __future__ import annotations
 
+import inspect
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.obs.observer import Instrumentation
+from repro.obs.provenance import capture_provenance
+from repro.obs.registry import MetricsRegistry
 from repro.result import SimResult
 from repro.workloads.suite import WorkloadSet
 
@@ -26,7 +31,20 @@ class ResultGrid:
         self.results.setdefault(result.simulator, {})[result.workload] = result
 
     def get(self, simulator: str, workload: str) -> SimResult:
-        return self.results[simulator][workload]
+        per_sim = self.results.get(simulator)
+        if per_sim is None:
+            raise KeyError(
+                f"unknown simulator {simulator!r}; grid has simulators: "
+                f"{self.simulators()}"
+            )
+        result = per_sim.get(workload)
+        if result is None:
+            raise KeyError(
+                f"no result for workload {workload!r} under simulator "
+                f"{simulator!r}; that simulator has workloads: "
+                f"{sorted(per_sim)}"
+            )
+        return result
 
     def simulators(self) -> List[str]:
         return list(self.results)
@@ -45,18 +63,105 @@ class ResultGrid:
             for workload, result in self.results[simulator].items()
         }
 
+    # -- persistence ------------------------------------------------------
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialise the whole grid (stats, ``extra``, CPI stacks,
+        provenance included) for persistence and cross-run diffing."""
+        payload = {
+            "format": "repro-result-grid/1",
+            "results": [
+                result.to_dict()
+                for per_sim in self.results.values()
+                for result in per_sim.values()
+            ],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultGrid":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        if payload.get("format") != "repro-result-grid/1":
+            raise ValueError(
+                f"not a serialised ResultGrid: format="
+                f"{payload.get('format')!r}"
+            )
+        grid = cls()
+        for entry in payload["results"]:
+            grid.add(SimResult.from_dict(entry))
+        return grid
+
+
+def _accepts_observer(run_trace: Callable) -> bool:
+    """Whether a simulator's ``run_trace`` takes the observer hook."""
+    try:
+        return "observer" in inspect.signature(run_trace).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
 
 class Harness:
-    """Runs (simulator x workload) grids with cached traces."""
+    """Runs (simulator x workload) grids with cached traces.
 
-    def __init__(self, workloads: Optional[WorkloadSet] = None):
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) makes the
+    harness record per-cell wall times and run counts; it is shared by
+    every grid this harness runs.  ``instrumentation`` passed to the
+    run methods additionally threads pipeline observers (CPI stacks,
+    tracing) through simulators that support them.
+    """
+
+    def __init__(
+        self,
+        workloads: Optional[WorkloadSet] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.workloads = workloads or WorkloadSet()
+        self.metrics = metrics if metrics is not None else (
+            MetricsRegistry.disabled()
+        )
 
-    def run_one(self, factory: SimulatorFactory, workload: str) -> SimResult:
+    def _run_cell(
+        self,
+        simulator,
+        trace,
+        workload: str,
+        instrumentation: Optional[Instrumentation],
+    ) -> SimResult:
+        """Time one (simulator, workload) cell, instrumented."""
+        observer = None
+        run_trace = simulator.run_trace
+        if instrumentation is not None and instrumentation.enabled \
+                and _accepts_observer(run_trace):
+            observer = instrumentation.observer(
+                simulator=simulator.name, workload=workload
+            )
+        timer = self.metrics.timer(f"harness.cell.{simulator.name}.{workload}")
+        with timer.time():
+            if observer is not None:
+                result = run_trace(trace, workload, observer=observer)
+            else:
+                result = run_trace(trace, workload)
+        self.metrics.counter("harness.runs").inc()
+        if result.provenance is None:
+            result.provenance = capture_provenance(
+                getattr(simulator, "config", None),
+                name=getattr(simulator, "name", ""),
+            )
+        return result
+
+    def run_one(
+        self,
+        factory: SimulatorFactory,
+        workload: str,
+        *,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> SimResult:
         """Run one simulator (fresh instance) on one workload."""
         simulator = factory()
         trace = self.workloads.trace(workload)
-        return simulator.run_trace(trace, workload)
+        return self._run_cell(simulator, trace, workload, instrumentation)
 
     def run_grid(
         self,
@@ -64,8 +169,14 @@ class Harness:
         workload_names: Iterable[str],
         *,
         progress: Optional[Callable[[str, str], None]] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> ResultGrid:
-        """Run every factory over every workload."""
+        """Run every factory over every workload.
+
+        ``progress(simulator, workload)`` is called before each cell;
+        with a metrics registry attached, each cell's wall time is also
+        recorded under ``harness.cell.<simulator>.<workload>``.
+        """
         grid = ResultGrid()
         names = list(workload_names)
         for name in names:
@@ -74,5 +185,7 @@ class Harness:
                 simulator = factory()
                 if progress is not None:
                     progress(simulator.name, name)
-                grid.add(simulator.run_trace(trace, name))
+                grid.add(
+                    self._run_cell(simulator, trace, name, instrumentation)
+                )
         return grid

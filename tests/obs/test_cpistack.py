@@ -1,0 +1,128 @@
+"""CPI-stack accounting: classification rules and the sum identity."""
+
+import pytest
+
+from repro import SimAlpha
+from repro.obs import Instrumentation
+from repro.obs.cpistack import (
+    CPI_COMPONENTS,
+    CpiStackAccountant,
+    cpi_stack_total,
+)
+from repro.validation import Harness
+
+#: One representative per microbenchmark family (control / execute /
+#: memory), as the acceptance criteria require.
+REPRESENTATIVES = ("C-Ca", "C-S1", "E-I", "E-D3", "M-D", "M-L2")
+
+
+class TestClassification:
+    def test_quiet_instruction_is_base(self):
+        accountant = CpiStackAccountant()
+        assert accountant.classify(()) == "base"
+
+    def test_memory_events_charge_memory(self):
+        accountant = CpiStackAccountant()
+        assert accountant.classify(("dcache_misses",)) == "memory"
+        assert accountant.classify(("l2_misses",)) == "memory"
+        assert accountant.classify(("dtlb_misses",)) == "memory"
+
+    def test_fetch_events_charge_fetch(self):
+        accountant = CpiStackAccountant()
+        assert accountant.classify(("icache_misses",)) == "fetch"
+        assert accountant.classify(("way_mispredicts",)) == "fetch"
+
+    def test_trap_outranks_memory(self):
+        accountant = CpiStackAccountant()
+        cause = accountant.classify(
+            ("dcache_misses", "store_replay_traps")
+        )
+        assert cause == "trap"
+
+    def test_issue_stall_charges_issue(self):
+        accountant = CpiStackAccountant()
+        assert accountant.classify((), issue_stalled=True) == "issue"
+        assert accountant.classify(("maps_stalls",)) == "issue"
+
+    def test_mispredict_shadows_next_instruction(self):
+        accountant = CpiStackAccountant()
+        # The branch itself resolves normally...
+        assert accountant.classify(("branch_mispredicts",)) == "base"
+        # ...the redirect bubble lands on the instruction after it.
+        assert accountant.classify(()) == "bubble"
+        # And the shadow is consumed, not sticky.
+        assert accountant.classify(()) == "base"
+
+    def test_trap_shadow_follows_trap(self):
+        accountant = CpiStackAccountant()
+        assert accountant.classify(("load_order_traps",)) == "trap"
+        assert accountant.classify(()) == "trap"
+        assert accountant.classify(()) == "base"
+
+    def test_current_events_outrank_stale_shadow(self):
+        accountant = CpiStackAccountant()
+        accountant.classify(("ras_mispredicts",))
+        # A trap on the shadowed instruction wins over the bubble.
+        assert accountant.classify(("mbox_traps",)) == "trap"
+
+
+class TestAccounting:
+    def test_cycles_partition_across_components(self):
+        accountant = CpiStackAccountant()
+        accountant.account(2.0, ())
+        accountant.account(10.0, ("dcache_misses",))
+        accountant.account(3.0, (), issue_stalled=True)
+        assert accountant.cycles["base"] == 2.0
+        assert accountant.cycles["memory"] == 10.0
+        assert accountant.cycles["issue"] == 3.0
+        assert sum(accountant.cycles.values()) == 15.0
+
+    def test_stack_sums_to_cpi_with_residue_folded(self):
+        accountant = CpiStackAccountant()
+        accountant.account(7.0, ())
+        # Reported cycles differ from accounted (engine's >=1 floor,
+        # float residue): the difference folds into base.
+        stack = accountant.stack(10.0, 4)
+        assert cpi_stack_total(stack) == pytest.approx(2.5, abs=1e-12)
+        assert set(stack) == set(CPI_COMPONENTS)
+
+    def test_empty_run(self):
+        stack = CpiStackAccountant().stack(0.0, 0)
+        assert all(v == 0.0 for v in stack.values())
+
+
+class TestOnMicrobenchmarks:
+    @pytest.fixture(scope="class")
+    def results(self):
+        instrumentation = Instrumentation()
+        harness = Harness()
+        return {
+            name: harness.run_one(
+                SimAlpha, name, instrumentation=instrumentation
+            )
+            for name in REPRESENTATIVES
+        }
+
+    def test_components_sum_to_cpi(self, results):
+        for name, result in results.items():
+            assert result.cpi_stack is not None, name
+            total = cpi_stack_total(result.cpi_stack)
+            assert total == pytest.approx(result.cpi, abs=1e-6), name
+
+    def test_stacks_cover_all_components(self, results):
+        for result in results.values():
+            assert tuple(result.cpi_stack) == CPI_COMPONENTS
+
+    def test_attribution_tracks_benchmark_family(self, results):
+        # Memory-bound chains show a real memory component...
+        assert results["M-L2"].cpi_stack["memory"] > 1.0
+        assert results["M-D"].cpi_stack["memory"] > 0.01
+        # ...which the execute and control codes lack.
+        assert results["E-I"].cpi_stack["memory"] < 0.01
+        assert results["C-S1"].cpi_stack["memory"] < 0.01
+        # Mispredict-heavy switch code pays redirect bubbles.
+        assert results["C-S1"].cpi_stack["bubble"] > 0.05
+
+    def test_uninstrumented_run_has_no_stack(self):
+        result = Harness().run_one(SimAlpha, "E-I")
+        assert result.cpi_stack is None

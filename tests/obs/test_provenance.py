@@ -1,0 +1,82 @@
+"""Config hashing and provenance capture/round-trip."""
+
+from dataclasses import replace
+
+from repro.core.config import MachineConfig
+from repro.obs.provenance import (
+    RunProvenance,
+    capture_provenance,
+    config_hash,
+)
+
+
+class TestConfigHash:
+    def test_same_instance_is_stable(self):
+        config = MachineConfig()
+        assert config_hash(config) == config_hash(config)
+
+    def test_equal_configs_hash_equal(self):
+        assert config_hash(MachineConfig()) == config_hash(MachineConfig())
+
+    def test_different_configs_hash_differently(self):
+        base = MachineConfig()
+        tweaked = replace(base, rob_size=64)
+        assert config_hash(base) != config_hash(tweaked)
+
+    def test_renaming_changes_hash(self):
+        # The name is part of identity: sim-initial and sim-alpha must
+        # never be conflated even if parameters collide.
+        assert config_hash(MachineConfig(name="a")) != config_hash(
+            MachineConfig(name="b")
+        )
+
+    def test_none_config(self):
+        assert config_hash(None) == "none"
+
+    def test_hash_is_short_hex(self):
+        digest = config_hash(MachineConfig())
+        assert len(digest) == 16
+        int(digest, 16)  # raises if not hex
+
+
+class TestCaptureProvenance:
+    def test_fields_populated(self):
+        provenance = capture_provenance(MachineConfig(name="sim-alpha"))
+        assert provenance.config_name == "sim-alpha"
+        assert provenance.config_hash == config_hash(MachineConfig())
+        assert provenance.package_version
+        assert provenance.created.startswith("20")
+        assert provenance.host
+        assert provenance.python
+
+    def test_dict_round_trip(self):
+        provenance = capture_provenance(MachineConfig())
+        clone = RunProvenance.from_dict(provenance.to_dict())
+        assert clone == provenance
+
+    def test_from_dict_ignores_unknown_keys(self):
+        provenance = RunProvenance.from_dict(
+            {"config_hash": "abc", "someday_field": 1}
+        )
+        assert provenance.config_hash == "abc"
+
+
+class TestAttachment:
+    def test_sim_alpha_attaches_provenance(self):
+        from repro import SimAlpha
+        from repro.validation import Harness
+
+        result = Harness().run_one(SimAlpha, "E-I")
+        assert result.provenance is not None
+        assert result.provenance.config_name == "sim-alpha"
+        assert result.provenance.config_hash == config_hash(
+            SimAlpha().config
+        )
+
+    def test_native_machine_keeps_provenance_through_dcpi(self):
+        from repro.simulators import NativeMachine
+        from repro.validation import Harness
+
+        result = Harness().run_one(NativeMachine, "E-I")
+        assert result.provenance is not None
+        assert result.provenance.config_name == "DS-10L"

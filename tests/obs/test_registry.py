@@ -1,0 +1,105 @@
+"""Counter/gauge/timer semantics and the zero-cost disabled mode."""
+
+import json
+
+from repro.obs.registry import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_TIMER,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_identity_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x") is not registry.counter("y")
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_timer_accumulates(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        timer.observe(0.25)
+        timer.observe(0.75)
+        assert timer.total == 1.0
+        assert timer.count == 2
+        assert timer.mean == 0.5
+
+    def test_timer_context_manager_measures(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        with timer.time():
+            pass
+        assert timer.count == 1
+        assert timer.total >= 0.0
+
+    def test_empty_timer_mean(self):
+        assert MetricsRegistry().timer("t").mean == 0.0
+
+
+class TestDisabledMode:
+    def test_disabled_returns_shared_nulls(self):
+        registry = MetricsRegistry.disabled()
+        assert registry.counter("a") is NULL_COUNTER
+        assert registry.gauge("a") is NULL_GAUGE
+        assert registry.timer("a") is NULL_TIMER
+
+    def test_null_instruments_record_nothing(self):
+        registry = MetricsRegistry.disabled()
+        registry.counter("a").inc(100)
+        registry.gauge("a").set(9.0)
+        registry.timer("a").observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_TIMER.total == 0.0
+
+    def test_disabled_registry_stays_empty(self):
+        registry = MetricsRegistry.disabled()
+        registry.counter("a").inc()
+        assert list(registry) == []
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {},
+        }
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(2)
+        registry.gauge("depth").set(7.0)
+        registry.timer("cell").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"runs": 2}
+        assert snap["gauges"] == {"depth": 7.0}
+        assert snap["timers"]["cell"] == {
+            "total_s": 0.5, "count": 1, "mean_s": 0.5,
+        }
+
+    def test_iteration_lists_names(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.timer("t")
+        assert set(registry) == {"c", "t"}
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path), extra={"kind": "test"})
+        payload = json.loads(path.read_text())
+        assert payload["counters"] == {"runs": 1}
+        assert payload["meta"] == {"kind": "test"}

@@ -1,0 +1,121 @@
+"""Tracer ring-buffer bounds and the JSONL / Chrome export schemas."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import PipelineTracer, TraceEvent, validate_chrome_trace
+
+
+def make_event(seq: int, **overrides) -> TraceEvent:
+    base = dict(
+        seq=seq, pc=0x1000 + 4 * seq, op="addq", klass="INT_ALU",
+        fetch=float(seq), map=seq + 2.0, issue=seq + 3.0,
+        complete=seq + 5.0, retire=seq + 6.0, cause="base", events=(),
+    )
+    base.update(overrides)
+    return TraceEvent(**base)
+
+
+class TestRingBuffer:
+    def test_retains_most_recent(self):
+        tracer = PipelineTracer(capacity=4)
+        for seq in range(10):
+            tracer.record(make_event(seq))
+        assert len(tracer) == 4
+        assert [e.seq for e in tracer.events] == [6, 7, 8, 9]
+
+    def test_counts_recorded_and_dropped(self):
+        tracer = PipelineTracer(capacity=3)
+        for seq in range(8):
+            tracer.record(make_event(seq))
+        assert tracer.recorded == 8
+        assert tracer.dropped == 5
+
+    def test_under_capacity_drops_nothing(self):
+        tracer = PipelineTracer(capacity=100)
+        tracer.record(make_event(0))
+        assert tracer.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PipelineTracer(capacity=0)
+
+
+class TestJsonlExport:
+    def test_header_then_events(self, tmp_path):
+        tracer = PipelineTracer(capacity=8)
+        for seq in range(3):
+            tracer.record(make_event(seq, events=("dcache_misses",)))
+        path = tmp_path / "run.trace.jsonl"
+        tracer.write_jsonl(
+            str(path), simulator="sim-alpha", workload="M-D",
+            provenance={"config_hash": "abc"},
+        )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 4
+        header, *events = lines
+        assert header["type"] == "header"
+        assert header["format"] == "repro-pipeline-trace/1"
+        assert header["simulator"] == "sim-alpha"
+        assert header["workload"] == "M-D"
+        assert header["recorded"] == 3
+        assert header["provenance"] == {"config_hash": "abc"}
+        for entry in events:
+            assert entry["type"] == "event"
+            for key in ("seq", "pc", "op", "class", "fetch", "map",
+                        "issue", "complete", "retire", "cause", "events"):
+                assert key in entry
+        assert events[0]["events"] == ["dcache_misses"]
+
+    def test_stage_times_are_ordered(self, tmp_path):
+        tracer = PipelineTracer()
+        tracer.record(make_event(0))
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(str(path))
+        event = json.loads(path.read_text().splitlines()[1])
+        assert (event["fetch"] <= event["map"] <= event["issue"]
+                <= event["complete"] <= event["retire"])
+
+
+class TestChromeExport:
+    def test_payload_passes_schema_check(self, tmp_path):
+        tracer = PipelineTracer()
+        for seq in range(5):
+            tracer.record(make_event(seq))
+        path = tmp_path / "run.chrome.json"
+        tracer.write_chrome_trace(str(path), workload="C-R")
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["workload"] == "C-R"
+
+    def test_four_slices_per_instruction(self):
+        tracer = PipelineTracer()
+        tracer.record(make_event(0))
+        events = tracer.chrome_events()
+        slices = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(slices) == 4
+        assert len(metadata) == 4  # one thread_name per stage track
+        assert {s["cat"] for s in slices} == {
+            "fetch", "map", "execute", "retire",
+        }
+
+    def test_durations_never_zero(self):
+        tracer = PipelineTracer()
+        # Zero-length stages (map == issue == complete == retire).
+        tracer.record(make_event(0, map=2.0, issue=2.0, complete=2.0,
+                                 retire=2.0))
+        for event in tracer.chrome_events():
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+
+    def test_validator_flags_malformed(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents missing or not a list"
+        ]
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "pid": 0, "tid": 1,
+                              "name": "n", "ts": 0.0}]}
+        )
+        assert any("dur" in p for p in problems)

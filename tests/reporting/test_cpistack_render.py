@@ -1,0 +1,55 @@
+"""CPI-stack table and stacked-bar rendering."""
+
+import pytest
+
+from repro.reporting import render_cpi_stack_bars, render_cpi_stack_table
+
+STACKS = {
+    "C-Ca": {"base": 0.1, "fetch": 0.2, "issue": 0.2, "memory": 0.0,
+             "trap": 0.0, "bubble": 0.1},
+    "M-L2": {"base": 0.1, "fetch": 0.0, "issue": 0.2, "memory": 3.0,
+             "trap": 0.0, "bubble": 0.0},
+}
+
+
+class TestTable:
+    def test_rows_and_sum_column(self):
+        text = render_cpi_stack_table(STACKS)
+        assert "workload" in text and "cpi" in text
+        assert "C-Ca" in text and "M-L2" in text
+        assert "0.6000" in text   # C-Ca total
+        assert "3.3000" in text   # M-L2 total
+
+    def test_component_headers_present(self):
+        text = render_cpi_stack_table(STACKS)
+        for component in ("base", "fetch", "issue", "memory",
+                          "trap", "bubble"):
+            assert component in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cpi_stack_table({})
+
+
+class TestBars:
+    def test_shared_scale_and_legend(self):
+        text = render_cpi_stack_bars(STACKS, width=40)
+        assert "3.30 CPI" in text          # peak sets the scale
+        assert "base" in text and "memory" in text
+        assert "C-Ca" in text and "M-L2" in text
+
+    def test_dominant_component_dominates_the_bar(self):
+        text = render_cpi_stack_bars(STACKS, width=40)
+        m_l2_line = next(
+            line for line in text.splitlines() if line.startswith("M-L2")
+        )
+        # memory is drawn with the fourth fill glyph.
+        assert m_l2_line.count("░") > m_l2_line.count("█")
+
+    def test_totals_annotated(self):
+        text = render_cpi_stack_bars(STACKS)
+        assert "0.600" in text and "3.300" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cpi_stack_bars({})

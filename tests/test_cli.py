@@ -1,5 +1,7 @@
 """Tests for the repro-experiments command-line interface."""
 
+import json
+
 import pytest
 
 from repro.validation.cli import _EXPERIMENTS, main
@@ -46,3 +48,52 @@ def test_unknown_experiment_rejected():
 
 def test_quick_flag_accepted(capsys):
     assert main(["sampling", "--quick"]) == 0
+
+
+def test_trace_emits_jsonl_and_chrome_files(tmp_path, capsys):
+    from repro.obs import validate_chrome_trace
+
+    out_dir = tmp_path / "traces"
+    assert main([
+        "trace", "C-R",
+        "--emit-trace", str(out_dir),
+        "--trace-limit", "256",
+        "--metrics-out", str(tmp_path / "metrics.json"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "CPI stacks" in out
+    assert "provenance" in out
+
+    jsonl = (out_dir / "C-R.trace.jsonl").read_text().splitlines()
+    header = json.loads(jsonl[0])
+    assert header["type"] == "header"
+    assert header["workload"] == "C-R"
+    assert len(jsonl) == 1 + 256
+    assert all(
+        json.loads(line)["type"] == "event" for line in jsonl[1:]
+    )
+
+    chrome = json.loads((out_dir / "C-R.chrome.json").read_text())
+    assert validate_chrome_trace(chrome) == []
+
+    metrics = json.loads((tmp_path / "metrics.json").read_text())
+    assert metrics["counters"]["pipeline.runs"] == 1
+
+
+def test_trace_requires_workload():
+    with pytest.raises(SystemExit):
+        main(["trace"])
+
+
+def test_trace_rejects_unknown_simulator(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "C-R", "--simulator", "sim-imaginary",
+              "--emit-trace", str(tmp_path)])
+
+
+def test_metrics_out_for_experiments(tmp_path, capsys):
+    path = tmp_path / "metrics.json"
+    assert main(["table1", "--metrics-out", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert payload["timers"]["experiment.table1"]["count"] == 1
+    assert payload["meta"]["experiments"] == ["table1"]
