@@ -1,0 +1,34 @@
+"""Experiment execution: process-pool parallelism + on-disk memoization.
+
+The entry point is :class:`ExperimentEngine` (or, more conveniently,
+the ``jobs=`` / ``cache=`` keywords on
+:meth:`repro.validation.harness.Harness.run_grid`, which delegate
+here)::
+
+    from repro.validation import Harness
+    from repro.core.simalpha import SimAlpha
+    from repro.simulators.simoutorder import SimOutOrder
+
+    grid = Harness().run_grid(
+        [SimAlpha, SimOutOrder], ["C-R", "M-D", "gzip"],
+        jobs=4, cache=".repro-cache", timeout=120.0, retries=1,
+    )
+    for failure in grid.failures:      # fault-isolated, never raises
+        print(failure.kind, failure.simulator, failure.workload)
+
+Cells are content-addressed by :class:`CacheKey` — configuration hash,
+workload, trace fingerprint, package version — so a second run over
+unchanged inputs is pure cache hits and serialises byte-identically to
+the run that populated the cache.
+"""
+
+from repro.exec.cache import CacheKey, ResultCache, fingerprint_trace
+from repro.exec.engine import CellFailure, ExperimentEngine
+
+__all__ = [
+    "CacheKey",
+    "CellFailure",
+    "ExperimentEngine",
+    "ResultCache",
+    "fingerprint_trace",
+]

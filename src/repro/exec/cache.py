@@ -1,0 +1,185 @@
+"""On-disk memoization of simulation results, content-addressed by
+configuration.
+
+A grid cell's outcome is a pure function of (simulator configuration,
+workload trace, simulator code).  :class:`CacheKey` captures exactly
+that function's inputs:
+
+* ``simulator`` + ``config_hash`` — which timing model, resolved to the
+  PR-1 provenance hash of its fully specified configuration;
+* ``workload`` + ``trace_fingerprint`` — which dynamic trace, hashed
+  over every replayed instruction so a changed workload generator
+  invalidates stale entries;
+* ``package_version`` — which release of the simulators produced it.
+
+Entries live one-per-file under the cache root, named by the key's
+digest and carrying the full key alongside the serialised
+:class:`~repro.result.SimResult`; a stored key that does not match the
+probe (digest collision, hand-edited file) or an unreadable entry is
+*invalidated* — deleted and recomputed — rather than trusted.  Hits
+return the stored result verbatim, provenance included, so a warm run
+serialises byte-identically to the run that populated the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.obs.registry import MetricsRegistry
+from repro.result import SimResult
+
+__all__ = ["CacheKey", "ResultCache", "fingerprint_trace"]
+
+
+def fingerprint_trace(trace: Sequence) -> str:
+    """A stable digest of a dynamic trace's replayed content.
+
+    Hashes the fields the timing models actually consume (PCs, opcodes,
+    operands, branch outcomes, effective addresses), so two traces
+    fingerprint equal iff every simulator times them identically.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(len(trace)).encode())
+    for dyn in trace:
+        digest.update(
+            (
+                f"{dyn.pc:x}|{dyn.opcode.name}|{dyn.dest}|{dyn.srcs}|"
+                f"{int(dyn.taken)}|{dyn.next_pc:x}|{dyn.eaddr}|"
+                f"{dyn.size}|{dyn.slot}\n"
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The full set of inputs that determine one cell's result."""
+
+    simulator: str
+    config_hash: str
+    workload: str
+    trace_fingerprint: str
+    package_version: str
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def digest(self) -> str:
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+class ResultCache:
+    """One-file-per-cell result store under ``root``.
+
+    Counts its own traffic (``hits`` / ``misses`` / ``invalidations`` /
+    ``stores``) and mirrors the counts into ``metrics`` (a
+    :class:`~repro.obs.registry.MetricsRegistry`) under
+    ``exec.cache.*`` when one is attached.
+    """
+
+    def __init__(self, root, *, metrics: Optional[MetricsRegistry] = None):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.metrics = metrics
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.stores = 0
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"exec.cache.{name}").inc()
+
+    def _path(self, key: CacheKey) -> str:
+        return os.path.join(self.root, key.digest() + ".json")
+
+    def get(self, key: CacheKey) -> Optional[SimResult]:
+        """The stored result for ``key``, or None on miss.
+
+        A present-but-untrustworthy entry (unreadable, undecodable, or
+        carrying a different key) is deleted and counted as an
+        invalidation in addition to the miss.
+        """
+        path = self._path(key)
+        payload = None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError):
+            self._drop(path)
+        if payload is not None:
+            if payload.get("key") == key.to_dict():
+                try:
+                    result = SimResult.from_dict(payload["result"])
+                except (KeyError, TypeError, ValueError):
+                    self._drop(path)
+                else:
+                    self.hits += 1
+                    self._count("hits")
+                    return result
+            else:
+                self._drop(path)
+        self.misses += 1
+        self._count("misses")
+        return None
+
+    def put(self, key: CacheKey, result: SimResult) -> None:
+        """Store ``result`` under ``key`` (atomically; overwrites)."""
+        payload = {
+            "format": "repro-result-cache/1",
+            "key": key.to_dict(),
+            "result": result.to_dict(),
+        }
+        handle, tmp_path = tempfile.mkstemp(
+            dir=self.root, suffix=".tmp", prefix=key.digest()
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(payload, tmp, sort_keys=True)
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        self._count("stores")
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Explicitly drop ``key``'s entry (the refresh path)."""
+        return self._drop(self._path(key))
+
+    def _drop(self, path: str) -> bool:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            return False
+        except OSError:  # pragma: no cover - permission races
+            return False
+        self.invalidations += 1
+        self._count("invalidations")
+        return True
+
+    def __len__(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.root) if name.endswith(".json")
+        )
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "stores": self.stores,
+            "entries": len(self),
+        }

@@ -1,0 +1,442 @@
+"""The experiment execution engine: parallel, cached, fault-isolated.
+
+The paper's evaluation is one large (simulator x workload) grid
+re-visited by every table; the serial harness pays full price for
+every cell on every run.  This engine executes the same cells
+
+* **memoized** — each cell is content-addressed by its
+  :class:`~repro.exec.cache.CacheKey` (configuration hash, workload
+  trace fingerprint, package version) and recomputed only when an
+  input changed;
+* **in parallel** — cache misses fan out over a pool of forked worker
+  processes (``jobs`` wide), each timing one cell and shipping the
+  :class:`~repro.result.SimResult` back over a pipe.  Traces are built
+  once in the parent and inherited by the workers through fork, so no
+  worker ever rebuilds a workload;
+* **fault-isolated** — a cell that raises, dies, or exceeds its
+  per-cell ``timeout`` is retried up to ``retries`` times and then
+  recorded as a :class:`~repro.validation.harness.CellFailure` on the
+  returned grid; every other cell still completes.
+
+Results are inserted into the :class:`ResultGrid` in the exact order
+the serial harness would produce, so a parallel run serialises
+identically to a serial one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.exec.cache import CacheKey, ResultCache, fingerprint_trace
+from repro.obs.observer import Instrumentation
+from repro.obs.provenance import _package_version, config_hash
+from repro.obs.registry import MetricsRegistry
+from repro.result import SimResult
+from repro.validation.harness import (
+    CellFailure,
+    Harness,
+    ResultGrid,
+    SimulatorFactory,
+)
+from repro.workloads.suite import WorkloadSet
+
+__all__ = ["ExperimentEngine", "CellFailure"]
+
+
+@dataclass
+class _Cell:
+    """One (simulator, workload) unit of work, in serial grid order."""
+
+    index: int
+    sim_name: str
+    factory: SimulatorFactory
+    workload: str
+    key: Optional[CacheKey]
+
+
+@dataclass
+class _Attempt:
+    """A live worker process timing one cell."""
+
+    cell: _Cell
+    process: multiprocessing.Process
+    conn: object
+    started: float
+    attempt: int
+
+
+def _worker_main(conn, factory, workload, workload_set, instrumentation):
+    """Body of one forked worker: time one cell, ship the result back.
+
+    Runs through the same :class:`Harness` cell path as serial
+    execution (observer wiring, provenance capture), so results are
+    indistinguishable from serially produced ones.
+    """
+    try:
+        harness = Harness(workload_set)
+        result = harness.run_one(
+            factory, workload, instrumentation=instrumentation
+        )
+        conn.send(("ok", result))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(limit=20)))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class ExperimentEngine:
+    """Runs (simulator x workload) grids over a process pool with an
+    on-disk result cache.
+
+    Parameters
+    ----------
+    workloads:
+        The shared :class:`WorkloadSet` (traces are built once here,
+        in the parent, before any worker forks).
+    jobs:
+        Maximum concurrently running worker processes.  ``1`` times
+        cells in-process (no fork), still exercising the cache and
+        fault isolation.
+    cache:
+        A :class:`ResultCache`, a directory path to build one in, or
+        ``None`` to disable memoization.
+    timeout:
+        Per-cell wall-clock budget in seconds; a worker past it is
+        terminated (``kind="timeout"``).  Enforced only when cells run
+        in worker processes (``jobs > 1``).
+    retries:
+        Extra attempts granted to a failing cell before it becomes a
+        :class:`CellFailure`.
+    metrics:
+        A :class:`MetricsRegistry`; receives ``exec.cache.*`` traffic
+        counters, per-cell ``exec.cell.*`` timers, and pool counters.
+    refresh:
+        Invalidate and recompute every cached cell this run touches
+        (the cache-refresh path).
+    """
+
+    def __init__(
+        self,
+        workloads: Optional[WorkloadSet] = None,
+        *,
+        jobs: int = 1,
+        cache=None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        refresh: bool = False,
+    ):
+        self.workloads = workloads or WorkloadSet()
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.metrics = metrics if metrics is not None else (
+            MetricsRegistry.disabled()
+        )
+        self.refresh = refresh
+        if isinstance(cache, (str, os.PathLike)):
+            cache = ResultCache(cache, metrics=self.metrics)
+        if cache is not None and cache.metrics is None:
+            cache.metrics = self.metrics
+        self.cache: Optional[ResultCache] = cache
+        self._ctx = (
+            multiprocessing.get_context("fork")
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+
+    # -- keys --------------------------------------------------------------
+
+    def _cell_key(
+        self, sim_name: str, cfg_hash: str, workload: str, trace_fp: str
+    ) -> CacheKey:
+        return CacheKey(
+            simulator=sim_name,
+            config_hash=cfg_hash,
+            workload=workload,
+            trace_fingerprint=trace_fp,
+            package_version=_package_version(),
+        )
+
+    # -- the grid ----------------------------------------------------------
+
+    def run_grid(
+        self,
+        factories: Sequence[SimulatorFactory],
+        workload_names: Iterable[str],
+        *,
+        instrumentation: Optional[Instrumentation] = None,
+        progress: Optional[Callable[[str, str], None]] = None,
+    ) -> ResultGrid:
+        """Run every factory over every workload; see the module doc.
+
+        The returned grid holds a result for every cell that completed
+        and a :class:`CellFailure` for every cell that exhausted its
+        attempts, in serial iteration order.
+        """
+        names = list(workload_names)
+        self.metrics.gauge("exec.jobs").set(self.jobs)
+
+        # Probe each factory once for its identity (the worker builds
+        # its own fresh instance; this one only yields name + config).
+        probes = []
+        for factory in factories:
+            simulator = factory()
+            probes.append((
+                simulator.name,
+                config_hash(getattr(simulator, "config", None)),
+            ))
+
+        # Build every trace in the parent: cached in the WorkloadSet,
+        # inherited by workers via fork, fingerprinted once each.
+        fingerprints: Dict[str, str] = {}
+        if self.cache is not None:
+            for name in names:
+                fingerprints[name] = fingerprint_trace(
+                    self.workloads.trace(name)
+                )
+        else:
+            for name in names:
+                self.workloads.trace(name)
+
+        cells: List[_Cell] = []
+        for name in names:
+            for (sim_name, cfg_hash), factory in zip(probes, factories):
+                key = (
+                    self._cell_key(
+                        sim_name, cfg_hash, name, fingerprints[name]
+                    )
+                    if self.cache is not None else None
+                )
+                cells.append(_Cell(len(cells), sim_name, factory, name, key))
+
+        # Resolve cache hits (or, refreshing, drop stale entries).
+        results: Dict[int, SimResult] = {}
+        to_run: List[_Cell] = []
+        for cell in cells:
+            if self.cache is not None and self.refresh:
+                self.cache.invalidate(cell.key)
+            elif self.cache is not None:
+                hit = self.cache.get(cell.key)
+                if hit is not None:
+                    results[cell.index] = hit
+                    continue
+            to_run.append(cell)
+
+        failures: Dict[int, CellFailure] = {}
+        if to_run:
+            if self.jobs > 1 and self._ctx is not None:
+                self._run_pool(
+                    to_run, results, failures, instrumentation, progress
+                )
+            else:
+                self._run_inprocess(
+                    to_run, results, failures, instrumentation, progress
+                )
+
+        grid = ResultGrid()
+        for cell in cells:
+            result = results.get(cell.index)
+            if result is not None:
+                grid.add(result)
+        grid.failures.extend(
+            failures[index] for index in sorted(failures)
+        )
+        return grid
+
+    def refresh_cell(
+        self,
+        grid: ResultGrid,
+        factory: SimulatorFactory,
+        workload: str,
+        *,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> SimResult:
+        """Recompute one cell, overwrite its cache entry, and replace
+        it in ``grid`` (the ``ResultGrid.add(..., replace=True)``
+        escape hatch)."""
+        harness = Harness(self.workloads, metrics=self.metrics)
+        result = harness.run_one(
+            factory, workload, instrumentation=instrumentation
+        )
+        if self.cache is not None:
+            probe = factory()
+            key = self._cell_key(
+                probe.name,
+                config_hash(getattr(probe, "config", None)),
+                workload,
+                fingerprint_trace(self.workloads.trace(workload)),
+            )
+            self.cache.put(key, result)
+        grid.add(result, replace=True)
+        return grid.get(result.simulator, result.workload)
+
+    # -- execution backends ------------------------------------------------
+
+    def _record_success(self, cell: _Cell, result: SimResult,
+                        elapsed: float) -> None:
+        self.metrics.timer(
+            f"exec.cell.{cell.sim_name}.{cell.workload}"
+        ).observe(elapsed)
+        self.metrics.counter("exec.cells.completed").inc()
+        if self.cache is not None:
+            self.cache.put(cell.key, result)
+
+    def _run_inprocess(self, to_run, results, failures,
+                       instrumentation, progress) -> None:
+        """Serial backend (``jobs=1``): same fault isolation, no fork.
+
+        Per-cell timeouts are not enforced here — there is no process
+        to terminate.
+        """
+        harness = Harness(self.workloads, metrics=self.metrics)
+        for cell in to_run:
+            attempts = 1 + self.retries
+            for attempt in range(1, attempts + 1):
+                if progress is not None:
+                    progress(cell.sim_name, cell.workload)
+                started = time.perf_counter()
+                try:
+                    result = harness.run_one(
+                        cell.factory, cell.workload,
+                        instrumentation=instrumentation,
+                    )
+                except Exception:
+                    elapsed = time.perf_counter() - started
+                    if attempt < attempts:
+                        self.metrics.counter("exec.cells.retried").inc()
+                        continue
+                    failures[cell.index] = CellFailure(
+                        simulator=cell.sim_name,
+                        workload=cell.workload,
+                        kind="exception",
+                        message=traceback.format_exc(limit=20),
+                        attempts=attempt,
+                        elapsed_s=elapsed,
+                    )
+                    self.metrics.counter("exec.cells.failed").inc()
+                else:
+                    results[cell.index] = result
+                    self._record_success(
+                        cell, result, time.perf_counter() - started
+                    )
+                    break
+
+    def _run_pool(self, to_run, results, failures,
+                  instrumentation, progress) -> None:
+        """Process-pool backend: up to ``jobs`` forked workers."""
+        pending = deque(to_run)
+        attempt_of: Dict[int, int] = {}
+        live: Dict[object, _Attempt] = {}
+
+        def launch(cell: _Cell) -> None:
+            attempt = attempt_of.get(cell.index, 0) + 1
+            attempt_of[cell.index] = attempt
+            recv_end, send_end = self._ctx.Pipe(duplex=False)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(send_end, cell.factory, cell.workload,
+                      self.workloads, instrumentation),
+                daemon=True,
+            )
+            process.start()
+            send_end.close()  # keep only the child's copy writable
+            live[recv_end] = _Attempt(
+                cell, process, recv_end, time.perf_counter(), attempt
+            )
+            if progress is not None:
+                progress(cell.sim_name, cell.workload)
+            self.metrics.counter("exec.cells.launched").inc()
+
+        def settle(attempt: _Attempt, kind: str, message: str,
+                   elapsed: float) -> None:
+            cell = attempt.cell
+            if attempt.attempt <= self.retries:
+                self.metrics.counter("exec.cells.retried").inc()
+                pending.append(cell)
+                return
+            failures[cell.index] = CellFailure(
+                simulator=cell.sim_name,
+                workload=cell.workload,
+                kind=kind,
+                message=message,
+                attempts=attempt.attempt,
+                elapsed_s=elapsed,
+            )
+            self.metrics.counter("exec.cells.failed").inc()
+
+        try:
+            while pending or live:
+                while pending and len(live) < self.jobs:
+                    launch(pending.popleft())
+
+                wait_for = None
+                if self.timeout is not None:
+                    now = time.perf_counter()
+                    wait_for = max(0.0, min(
+                        attempt.started + self.timeout - now
+                        for attempt in live.values()
+                    ))
+                ready = _connection_wait(list(live), timeout=wait_for)
+
+                for conn in ready:
+                    attempt = live.pop(conn)
+                    elapsed = time.perf_counter() - attempt.started
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    conn.close()
+                    attempt.process.join()
+                    if (
+                        isinstance(message, tuple)
+                        and message and message[0] == "ok"
+                    ):
+                        results[attempt.cell.index] = message[1]
+                        self._record_success(
+                            attempt.cell, message[1], elapsed
+                        )
+                    elif (
+                        isinstance(message, tuple)
+                        and message and message[0] == "error"
+                    ):
+                        settle(attempt, "exception", message[1], elapsed)
+                    else:
+                        settle(
+                            attempt, "crash",
+                            f"worker exited with code "
+                            f"{attempt.process.exitcode} before "
+                            f"reporting a result",
+                            elapsed,
+                        )
+
+                if self.timeout is not None:
+                    now = time.perf_counter()
+                    for conn, attempt in list(live.items()):
+                        if now - attempt.started < self.timeout:
+                            continue
+                        live.pop(conn)
+                        attempt.process.terminate()
+                        attempt.process.join()
+                        conn.close()
+                        settle(
+                            attempt, "timeout",
+                            f"cell exceeded its {self.timeout:g}s "
+                            f"timeout and was terminated",
+                            now - attempt.started,
+                        )
+        finally:
+            for attempt in live.values():
+                attempt.process.terminate()
+                attempt.process.join()
+                attempt.conn.close()

@@ -85,9 +85,14 @@ class MissAddressFile:
 
         busy = self._busy_entries(now)
         if len(busy) >= self.config.entries:
-            # Stall until the earliest outstanding fill frees an entry.
+            # Stall until occupancy actually drops below capacity.  A
+            # stalled predecessor allocates with a backdated start, so
+            # the file can be tracking more than `entries` fills; the
+            # earliest fill alone then frees a slot that predecessor
+            # already claimed.
             self.stats.full_stalls += 1
-            start = min(t for _, t in busy)
+            fills = sorted(t for _, t in busy)
+            start = fills[len(busy) - self.config.entries]
             return MafOutcome(start, None, True)
         return MafOutcome(now, None, False)
 

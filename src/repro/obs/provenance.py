@@ -36,6 +36,9 @@ __all__ = ["RunProvenance", "config_hash", "capture_provenance"]
 #: (configs are frozen, so the hash can never go stale).
 _HASH_CACHE: Dict[int, tuple] = {}
 
+#: Entries kept in the memo before oldest-first eviction kicks in.
+_HASH_CACHE_LIMIT = 4096
+
 
 def _package_version() -> str:
     # Imported lazily: repro/__init__ imports result.py which imports
@@ -66,8 +69,11 @@ def config_hash(config: object) -> str:
         payload = config
     canonical = json.dumps(payload, sort_keys=True, default=repr)
     digest = hashlib.sha256(canonical.encode()).hexdigest()[:16]
-    if len(_HASH_CACHE) > 4096:  # unbounded-growth guard
-        _HASH_CACHE.clear()
+    while len(_HASH_CACHE) >= _HASH_CACHE_LIMIT:  # unbounded-growth guard
+        # Evict oldest-first (dict preserves insertion order) so the
+        # configs a running grid is actively hashing keep their memo
+        # entries instead of being wiped wholesale.
+        del _HASH_CACHE[next(iter(_HASH_CACHE))]
     _HASH_CACHE[key] = (config, digest)
     return digest
 

@@ -7,6 +7,14 @@ Useful for quick looks without the pytest-benchmark harness::
     repro-experiments table4 --quick
     repro-experiments all
 
+Grid-shaped experiments (tables 2-5, figure2, bugwalk) accept
+``--jobs N`` to fan cells out over worker processes and
+``--cache-dir DIR`` to memoize cells on disk across invocations
+(``--no-cache`` forces a full recompute)::
+
+    repro-experiments table2 --jobs 4 --cache-dir ~/.cache/repro
+    repro-experiments all --quick --jobs 2 --cache-dir .repro-cache
+
 The ``trace`` subcommand instruments a single run instead: it prints
 the workload's CPI stack and writes a JSONL pipeline trace plus a
 Chrome trace-event file (loadable in ``chrome://tracing``)::
@@ -64,38 +72,42 @@ _QUICK_MACRO = ("gzip", "eon", "mesa", "art")
 _QUICK_SPEC95 = ("go", "swim", "fpppp")
 
 
-def _run_table1(quick: bool) -> str:
+def _run_table1(quick: bool, engine: Dict) -> str:
     return table1_latencies().render()
 
 
-def _run_table2(quick: bool) -> str:
+def _run_table2(quick: bool, engine: Dict) -> str:
     names = _QUICK_MICRO if quick else micro_names()
-    return table2_micro(benchmarks=names).render()
+    return table2_micro(benchmarks=names, **engine).render()
 
 
-def _run_table3(quick: bool) -> str:
+def _run_table3(quick: bool, engine: Dict) -> str:
     names = _QUICK_MACRO if quick else spec2000_names()
-    return table3_macro(benchmarks=names).render()
+    return table3_macro(benchmarks=names, **engine).render()
 
 
-def _run_table4(quick: bool) -> str:
+def _run_table4(quick: bool, engine: Dict) -> str:
     names = _QUICK_MACRO if quick else spec2000_names()
     features = ("addr", "luse", "spec", "stwt") if quick else None
-    return table4_features(benchmarks=names, features=features).render()
+    return table4_features(
+        benchmarks=names, features=features, **engine
+    ).render()
 
 
-def _run_table5(quick: bool) -> str:
+def _run_table5(quick: bool, engine: Dict) -> str:
     names = _QUICK_MACRO if quick else spec2000_names()
     features = ("addr", "luse") if quick else None
-    return table5_stability(benchmarks=names, features=features).render()
+    return table5_stability(
+        benchmarks=names, features=features, **engine
+    ).render()
 
 
-def _run_figure2(quick: bool) -> str:
+def _run_figure2(quick: bool, engine: Dict) -> str:
     names = _QUICK_SPEC95 if quick else spec95_names()
-    return figure2_regfile(benchmarks=names).render()
+    return figure2_regfile(benchmarks=names, **engine).render()
 
 
-def _run_calibration(quick: bool) -> str:
+def _run_calibration(quick: bool, engine: Dict) -> str:
     if quick:
         from repro.dram.config import parameter_grid
 
@@ -107,22 +119,22 @@ def _run_calibration(quick: bool) -> str:
     return calibrate_dram().render()
 
 
-def _run_bugwalk(quick: bool) -> str:
+def _run_bugwalk(quick: bool, engine: Dict) -> str:
     names = _QUICK_MICRO if quick else micro_names()
     bugs = (
         ("late_branch_recovery", "jmp_undercharge", "wrong_fu_mix")
         if quick else None
     )
-    return bug_walk(benchmarks=names, bugs=bugs).render()
+    return bug_walk(benchmarks=names, bugs=bugs, **engine).render()
 
 
-def _run_sampling(quick: bool) -> str:
+def _run_sampling(quick: bool, engine: Dict) -> str:
     return sampling_interval_study().render()
 
 
-def _run_warmup(quick: bool) -> str:
+def _run_warmup(quick: bool, engine: Dict) -> str:
     workloads = ("gzip",) if quick else ("gzip", "mesa", "C-Ca")
-    harness = Harness()
+    harness = engine["harness"]
     parts = []
     for workload in workloads:
         profile = warmup_study(workload, harness=harness)
@@ -130,20 +142,20 @@ def _run_warmup(quick: bool) -> str:
     return "\n\n".join(parts)
 
 
-def _run_baselines(quick: bool) -> str:
+def _run_baselines(quick: bool, engine: Dict) -> str:
     result = baseline_spread(workload="compress" if quick else "gcc95")
     return (result.render()
             + f"\nspread ratio: {result.spread_ratio:.2f}x")
 
 
-def _run_ablation(quick: bool) -> str:
+def _run_ablation(quick: bool, engine: Dict) -> str:
     benchmarks = ("mesa", "art") if quick else (
         "gzip", "eon", "mesa", "art", "lucas"
     )
     return ablate_native_effects(benchmarks=benchmarks).render()
 
 
-def _run_diagnose(quick: bool) -> str:
+def _run_diagnose(quick: bool, engine: Dict) -> str:
     """Replay the canonical Section 3.4 debugging sessions."""
     from repro.core.siminitial import make_sim_with_bugs
     from repro.simulators.refmachine import make_native_machine
@@ -152,7 +164,7 @@ def _run_diagnose(quick: bool) -> str:
                 ("E-DM1", "wrong_fu_mix")]
     if not quick:
         sessions.append(("C-Ca", "late_branch_recovery"))
-    harness = Harness()
+    harness = engine["harness"]
     reference_machine = make_native_machine()
     parts = []
     for workload, bug in sessions:
@@ -243,7 +255,11 @@ def run_trace_command(
     return "\n".join(parts)
 
 
-_EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+#: Runners take (quick, engine) where ``engine`` holds the shared
+#: ``harness=`` plus the ``jobs=`` / ``cache=`` kwargs for drivers that
+#: run (simulator x workload) grids; runners whose experiment has no
+#: grid simply ignore it.
+_EXPERIMENTS: Dict[str, Callable[[bool, Dict], str]] = {
     "table1": _run_table1,
     "table2": _run_table2,
     "table3": _run_table3,
@@ -301,7 +317,23 @@ def main(argv=None) -> int:
         help="write a metrics-registry JSON snapshot (per-experiment "
              "wall times, or per-cell timings for trace) to FILE",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan grid cells out over N worker processes "
+             "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default="",
+        help="memoize grid cells on disk under DIR, keyed by exact "
+             "configuration; unchanged cells are reused across runs",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir: recompute every cell this run",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1 (got {args.jobs})")
 
     if args.experiment == "trace":
         if not args.workload:
@@ -319,13 +351,23 @@ def main(argv=None) -> int:
     from repro.obs.registry import MetricsRegistry
 
     registry = MetricsRegistry(enabled=bool(args.metrics_out))
+    engine = {
+        # One harness across experiments: traces are built once, and
+        # cache/cell counters land in the --metrics-out registry.
+        "harness": Harness(metrics=registry),
+        "jobs": args.jobs,
+        "cache": (
+            None if args.no_cache or not args.cache_dir
+            else args.cache_dir
+        ),
+    }
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
     for name in names:
         started = time.time()
         with registry.timer(f"experiment.{name}").time():
-            output = _EXPERIMENTS[name](args.quick)
+            output = _EXPERIMENTS[name](args.quick, engine)
         elapsed = time.time() - started
         print(output)
         print(f"[{name} completed in {elapsed:.1f}s]")
@@ -333,7 +375,9 @@ def main(argv=None) -> int:
     if args.metrics_out:
         registry.write_json(
             args.metrics_out,
-            extra={"experiments": names, "quick": args.quick},
+            extra={"experiments": names, "quick": args.quick,
+                   "jobs": args.jobs,
+                   "cache_dir": engine["cache"] or ""},
         )
     return 0
 

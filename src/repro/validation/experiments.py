@@ -21,6 +21,7 @@ from repro.isa.instructions import InstrClass, LATENCY, Opcode
 from repro.isa.program import ProgramBuilder
 from repro.memory.cache import CacheConfig
 from repro.reporting.tables import render_table
+from repro.result import SimResult
 from repro.simulators.dcpi import DcpiProfiler
 from repro.simulators.eightway import EightWayConfig, EightWaySim
 from repro.simulators.refmachine import NativeMachine
@@ -200,9 +201,16 @@ class Table2Result:
 def table2_micro(
     harness: Optional[Harness] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Table2Result:
     """Native vs sim-initial vs sim-alpha vs sim-outorder on the 21
-    microbenchmarks."""
+    microbenchmarks.
+
+    ``jobs`` / ``cache`` select the parallel cached execution engine
+    (see :meth:`Harness.run_grid`); the defaults run serially.
+    """
     harness = harness or Harness()
     names = list(benchmarks or micro_names())
     factories = [
@@ -211,7 +219,7 @@ def table2_micro(
         SimAlpha,
         SimOutOrder,
     ]
-    grid = harness.run_grid(factories, names)
+    grid = harness.run_grid(factories, names, jobs=jobs, cache=cache)
     rows: List[Table2Row] = []
     for name in names:
         native = grid.get("DS-10L", name)
@@ -299,13 +307,16 @@ class Table3Result:
 def table3_macro(
     harness: Optional[Harness] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Table3Result:
     """Native vs sim-alpha vs sim-stripped vs sim-outorder on the
     SPEC2000 proxies."""
     harness = harness or Harness()
     names = list(benchmarks or spec2000_names())
     factories = [NativeMachine, SimAlpha, make_sim_stripped, SimOutOrder]
-    grid = harness.run_grid(factories, names)
+    grid = harness.run_grid(factories, names, jobs=jobs, cache=cache)
     rows: List[Table3Row] = []
     for name in names:
         native = grid.get("DS-10L", name)
@@ -380,6 +391,9 @@ def table4_features(
     harness: Optional[Harness] = None,
     benchmarks: Optional[Sequence[str]] = None,
     features: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Table4Result:
     """Remove each of the ten features from sim-alpha, one at a time."""
     harness = harness or Harness()
@@ -390,7 +404,7 @@ def table4_features(
     factories.extend(
         (lambda f=f: make_sim_minus_feature(f)) for f in feature_list
     )
-    grid = harness.run_grid(factories, names)
+    grid = harness.run_grid(factories, names, jobs=jobs, cache=cache)
 
     ref_ipcs = {n: grid.get("sim-alpha", n).ipc for n in names}
     columns: List[Table4Column] = []
@@ -501,6 +515,9 @@ def table5_stability(
     harness: Optional[Harness] = None,
     benchmarks: Optional[Sequence[str]] = None,
     features: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Table5Result:
     """Measure the three optimizations across 13 configurations.
 
@@ -527,8 +544,9 @@ def table5_stability(
     }
 
     def hm_ipc(factory: Callable[[], object]) -> float:
-        ipcs = [harness.run_one(factory, n).ipc for n in names]
-        return harmonic_mean(ipcs)
+        grid = harness.run_grid([factory], names, jobs=jobs, cache=cache)
+        ipcs = grid.ipcs(grid.simulators()[0])
+        return harmonic_mean([ipcs[n] for n in names])
 
     for config_name, feature_set in feature_sets.items():
         base = hm_ipc(lambda: _alpha_with(feature_set, config_name))
@@ -636,6 +654,9 @@ class Figure2Result:
 def figure2_regfile(
     harness: Optional[Harness] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Figure2Result:
     """Three register-file configurations on the 8-way simulator and on
     sim-alpha, over the SPEC95 proxies."""
@@ -651,11 +672,15 @@ def figure2_regfile(
             MachineConfig(name=f"sim-alpha-rf-{access}{full}"),
             regfile=RegFileConfig(access, full),
         )
+        grid = harness.run_grid(
+            [lambda: EightWaySim(eight_config),
+             lambda: SimAlpha(alpha_config)],
+            names, jobs=jobs, cache=cache,
+        )
+        eight_name, alpha_name = grid.simulators()
         for name in names:
-            r8 = harness.run_one(lambda: EightWaySim(eight_config), name)
-            ra = harness.run_one(lambda: SimAlpha(alpha_config), name)
-            ipcs["8-way"][name].append(r8.ipc)
-            ipcs["sim-alpha"][name].append(ra.ipc)
+            ipcs["8-way"][name].append(grid.get(eight_name, name).ipc)
+            ipcs["sim-alpha"][name].append(grid.get(alpha_name, name).ipc)
     return Figure2Result(
         ipcs={
             sim: {n: tuple(v) for n, v in per.items()}
@@ -692,19 +717,28 @@ def bug_walk(
     harness: Optional[Harness] = None,
     benchmarks: Optional[Sequence[str]] = None,
     bugs: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> BugWalkResult:
     """Inject each sim-initial bug alone and measure micro error."""
     harness = harness or Harness()
     names = list(benchmarks or micro_names())
     bug_list = list(bugs or ALL_BUGS)
-    native = {
-        n: harness.run_one(NativeMachine, n) for n in names
-    }
+
+    def grid_results(factory: Callable[[], object]) -> Dict[str, SimResult]:
+        grid = harness.run_grid([factory], names, jobs=jobs, cache=cache)
+        simulator = grid.simulators()[0]
+        return {n: grid.get(simulator, n) for n in names}
+
+    native = grid_results(NativeMachine)
+
     def mean_error_of(factory: Callable[[], object]) -> float:
-        errors = []
-        for n in names:
-            result = harness.run_one(factory, n)
-            errors.append(percent_error_cpi(result.cpi, native[n].cpi))
+        results = grid_results(factory)
+        errors = [
+            percent_error_cpi(results[n].cpi, native[n].cpi)
+            for n in names
+        ]
         return mean_absolute_error(errors)
 
     baseline = mean_error_of(SimAlpha)

@@ -3,8 +3,10 @@ sets and organise the results for the experiment drivers."""
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import json
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -14,11 +16,45 @@ from repro.obs.registry import MetricsRegistry
 from repro.result import SimResult
 from repro.workloads.suite import WorkloadSet
 
-__all__ = ["SimulatorFactory", "ResultGrid", "Harness"]
+__all__ = ["SimulatorFactory", "CellFailure", "ResultGrid", "Harness"]
 
 #: A factory producing a *fresh* simulator per run (predictor and cache
 #: state must not leak between workloads).
 SimulatorFactory = Callable[[], object]
+
+#: Provenance fields that vary run-to-run on identical measurements
+#: (dropped by ``ResultGrid.to_json(canonical=True)``).
+_VOLATILE_PROVENANCE_FIELDS = ("created", "host", "platform", "python")
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of one (simulator, workload) cell that could
+    not produce a result.
+
+    Produced by the parallel execution engine
+    (:mod:`repro.exec.engine`): a cell that raises, crashes its worker
+    process, or exceeds its timeout is recorded here — after exhausting
+    its retry budget — instead of aborting the rest of the grid.
+    """
+
+    simulator: str
+    workload: str
+    #: One of ``"exception"``, ``"crash"``, ``"timeout"``.
+    kind: str
+    message: str = ""
+    #: Total attempts made (1 + retries).
+    attempts: int = 1
+    #: Wall-clock seconds spent on the final attempt.
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CellFailure":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
 
 
 @dataclass
@@ -26,17 +62,34 @@ class ResultGrid:
     """Results indexed by (simulator name, workload name)."""
 
     results: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+    #: Cells that failed under the parallel engine (empty for serial
+    #: runs, which propagate exceptions instead).
+    failures: List[CellFailure] = field(default_factory=list)
 
-    def add(self, result: SimResult) -> None:
-        self.results.setdefault(result.simulator, {})[result.workload] = result
+    def add(self, result: SimResult, *, replace: bool = False) -> None:
+        """Insert ``result``; duplicate (simulator, workload) cells are
+        an error unless ``replace=True`` (the execution engine's
+        cache-refresh path)."""
+        per_sim = self.results.setdefault(result.simulator, {})
+        if result.workload in per_sim and not replace:
+            raise ValueError(
+                f"duplicate cell ({result.simulator!r}, "
+                f"{result.workload!r}): the grid already holds a result "
+                f"for this pair; pass replace=True to overwrite it"
+            )
+        per_sim[result.workload] = result
 
-    def get(self, simulator: str, workload: str) -> SimResult:
+    def _per_sim(self, simulator: str) -> Dict[str, SimResult]:
         per_sim = self.results.get(simulator)
         if per_sim is None:
             raise KeyError(
                 f"unknown simulator {simulator!r}; grid has simulators: "
                 f"{self.simulators()}"
             )
+        return per_sim
+
+    def get(self, simulator: str, workload: str) -> SimResult:
+        per_sim = self._per_sim(simulator)
         result = per_sim.get(workload)
         if result is None:
             raise KeyError(
@@ -60,21 +113,42 @@ class ResultGrid:
     def ipcs(self, simulator: str) -> Dict[str, float]:
         return {
             workload: result.ipc
-            for workload, result in self.results[simulator].items()
+            for workload, result in self._per_sim(simulator).items()
         }
 
     # -- persistence ------------------------------------------------------
 
-    def to_json(self, *, indent: Optional[int] = None) -> str:
+    def to_json(
+        self,
+        *,
+        indent: Optional[int] = None,
+        canonical: bool = False,
+    ) -> str:
         """Serialise the whole grid (stats, ``extra``, CPI stacks,
-        provenance included) for persistence and cross-run diffing."""
+        provenance, failure records included) for persistence and
+        cross-run diffing.
+
+        ``canonical=True`` blanks the provenance fields that vary from
+        run to run on identical measurements (``created``, ``host``,
+        ``platform``, ``python``), so two runs of the same
+        configurations serialise byte-identically iff they measured the
+        same thing — the form the determinism tests and cross-run diffs
+        compare.
+        """
+        entries = []
+        for per_sim in self.results.values():
+            for result in per_sim.values():
+                entry = result.to_dict()
+                if canonical and entry.get("provenance"):
+                    entry["provenance"] = {
+                        k: ("" if k in _VOLATILE_PROVENANCE_FIELDS else v)
+                        for k, v in entry["provenance"].items()
+                    }
+                entries.append(entry)
         payload = {
             "format": "repro-result-grid/1",
-            "results": [
-                result.to_dict()
-                for per_sim in self.results.values()
-                for result in per_sim.values()
-            ],
+            "results": entries,
+            "failures": [f.to_dict() for f in self.failures],
         }
         return json.dumps(payload, indent=indent, sort_keys=True)
 
@@ -90,15 +164,35 @@ class ResultGrid:
         grid = cls()
         for entry in payload["results"]:
             grid.add(SimResult.from_dict(entry))
+        for entry in payload.get("failures", ()):
+            grid.failures.append(CellFailure.from_dict(entry))
         return grid
+
+
+#: run_trace function -> whether it takes the observer hook.  Keyed by
+#: the underlying function object (bound methods are recreated on every
+#: attribute access), so one inspect.signature pays for a whole grid.
+_OBSERVER_SIGNATURE_CACHE: "weakref.WeakKeyDictionary[Callable, bool]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def _accepts_observer(run_trace: Callable) -> bool:
     """Whether a simulator's ``run_trace`` takes the observer hook."""
+    probe = getattr(run_trace, "__func__", run_trace)
     try:
-        return "observer" in inspect.signature(run_trace).parameters
+        return _OBSERVER_SIGNATURE_CACHE[probe]
+    except (KeyError, TypeError):
+        pass
+    try:
+        accepts = "observer" in inspect.signature(probe).parameters
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
-        return False
+        accepts = False
+    try:
+        _OBSERVER_SIGNATURE_CACHE[probe] = accepts
+    except TypeError:  # pragma: no cover - unweakrefable callable
+        pass
+    return accepts
 
 
 class Harness:
@@ -170,15 +264,44 @@ class Harness:
         *,
         progress: Optional[Callable[[str, str], None]] = None,
         instrumentation: Optional[Instrumentation] = None,
+        jobs: int = 1,
+        cache=None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
     ) -> ResultGrid:
         """Run every factory over every workload.
 
         ``progress(simulator, workload)`` is called before each cell;
         with a metrics registry attached, each cell's wall time is also
         recorded under ``harness.cell.<simulator>.<workload>``.
+
+        ``jobs > 1`` fans the cells out over a process pool, and
+        ``cache`` (a :class:`repro.exec.ResultCache` or a directory
+        path) memoizes cell results on disk across runs; either option
+        delegates to the execution engine (:mod:`repro.exec.engine`),
+        which also honours the per-cell ``timeout`` (seconds) and
+        ``retries`` budget and records failed cells as
+        :class:`CellFailure` entries on the returned grid.  The default
+        (``jobs=1``, no cache) is the in-process serial path, where a
+        failing cell raises.
         """
-        grid = ResultGrid()
         names = list(workload_names)
+        if jobs > 1 or cache is not None:
+            from repro.exec.engine import ExperimentEngine
+
+            engine = ExperimentEngine(
+                self.workloads,
+                jobs=jobs,
+                cache=cache,
+                timeout=timeout,
+                retries=retries,
+                metrics=self.metrics,
+            )
+            return engine.run_grid(
+                factories, names,
+                instrumentation=instrumentation, progress=progress,
+            )
+        grid = ResultGrid()
         for name in names:
             trace = self.workloads.trace(name)
             for factory in factories:

@@ -44,7 +44,12 @@ class WarmupProfile:
             raise ValueError("windows out of range")
         measured = sum(self.window_ipcs[:windows]) / windows
         if measured <= 0:
-            return 0.0
+            raise ValueError(
+                f"measured IPC over the first {windows} window(s) is "
+                f"{measured!r}; a non-positive IPC means the profile "
+                f"windows are degenerate and the truncation error is "
+                f"undefined"
+            )
         return (1 / self.steady_ipc - 1 / measured) / (
             1 / self.steady_ipc
         ) * 100.0
@@ -82,17 +87,26 @@ def warmup_study(
     simulator = simulator or SimAlpha()
     trace = harness.workloads.trace(workload)
     result = simulator.run_trace(trace, workload, window_size=window_size)
-    marks = result.stats.extra.get("window_retire_times", [])
+    marks = list(result.stats.extra.get("window_retire_times", []))
     if len(marks) < 2:
         raise ValueError(
             f"trace of {len(trace)} instructions yields fewer than two "
             f"windows of {window_size}; lower window_size"
         )
+    # The engine marks retire time at every full window boundary; the
+    # instructions past the last boundary form a final partial window
+    # that retired fewer than window_size instructions, closed by the
+    # run's total cycle count.
+    total = result.instructions
+    tail = total - len(marks) * window_size
+    if tail > 0 and result.cycles > marks[-1]:
+        marks.append(result.cycles)
     ipcs: List[float] = []
     previous = 0.0
-    for mark in marks:
+    for index, mark in enumerate(marks):
         cycles = mark - previous
-        ipcs.append(window_size / cycles if cycles > 0 else 0.0)
+        retired = min(window_size, total - index * window_size)
+        ipcs.append(retired / cycles if cycles > 0 else 0.0)
         previous = mark
 
     half = len(ipcs) // 2

@@ -1,0 +1,10 @@
+"""Shared fixtures for the execution-engine tests."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def harness():
+    from repro.validation.harness import Harness
+
+    return Harness()

@@ -1,0 +1,158 @@
+"""The parallel execution engine: determinism, fault isolation,
+timeouts, and the retry budget."""
+
+import os
+
+import pytest
+
+from exec_fakes import FakeConfig, FakeSim, fake_factory
+from repro.exec.engine import ExperimentEngine
+from repro.obs.observer import Instrumentation
+from repro.obs.registry import MetricsRegistry
+from repro.validation.harness import ResultGrid
+
+QUICK = ["C-R", "E-I"]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_with_fakes(self, harness):
+        factories = [fake_factory("fake-a"), fake_factory("fake-b", cpi=3.0)]
+        names = ["C-R", "E-I", "M-D"]
+        serial = harness.run_grid(factories, names)
+        parallel = harness.run_grid(factories, names, jobs=4)
+        assert parallel.to_json(canonical=True) == \
+            serial.to_json(canonical=True)
+        assert parallel.simulators() == serial.simulators()
+        assert parallel.workloads() == serial.workloads()
+
+    def test_parallel_matches_serial_with_real_sims(self, harness):
+        """The acceptance bar: a ``jobs=4`` run of real simulators with
+        CPI-stack instrumentation serialises byte-identically to the
+        serial run (``canonical=True`` blanks only the wall-clock
+        provenance fields)."""
+        from repro.core.siminitial import make_sim_initial
+        from repro.simulators.refmachine import make_native_machine
+
+        factories = [make_native_machine, make_sim_initial]
+        serial = harness.run_grid(
+            factories, QUICK, instrumentation=Instrumentation()
+        )
+        parallel = harness.run_grid(
+            factories, QUICK, jobs=4, instrumentation=Instrumentation()
+        )
+        assert parallel.to_json(canonical=True) == \
+            serial.to_json(canonical=True)
+        for simulator in serial.simulators():
+            stack = parallel.get(simulator, "C-R").cpi_stack
+            assert stack and stack == serial.get(simulator, "C-R").cpi_stack
+
+
+class TestFaultIsolation:
+    def test_raising_cell_becomes_exception_failure(self, harness):
+        grid = harness.run_grid(
+            [fake_factory("fake-ok"), fake_factory("fake-bad", "raise")],
+            QUICK, jobs=2,
+        )
+        assert sorted(grid.ipcs("fake-ok")) == sorted(QUICK)
+        assert list(grid.ipcs("fake-bad")) == ["C-R"]
+        [failure] = grid.failures
+        assert (failure.simulator, failure.workload) == ("fake-bad", "E-I")
+        assert failure.kind == "exception"
+        assert "deliberately failed" in failure.message
+        assert failure.attempts == 1
+
+    def test_crashing_worker_becomes_crash_failure(self, harness):
+        grid = harness.run_grid(
+            [fake_factory("fake-ok"), fake_factory("fake-dead", "crash")],
+            QUICK, jobs=2,
+        )
+        assert sorted(grid.ipcs("fake-ok")) == sorted(QUICK)
+        [failure] = grid.failures
+        assert failure.kind == "crash"
+        assert "17" in failure.message
+
+    def test_hanging_cell_is_terminated_on_timeout(self, harness):
+        grid = harness.run_grid(
+            [fake_factory("fake-ok"), fake_factory("fake-hung", "hang")],
+            QUICK, jobs=2, timeout=1.0,
+        )
+        assert sorted(grid.ipcs("fake-ok")) == sorted(QUICK)
+        [failure] = grid.failures
+        assert failure.kind == "timeout"
+        assert failure.elapsed_s >= 0.9
+        assert failure.elapsed_s < FakeSim.HANG_SECONDS
+
+    def test_inprocess_engine_isolates_exceptions(self, harness):
+        engine = ExperimentEngine(harness.workloads)
+        grid = engine.run_grid(
+            [fake_factory("fake-ok"), fake_factory("fake-bad", "raise")],
+            QUICK,
+        )
+        assert sorted(grid.ipcs("fake-ok")) == sorted(QUICK)
+        [failure] = grid.failures
+        assert failure.kind == "exception"
+        assert "deliberately failed" in failure.message
+
+    def test_failures_survive_json_round_trip(self, harness):
+        grid = harness.run_grid(
+            [fake_factory("fake-bad", "raise")], ["E-I"], jobs=2,
+        )
+        restored = ResultGrid.from_json(grid.to_json())
+        assert restored.failures == grid.failures
+
+
+class TestRetries:
+    def test_exhausted_retries_count_attempts(self, harness):
+        registry = MetricsRegistry()
+        engine = ExperimentEngine(
+            harness.workloads, jobs=2, retries=2, metrics=registry
+        )
+        grid = engine.run_grid([fake_factory("fake-bad", "raise")], ["E-I"])
+        [failure] = grid.failures
+        assert failure.attempts == 3
+        counters = registry.snapshot()["counters"]
+        assert counters["exec.cells.retried"] == 2
+        assert counters["exec.cells.failed"] == 1
+
+    def test_flaky_cell_succeeds_within_budget(self, tmp_path, harness):
+        """A cell that kills its worker on the first attempt and runs
+        clean on the second must produce a result, not a failure."""
+        marker = tmp_path / "first-attempt"
+
+        class FlakyOnce(FakeSim):
+            def run_trace(self, trace, workload):
+                if not marker.exists():
+                    marker.write_text("started")
+                    os._exit(3)
+                return super().run_trace(trace, workload)
+
+        registry = MetricsRegistry()
+        engine = ExperimentEngine(
+            harness.workloads, jobs=2, retries=1, metrics=registry
+        )
+        grid = engine.run_grid(
+            [lambda: FlakyOnce(FakeConfig(name="flaky"))], ["C-R"]
+        )
+        assert grid.failures == []
+        assert grid.get("flaky", "C-R").stats.extra["fake_marker"] > 0
+        counters = registry.snapshot()["counters"]
+        assert counters["exec.cells.retried"] == 1
+        assert counters["exec.cells.launched"] == 2
+
+    def test_inprocess_retry_budget(self, harness):
+        calls = []
+
+        class FlakyInProcess(FakeSim):
+            def run_trace(self, trace, workload):
+                if not calls:
+                    calls.append(workload)
+                    raise RuntimeError("transient")
+                return super().run_trace(trace, workload)
+
+        engine = ExperimentEngine(harness.workloads, retries=1)
+        grid = engine.run_grid(
+            [lambda: FlakyInProcess(FakeConfig(name="flaky"))], ["C-R"]
+        )
+        assert grid.failures == []
+        assert len(calls) == 1
+        assert grid.get("flaky", "C-R").instructions > 0

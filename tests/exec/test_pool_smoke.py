@@ -1,0 +1,28 @@
+"""Process-pool smoke test (the ``exec_pool`` CI job).
+
+Runs a small grid with ``jobs=2`` where one simulator hard-kills its
+worker process mid-grid, proving the pool's fault isolation: every
+healthy cell completes and the dead cell is recorded, not raised.
+"""
+
+import pytest
+
+from exec_fakes import fake_factory
+
+pytestmark = pytest.mark.exec_pool
+
+
+def test_pool_survives_crashing_simulator(harness):
+    names = ["C-R", "E-I", "M-D"]
+    grid = harness.run_grid(
+        [fake_factory("fake-ok"), fake_factory("fake-dead", flavor="crash")],
+        names, jobs=2,
+    )
+
+    assert sorted(grid.ipcs("fake-ok")) == sorted(names)
+    assert sorted(grid.ipcs("fake-dead")) == ["C-R", "M-D"]
+
+    [failure] = grid.failures
+    assert (failure.simulator, failure.workload) == ("fake-dead", "E-I")
+    assert failure.kind == "crash"
+    assert failure.attempts == 1

@@ -1,0 +1,186 @@
+"""The on-disk result cache: keys, hits, misses, invalidations."""
+
+import json
+import os
+
+import pytest
+
+from exec_fakes import fake_factory
+from repro.exec.cache import CacheKey, ResultCache, fingerprint_trace
+from repro.obs.registry import MetricsRegistry
+from repro.result import RunStats, SimResult
+
+
+def make_key(**overrides) -> CacheKey:
+    payload = dict(
+        simulator="sim-alpha",
+        config_hash="deadbeefdeadbeef",
+        workload="C-R",
+        trace_fingerprint="abc123",
+        package_version="1.0.0",
+    )
+    payload.update(overrides)
+    return CacheKey(**payload)
+
+
+def make_result() -> SimResult:
+    stats = RunStats(branch_mispredicts=3)
+    stats.extra["window_size"] = 64
+    return SimResult("sim-alpha", "C-R", cycles=100.0, instructions=50,
+                     stats=stats, cpi_stack={"base": 1.0, "memory": 1.0})
+
+
+class TestCacheKey:
+    def test_digest_is_stable(self):
+        assert make_key().digest() == make_key().digest()
+
+    def test_any_component_changes_digest(self):
+        base = make_key().digest()
+        assert make_key(simulator="sim-outorder").digest() != base
+        assert make_key(config_hash="0" * 16).digest() != base
+        assert make_key(workload="M-D").digest() != base
+        assert make_key(trace_fingerprint="zzz").digest() != base
+        assert make_key(package_version="2.0.0").digest() != base
+
+
+class TestFingerprint:
+    def test_same_trace_same_fingerprint(self, harness):
+        trace = harness.workloads.trace("C-R")
+        assert fingerprint_trace(trace) == fingerprint_trace(trace)
+
+    def test_different_workloads_differ(self, harness):
+        assert fingerprint_trace(harness.workloads.trace("C-R")) != \
+            fingerprint_trace(harness.workloads.trace("E-I"))
+
+    def test_prefix_trace_differs(self, harness):
+        trace = harness.workloads.trace("C-R")
+        assert fingerprint_trace(trace) != fingerprint_trace(trace[:-1])
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key()
+        assert cache.get(key) is None
+        cache.put(key, make_result())
+        restored = cache.get(key)
+        assert restored is not None
+        assert restored.to_dict() == make_result().to_dict()
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "invalidations": 0,
+            "stores": 1, "entries": 1,
+        }
+
+    def test_corrupt_entry_is_invalidated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key()
+        cache.put(key, make_result())
+        path = os.path.join(cache.root, key.digest() + ".json")
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        assert cache.get(key) is None
+        assert cache.invalidations == 1
+        assert not os.path.exists(path)
+
+    def test_key_mismatch_is_invalidated(self, tmp_path):
+        """A digest collision (or hand-edited entry) must not be
+        trusted: the full key is compared, not just the filename."""
+        cache = ResultCache(tmp_path)
+        key = make_key()
+        other = make_key(workload="M-D")
+        payload = {
+            "format": "repro-result-cache/1",
+            "key": other.to_dict(),
+            "result": make_result().to_dict(),
+        }
+        path = os.path.join(cache.root, key.digest() + ".json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert cache.get(key) is None
+        assert cache.invalidations == 1
+
+    def test_explicit_invalidate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key()
+        cache.put(key, make_result())
+        assert cache.invalidate(key)
+        assert not cache.invalidate(key)
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_put_overwrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key()
+        cache.put(key, make_result())
+        updated = make_result()
+        updated.cycles = 999.0
+        cache.put(key, updated)
+        assert cache.get(key).cycles == 999.0
+        assert len(cache) == 1
+
+    def test_traffic_mirrored_into_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=registry)
+        key = make_key()
+        cache.get(key)
+        cache.put(key, make_result())
+        cache.get(key)
+        cache.invalidate(key)
+        counters = registry.snapshot()["counters"]
+        assert counters["exec.cache.misses"] == 1
+        assert counters["exec.cache.stores"] == 1
+        assert counters["exec.cache.hits"] == 1
+        assert counters["exec.cache.invalidations"] == 1
+
+
+class TestEngineCaching:
+    def test_second_run_is_all_hits(self, tmp_path, harness):
+        from repro.exec.engine import ExperimentEngine
+
+        factories = [fake_factory("fake-a"), fake_factory("fake-b", cpi=3.0)]
+        names = ["C-R", "M-D"]
+        engine = ExperimentEngine(
+            harness.workloads, cache=ResultCache(tmp_path)
+        )
+        first = engine.run_grid(factories, names)
+        assert engine.cache.stats()["misses"] == 4
+        second = engine.run_grid(factories, names)
+        assert engine.cache.hits == 4
+        assert second.to_json() == first.to_json()
+
+    def test_config_change_misses(self, tmp_path, harness):
+        from repro.exec.engine import ExperimentEngine
+
+        engine = ExperimentEngine(harness.workloads, cache=str(tmp_path))
+        engine.run_grid([fake_factory("fake-a", cpi=2.0)], ["C-R"])
+        engine.run_grid([fake_factory("fake-a", cpi=9.0)], ["C-R"])
+        assert engine.cache.hits == 0
+        assert engine.cache.misses == 2
+
+    def test_refresh_recomputes_every_cell(self, tmp_path, harness):
+        from repro.exec.engine import ExperimentEngine
+
+        cache = ResultCache(tmp_path)
+        ExperimentEngine(harness.workloads, cache=cache).run_grid(
+            [fake_factory("fake-a")], ["C-R"]
+        )
+        refresher = ExperimentEngine(
+            harness.workloads, cache=cache, refresh=True
+        )
+        refresher.run_grid([fake_factory("fake-a")], ["C-R"])
+        assert cache.invalidations == 1
+        assert cache.stores == 2
+        assert cache.hits == 0
+
+    def test_refresh_cell_replaces_in_grid(self, tmp_path, harness):
+        from repro.exec.engine import ExperimentEngine
+
+        engine = ExperimentEngine(harness.workloads, cache=str(tmp_path))
+        factory = fake_factory("fake-a")
+        grid = engine.run_grid([factory], ["C-R"])
+        before = grid.get("fake-a", "C-R")
+        after = engine.refresh_cell(grid, factory, "C-R")
+        assert grid.get("fake-a", "C-R") is after
+        assert after is not before
+        assert after.to_dict() == before.to_dict()
+        assert engine.cache.stores == 2

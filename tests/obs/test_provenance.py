@@ -1,13 +1,19 @@
 """Config hashing and provenance capture/round-trip."""
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 
 from repro.core.config import MachineConfig
+from repro.obs import provenance
 from repro.obs.provenance import (
     RunProvenance,
     capture_provenance,
     config_hash,
 )
+
+
+@dataclass(frozen=True)
+class TinyConfig:
+    value: int
 
 
 class TestConfigHash:
@@ -37,6 +43,39 @@ class TestConfigHash:
         digest = config_hash(MachineConfig())
         assert len(digest) == 16
         int(digest, 16)  # raises if not hex
+
+
+class TestHashCacheEviction:
+    def test_eviction_is_oldest_first_not_wholesale(self):
+        """Overflowing the memo must evict only the oldest entry; the
+        configs a running grid is actively hashing keep their memos."""
+        provenance._HASH_CACHE.clear()
+        anchor = MachineConfig()
+        config_hash(anchor)
+        flood = [
+            TinyConfig(value)
+            for value in range(provenance._HASH_CACHE_LIMIT - 1)
+        ]
+        for config in flood:
+            config_hash(config)
+        assert id(anchor) in provenance._HASH_CACHE
+        assert len(provenance._HASH_CACHE) == provenance._HASH_CACHE_LIMIT
+
+        config_hash(TinyConfig(-1))
+        assert id(anchor) not in provenance._HASH_CACHE
+        assert id(flood[0]) in provenance._HASH_CACHE
+        assert id(flood[-1]) in provenance._HASH_CACHE
+        assert len(provenance._HASH_CACHE) == provenance._HASH_CACHE_LIMIT
+
+    def test_structurally_equal_configs_hash_equal_after_eviction(self):
+        """The digest is content-addressed: a structurally equal config
+        rebuilt after its twin was evicted must hash identically."""
+        provenance._HASH_CACHE.clear()
+        baseline = config_hash(MachineConfig())
+        for value in range(provenance._HASH_CACHE_LIMIT + 64):
+            config_hash(TinyConfig(value))
+        assert len(provenance._HASH_CACHE) <= provenance._HASH_CACHE_LIMIT
+        assert config_hash(MachineConfig()) == baseline
 
 
 class TestCaptureProvenance:

@@ -40,6 +40,94 @@ class TestResultGridGet:
         assert grid.get("sim-alpha", "C-R") is result
 
 
+class TestResultGridAdd:
+    def test_duplicate_cell_is_an_error(self):
+        grid = ResultGrid()
+        grid.add(make_result())
+        with pytest.raises(ValueError) as excinfo:
+            grid.add(make_result())
+        message = str(excinfo.value)
+        assert "sim-alpha" in message and "C-R" in message
+        assert "replace=True" in message
+
+    def test_replace_overwrites(self):
+        grid = ResultGrid()
+        grid.add(make_result())
+        updated = make_result()
+        updated.cycles = 999.0
+        grid.add(updated, replace=True)
+        assert grid.get("sim-alpha", "C-R").cycles == 999.0
+
+    def test_same_workload_under_other_simulator_is_fine(self):
+        grid = ResultGrid()
+        grid.add(make_result("sim-alpha"))
+        grid.add(make_result("sim-initial"))
+        assert grid.simulators() == ["sim-alpha", "sim-initial"]
+
+    def test_ipcs_unknown_simulator_lists_known(self):
+        grid = ResultGrid()
+        grid.add(make_result("sim-alpha"))
+        with pytest.raises(KeyError) as excinfo:
+            grid.ipcs("sim-outorder")
+        message = str(excinfo.value)
+        assert "sim-outorder" in message and "sim-alpha" in message
+
+
+class TestObserverSignatureCache:
+    def test_one_inspection_per_simulator_class(self, monkeypatch):
+        """A grid of N cells over one simulator class must cost one
+        ``inspect.signature`` call, not N — bound methods are recreated
+        on every attribute access, so the cache keys on ``__func__``."""
+        import inspect
+
+        import repro.validation.harness as harness_mod
+
+        class PlainSim:
+            name = "plain"
+
+            def run_trace(self, trace, workload):
+                return make_result(self.name, workload)
+
+        harness_mod._OBSERVER_SIGNATURE_CACHE.clear()
+        inspected = []
+        real_signature = inspect.signature
+
+        def counting_signature(obj, *args, **kwargs):
+            inspected.append(obj)
+            return real_signature(obj, *args, **kwargs)
+
+        monkeypatch.setattr(inspect, "signature", counting_signature)
+        harness = Harness()
+        harness.run_grid(
+            [PlainSim], ["C-R", "E-I", "M-D"],
+            instrumentation=Instrumentation(),
+        )
+        assert len(inspected) == 1
+        assert inspected[0] is PlainSim.run_trace
+
+
+class TestCanonicalJson:
+    def test_canonical_blanks_only_volatile_provenance(self):
+        harness = Harness()
+        grid = harness.run_grid([SimAlpha], ["E-I"])
+        canonical = ResultGrid.from_json(grid.to_json(canonical=True))
+        provenance = canonical.get("sim-alpha", "E-I").provenance
+        original = grid.get("sim-alpha", "E-I").provenance
+        assert provenance.created == ""
+        assert provenance.host == ""
+        assert provenance.platform == ""
+        assert provenance.python == ""
+        assert provenance.config_hash == original.config_hash
+        assert provenance.config_name == original.config_name
+        assert provenance.package_version == original.package_version
+
+    def test_plain_json_keeps_provenance(self):
+        harness = Harness()
+        grid = harness.run_grid([SimAlpha], ["E-I"])
+        clone = ResultGrid.from_json(grid.to_json())
+        assert clone.get("sim-alpha", "E-I").provenance.created != ""
+
+
 class TestResultGridJson:
     def test_round_trip_preserves_everything(self):
         stats = RunStats(branch_mispredicts=7, dcache_misses=3)
