@@ -1,0 +1,98 @@
+"""Integrity overhead: disabled sanitizers must be ~free.
+
+The integrity layer's contract (docs/ROBUSTNESS.md) is that a harness
+with sanitizers *disabled* — the default — pays one None check per
+integration point and nothing per instruction.  This bench measures
+three harness configurations over the same cached traces:
+
+* **baseline** — a plain harness, no integrity arguments at all;
+* **disabled** — ``Sanitizers.disabled()`` threaded through the
+  harness (every run_sanitizer call returns ``None``);
+* **enabled** — sanitizers armed with the default window, plus the
+  per-run audit.
+
+and asserts the disabled mode stays within 5% of baseline.  Timing
+follows the observability bench: rounds are interleaved with the mode
+order rotated each round so machine drift hits every mode alike, the
+best observation per (mode, workload) cell is kept, and per-mode cell
+minima are summed.  The enabled-mode dilation is reported for
+information — it buys per-window invariant checks and the post-run
+audit, and is allowed to cost real time.
+"""
+
+import time
+
+from repro.core.simalpha import SimAlpha
+from repro.integrity import Sanitizers
+from repro.reporting.tables import render_table
+from repro.validation.harness import Harness
+
+#: Workloads spanning the three microbenchmark families.
+WORKLOADS = ("C-S1", "E-D3", "M-D")
+ROUNDS = 7
+
+
+def _time_cell(harness, workload) -> float:
+    started = time.perf_counter()
+    harness.run_one(SimAlpha, workload)
+    return time.perf_counter() - started
+
+
+def test_disabled_integrity_overhead(harness):
+    # Warm the trace cache so no configuration pays the functional run.
+    for workload in WORKLOADS:
+        harness.workloads.trace(workload)
+    workloads = harness.workloads
+
+    modes = {
+        "baseline (no integrity)": lambda: Harness(workloads),
+        "disabled Sanitizers": lambda: Harness(
+            workloads, sanitizers=Sanitizers.disabled()
+        ),
+        "enabled (window checks + audit)": lambda: Harness(
+            workloads, sanitizers=Sanitizers()
+        ),
+    }
+    names = list(modes)
+    cell_best = {
+        (name, workload): float("inf")
+        for name in modes for workload in WORKLOADS
+    }
+    for round_index in range(ROUNDS):
+        # Rotate the order each round so slow-start / thermal drift is
+        # not systematically charged to one mode.
+        for offset in range(len(names)):
+            name = names[(round_index + offset) % len(names)]
+            bench_harness = modes[name]()
+            for workload in WORKLOADS:
+                cell_best[name, workload] = min(
+                    cell_best[name, workload],
+                    _time_cell(bench_harness, workload),
+                )
+    best = {
+        name: sum(cell_best[name, workload] for workload in WORKLOADS)
+        for name in modes
+    }
+
+    baseline = best["baseline (no integrity)"]
+    disabled = best["disabled Sanitizers"]
+    enabled = best["enabled (window checks + audit)"]
+    rows = [
+        (name, seconds * 1e3, seconds / baseline)
+        for name, seconds in best.items()
+    ]
+    print()
+    print(render_table(
+        ["mode", "best ms", "vs baseline"],
+        rows,
+        title=f"Integrity overhead ({'+'.join(WORKLOADS)}, "
+              f"per-cell min of {ROUNDS})",
+        precision=3,
+    ))
+    overhead = disabled / baseline - 1.0
+    print(f"\ndisabled-mode overhead: {overhead * 100:+.2f}% "
+          f"(budget +5%); enabled-mode: "
+          f"{(enabled / baseline - 1.0) * 100:+.1f}%")
+
+    # The contract: opting out of integrity checking costs <5% wall time.
+    assert disabled <= baseline * 1.05

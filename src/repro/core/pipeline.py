@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig
 from repro.functional.trace import DynInstr
+from repro.integrity.watchdog import PORT_SCAN_LIMIT, SimulationStuck
 from repro.isa.instructions import InstrClass, Opcode
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.predictors.line import LinePredictor
@@ -153,6 +154,7 @@ class AlphaPipeline:
         *,
         window_size: Optional[int] = None,
         observer=None,
+        watchdog=None,
     ) -> SimResult:
         """Time ``trace``.
 
@@ -165,7 +167,14 @@ class AlphaPipeline:
         when set, the engine reports per-instruction stage times and
         event deltas to it, feeding the pipeline tracer and the
         CPI-stack accountant.  The disabled path costs one identity
-        check per instruction.
+        check per instruction.  An observer carrying an integrity
+        ``sanitizer`` additionally gets latency checks at the memory
+        interfaces and periodic invariant windows.
+
+        ``watchdog`` is a :class:`repro.integrity.Watchdog` (or
+        ``None``): beaten every few thousand instructions with the
+        retire frontier, it raises :class:`SimulationStuck` when
+        retirement stops advancing instead of spinning silently.
         """
         cfg = self.config
         features = cfg.features
@@ -276,6 +285,9 @@ class AlphaPipeline:
 
         if observer is not None and observer.metrics is not None:
             hier.attach_metrics(observer.metrics)
+        sanitizer = getattr(observer, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.attach(cfg, hier)
 
         for dyn in trace:
             instructions += 1
@@ -316,6 +328,8 @@ class AlphaPipeline:
                             )
                 fetch_start = max(fetch_free, pending_fetch_at)
                 ifr = hier.ifetch(fetch_start, octaword)
+                if sanitizer is not None:
+                    sanitizer.check_time("ifetch", ifr.ready, pc=pc)
                 if not ifr.l1_hit:
                     stats.icache_misses += 1
                 ready = ifr.ready
@@ -467,8 +481,16 @@ class AlphaPipeline:
             ports = fp_ports if dyn.is_fp and not klass.is_memory else int_ports
             width = fp_width if dyn.is_fp and not klass.is_memory else int_width
             cycle = int(issue_time)
+            scan_stop = cycle + PORT_SCAN_LIMIT
             while ports.get(cycle, 0) >= width:
                 cycle += 1
+                if cycle > scan_stop:
+                    raise SimulationStuck(
+                        f"issue-port arbitration found no free cycle in "
+                        f"{PORT_SCAN_LIMIT} cycles (width={width})",
+                        instructions=instructions,
+                        retire=last_retire,
+                    )
             ports[cycle] = ports.get(cycle, 0) + 1
             if cycle > issue_time:
                 issue_time = float(cycle)
@@ -502,6 +524,8 @@ class AlphaPipeline:
                     stats.dtlb_misses += 1
                 if result.maf_stall:
                     stats.maf_stalls += 1
+                if sanitizer is not None:
+                    sanitizer.check_time("load", result.ready, pc=pc)
                 ready = result.ready
 
                 if features.luse:
@@ -551,6 +575,8 @@ class AlphaPipeline:
             elif dyn.is_store:
                 resolve = issue_time + regread + 1
                 result = hier.store(resolve, dyn.eaddr)
+                if sanitizer is not None:
+                    sanitizer.check_time("store", result.ready, pc=pc)
                 if not result.l1_hit:
                     stats.dcache_misses += 1
                 if result.tlb_miss:
@@ -664,8 +690,17 @@ class AlphaPipeline:
             if retire < last_retire:
                 retire = last_retire
             rcycle = int(retire)
+            scan_stop = rcycle + PORT_SCAN_LIMIT
             while retire_ports.get(rcycle, 0) >= retire_width:
                 rcycle += 1
+                if rcycle > scan_stop:
+                    raise SimulationStuck(
+                        f"retirement found no free cycle in "
+                        f"{PORT_SCAN_LIMIT} cycles "
+                        f"(retire_width={retire_width})",
+                        instructions=instructions,
+                        retire=last_retire,
+                    )
             retire_ports[rcycle] = retire_ports.get(rcycle, 0) + 1
             if rcycle > retire:
                 retire = float(rcycle)
@@ -685,8 +720,12 @@ class AlphaPipeline:
                     retire, stats,
                 )
 
-            # Periodic pruning of unbounded maps.
+            # Periodic pruning of unbounded maps (and the livelock
+            # heartbeat, which rides the same stride for zero cost on
+            # the common path).
             if not instructions % 8192:
+                if watchdog is not None:
+                    watchdog.beat(instructions, last_retire)
                 now = issue_time
                 if len(pending_stores) > 4096:
                     pending_stores = {

@@ -46,17 +46,20 @@ class SimAlpha:
         *,
         window_size: Optional[int] = None,
         observer=None,
+        watchdog=None,
     ) -> SimResult:
         """Time a pre-computed dynamic trace (fresh pipeline state).
 
         ``window_size`` enables windowed retire-time recording for
         warm-up analysis (see :mod:`repro.validation.warmup`);
         ``observer`` (a :class:`repro.obs.RunObserver`) enables the
-        instrumentation layer for this run.
+        instrumentation layer for this run; ``watchdog`` (a
+        :class:`repro.integrity.Watchdog`) arms livelock detection.
         """
         pipeline = AlphaPipeline(self.config)
         result = pipeline.run_trace(
-            trace, workload, window_size=window_size, observer=observer
+            trace, workload, window_size=window_size, observer=observer,
+            watchdog=watchdog,
         )
         result.provenance = capture_provenance(self.config)
         return result

@@ -25,6 +25,7 @@ identically to a serial one.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import time
@@ -32,9 +33,16 @@ import traceback
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import CacheKey, ResultCache, fingerprint_trace
+from repro.integrity.checkpoint import GridCheckpoint
+from repro.integrity.sanitizers import (
+    IntegrityError,
+    InvariantViolation,
+    Sanitizers,
+)
+from repro.integrity.watchdog import SimulationStuck
 from repro.obs.observer import Instrumentation
 from repro.obs.provenance import _package_version, config_hash
 from repro.obs.registry import MetricsRegistry
@@ -44,10 +52,47 @@ from repro.validation.harness import (
     Harness,
     ResultGrid,
     SimulatorFactory,
+    quarantine_failure,
 )
 from repro.workloads.suite import WorkloadSet
 
-__all__ = ["ExperimentEngine", "CellFailure"]
+__all__ = ["ExperimentEngine", "CellFailure", "RetryBackoff"]
+
+
+class RetryBackoff:
+    """Bounded exponential backoff with *deterministic* jitter.
+
+    Retrying a failed cell immediately hammers whatever transient
+    condition (memory pressure, a busy disk) just killed it.  Delays
+    double from ``base_s`` up to ``cap_s``; jitter de-synchronises
+    cells retrying in lockstep, but is derived by hashing the cell key
+    and attempt number rather than from a random source, so a given
+    grid run schedules identically every time (determinism is a
+    project invariant).
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.05,
+        cap_s: float = 2.0,
+        jitter: float = 0.25,
+    ):
+        if base_s < 0 or cap_s < 0 or not 0 <= jitter <= 1:
+            raise ValueError(
+                f"invalid backoff (base_s={base_s}, cap_s={cap_s}, "
+                f"jitter={jitter})"
+            )
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.jitter = jitter
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)
+        of the cell identified by ``key``."""
+        raw = min(self.cap_s, self.base_s * (2.0 ** max(0, attempt - 1)))
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return raw * (1.0 - self.jitter * fraction)
 
 
 @dataclass
@@ -72,19 +117,49 @@ class _Attempt:
     attempt: int
 
 
-def _worker_main(conn, factory, workload, workload_set, instrumentation):
+def _worker_main(conn, factory, workload, workload_set, instrumentation,
+                 sanitizers=None, watchdog_s=None):
     """Body of one forked worker: time one cell, ship the result back.
 
     Runs through the same :class:`Harness` cell path as serial
-    execution (observer wiring, provenance capture), so results are
-    indistinguishable from serially produced ones.
+    execution (observer wiring, sanitizer audit, provenance capture),
+    so results are indistinguishable from serially produced ones.
+
+    Wire protocol (first tuple element):
+
+    * ``"ok"`` — clean result follows;
+    * ``"quarantined"`` — the sanitizers flagged the run; a list of
+      violation dicts follows and the result is withheld;
+    * ``"strict"`` — a violation under a strict bundle; the parent
+      re-raises :class:`IntegrityError` and aborts the grid;
+    * ``"stuck"`` — the watchdog diagnosed a livelock inside the
+      worker; message + state snapshot follow;
+    * ``"error"`` — any other exception; formatted traceback follows.
     """
     try:
-        harness = Harness(workload_set)
-        result = harness.run_one(
-            factory, workload, instrumentation=instrumentation
+        harness = Harness(
+            workload_set, sanitizers=sanitizers, watchdog_s=watchdog_s
         )
-        conn.send(("ok", result))
+        try:
+            result = harness.run_one(
+                factory, workload, instrumentation=instrumentation
+            )
+        except IntegrityError as exc:
+            if sanitizers is not None and sanitizers.strict:
+                conn.send(("strict", exc.violation.to_dict()))
+            else:
+                conn.send(("quarantined", [exc.violation.to_dict()]))
+        except SimulationStuck as exc:
+            conn.send(("stuck", str(exc), {
+                "instructions": exc.instructions, "retire": exc.retire,
+            }))
+        else:
+            if harness.last_violations:
+                conn.send(("quarantined", [
+                    v.to_dict() for v in harness.last_violations
+                ]))
+            else:
+                conn.send(("ok", result))
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc(limit=20)))
@@ -123,6 +198,25 @@ class ExperimentEngine:
     refresh:
         Invalidate and recompute every cached cell this run touches
         (the cache-refresh path).
+    sanitizers:
+        A :class:`repro.integrity.Sanitizers` bundle (disabled by
+        default).  Enabled, every cell is invariant-checked and a
+        violating result is quarantined (``kind="invariant"``); a
+        strict bundle aborts the grid with :class:`IntegrityError`.
+    watchdog_s:
+        Per-cell livelock stall budget (seconds) armed inside each
+        run; a diagnosed livelock becomes a ``kind="stuck"`` failure.
+    checkpoint:
+        A :class:`repro.integrity.GridCheckpoint` (or journal path):
+        completed cells are persisted atomically as the grid runs, so
+        an interrupted run loses almost nothing.
+    resume:
+        Satisfy cells already present in ``checkpoint`` instead of
+        recomputing them.
+    backoff:
+        A :class:`RetryBackoff` governing the delay between attempts
+        of a failing cell (the default backs off from 50ms, doubling
+        to a 2s cap, with deterministic jitter).
     """
 
     def __init__(
@@ -135,6 +229,11 @@ class ExperimentEngine:
         retries: int = 0,
         metrics: Optional[MetricsRegistry] = None,
         refresh: bool = False,
+        sanitizers: Optional[Sanitizers] = None,
+        watchdog_s: Optional[float] = None,
+        checkpoint=None,
+        resume: bool = False,
+        backoff: Optional[RetryBackoff] = None,
     ):
         self.workloads = workloads or WorkloadSet()
         self.jobs = max(1, int(jobs))
@@ -144,6 +243,15 @@ class ExperimentEngine:
             MetricsRegistry.disabled()
         )
         self.refresh = refresh
+        self.sanitizers = sanitizers if sanitizers is not None else (
+            Sanitizers.disabled()
+        )
+        self.watchdog_s = watchdog_s
+        if isinstance(checkpoint, (str, os.PathLike)):
+            checkpoint = GridCheckpoint(checkpoint)
+        self.checkpoint: Optional[GridCheckpoint] = checkpoint
+        self.resume = resume
+        self.backoff = backoff if backoff is not None else RetryBackoff()
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache, metrics=self.metrics)
         if cache is not None and cache.metrics is None:
@@ -199,15 +307,14 @@ class ExperimentEngine:
 
         # Build every trace in the parent: cached in the WorkloadSet,
         # inherited by workers via fork, fingerprinted once each.
+        # Content-addressed keys serve both the result cache and the
+        # checkpoint journal.
+        keyed = self.cache is not None or self.checkpoint is not None
         fingerprints: Dict[str, str] = {}
-        if self.cache is not None:
-            for name in names:
-                fingerprints[name] = fingerprint_trace(
-                    self.workloads.trace(name)
-                )
-        else:
-            for name in names:
-                self.workloads.trace(name)
+        for name in names:
+            trace = self.workloads.trace(name)
+            if keyed:
+                fingerprints[name] = fingerprint_trace(trace)
 
         cells: List[_Cell] = []
         for name in names:
@@ -216,14 +323,27 @@ class ExperimentEngine:
                     self._cell_key(
                         sim_name, cfg_hash, name, fingerprints[name]
                     )
-                    if self.cache is not None else None
+                    if keyed else None
                 )
                 cells.append(_Cell(len(cells), sim_name, factory, name, key))
 
-        # Resolve cache hits (or, refreshing, drop stale entries).
+        # Resolve checkpointed cells (resuming) and cache hits (or,
+        # refreshing, drop stale entries).
+        checkpointed: Dict[str, SimResult] = {}
+        if self.checkpoint is not None and self.resume:
+            checkpointed = self.checkpoint.load()
+            self.metrics.gauge("exec.checkpoint.entries").set(
+                len(checkpointed)
+            )
         results: Dict[int, SimResult] = {}
         to_run: List[_Cell] = []
         for cell in cells:
+            if checkpointed:
+                hit = checkpointed.get(cell.key.digest())
+                if hit is not None:
+                    results[cell.index] = hit
+                    self.metrics.counter("exec.checkpoint.resumed").inc()
+                    continue
             if self.cache is not None and self.refresh:
                 self.cache.invalidate(cell.key)
             elif self.cache is not None:
@@ -234,15 +354,19 @@ class ExperimentEngine:
             to_run.append(cell)
 
         failures: Dict[int, CellFailure] = {}
-        if to_run:
-            if self.jobs > 1 and self._ctx is not None:
-                self._run_pool(
-                    to_run, results, failures, instrumentation, progress
-                )
-            else:
-                self._run_inprocess(
-                    to_run, results, failures, instrumentation, progress
-                )
+        try:
+            if to_run:
+                if self.jobs > 1 and self._ctx is not None:
+                    self._run_pool(
+                        to_run, results, failures, instrumentation, progress
+                    )
+                else:
+                    self._run_inprocess(
+                        to_run, results, failures, instrumentation, progress
+                    )
+        finally:
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
 
         grid = ResultGrid()
         for cell in cells:
@@ -291,15 +415,50 @@ class ExperimentEngine:
         self.metrics.counter("exec.cells.completed").inc()
         if self.cache is not None:
             self.cache.put(cell.key, result)
+        if self.checkpoint is not None:
+            self.checkpoint.record(cell.key.digest(), result)
+
+    def _quarantine(self, cell: _Cell,
+                    violations: List[InvariantViolation],
+                    failures: Dict[int, CellFailure],
+                    attempts: int, elapsed: float) -> None:
+        """Record a sanitizer-flagged cell; quarantines are
+        deterministic model defects, so they are never retried and
+        never cached."""
+        failures[cell.index] = quarantine_failure(
+            violations,
+            simulator=cell.sim_name, workload=cell.workload,
+            attempts=attempts, elapsed_s=elapsed,
+        )
+        self.metrics.counter("exec.cells.quarantined").inc()
+
+    def _stuck_failure(self, cell: _Cell, message: str,
+                       snapshot: Optional[Dict],
+                       failures: Dict[int, CellFailure],
+                       attempts: int, elapsed: float) -> None:
+        """Record a diagnosed livelock; deterministic, so no retry."""
+        failures[cell.index] = CellFailure(
+            simulator=cell.sim_name,
+            workload=cell.workload,
+            kind="stuck",
+            message=message,
+            attempts=attempts,
+            elapsed_s=elapsed,
+            snapshot=snapshot,
+        )
+        self.metrics.counter("exec.cells.failed").inc()
 
     def _run_inprocess(self, to_run, results, failures,
                        instrumentation, progress) -> None:
         """Serial backend (``jobs=1``): same fault isolation, no fork.
 
         Per-cell timeouts are not enforced here — there is no process
-        to terminate.
+        to terminate — but the in-run watchdog still catches livelocks.
         """
-        harness = Harness(self.workloads, metrics=self.metrics)
+        harness = Harness(
+            self.workloads, metrics=self.metrics,
+            sanitizers=self.sanitizers, watchdog_s=self.watchdog_s,
+        )
         for cell in to_run:
             attempts = 1 + self.retries
             for attempt in range(1, attempts + 1):
@@ -311,10 +470,29 @@ class ExperimentEngine:
                         cell.factory, cell.workload,
                         instrumentation=instrumentation,
                     )
+                except IntegrityError as exc:
+                    if self.sanitizers.strict:
+                        raise
+                    self._quarantine(
+                        cell, [exc.violation], failures, attempt,
+                        time.perf_counter() - started,
+                    )
+                    break
+                except SimulationStuck as exc:
+                    self._stuck_failure(
+                        cell, str(exc),
+                        {"instructions": exc.instructions,
+                         "retire": exc.retire},
+                        failures, attempt, time.perf_counter() - started,
+                    )
+                    break
                 except Exception:
                     elapsed = time.perf_counter() - started
                     if attempt < attempts:
                         self.metrics.counter("exec.cells.retried").inc()
+                        time.sleep(self.backoff.delay(
+                            f"{cell.sim_name}:{cell.workload}", attempt
+                        ))
                         continue
                     failures[cell.index] = CellFailure(
                         simulator=cell.sim_name,
@@ -326,16 +504,24 @@ class ExperimentEngine:
                     )
                     self.metrics.counter("exec.cells.failed").inc()
                 else:
-                    results[cell.index] = result
-                    self._record_success(
-                        cell, result, time.perf_counter() - started
-                    )
+                    if harness.last_violations:
+                        self._quarantine(
+                            cell, harness.last_violations, failures,
+                            attempt, time.perf_counter() - started,
+                        )
+                    else:
+                        results[cell.index] = result
+                        self._record_success(
+                            cell, result, time.perf_counter() - started
+                        )
                     break
 
     def _run_pool(self, to_run, results, failures,
                   instrumentation, progress) -> None:
         """Process-pool backend: up to ``jobs`` forked workers."""
         pending = deque(to_run)
+        #: Cells awaiting their backoff delay: (ready_at, cell).
+        delayed: List[Tuple[float, _Cell]] = []
         attempt_of: Dict[int, int] = {}
         live: Dict[object, _Attempt] = {}
 
@@ -346,7 +532,8 @@ class ExperimentEngine:
             process = self._ctx.Process(
                 target=_worker_main,
                 args=(send_end, cell.factory, cell.workload,
-                      self.workloads, instrumentation),
+                      self.workloads, instrumentation,
+                      self.sanitizers, self.watchdog_s),
                 daemon=True,
             )
             process.start()
@@ -363,7 +550,10 @@ class ExperimentEngine:
             cell = attempt.cell
             if attempt.attempt <= self.retries:
                 self.metrics.counter("exec.cells.retried").inc()
-                pending.append(cell)
+                delay = self.backoff.delay(
+                    f"{cell.sim_name}:{cell.workload}", attempt.attempt
+                )
+                delayed.append((time.perf_counter() + delay, cell))
                 return
             failures[cell.index] = CellFailure(
                 simulator=cell.sim_name,
@@ -376,17 +566,44 @@ class ExperimentEngine:
             self.metrics.counter("exec.cells.failed").inc()
 
         try:
-            while pending or live:
+            while pending or live or delayed:
+                if delayed:
+                    # Promote cells whose backoff delay has elapsed.
+                    now = time.perf_counter()
+                    still_waiting: List[Tuple[float, _Cell]] = []
+                    for ready_at, cell in delayed:
+                        if ready_at <= now:
+                            pending.append(cell)
+                        else:
+                            still_waiting.append((ready_at, cell))
+                    delayed[:] = still_waiting
+
                 while pending and len(live) < self.jobs:
                     launch(pending.popleft())
 
+                if not live:
+                    if delayed:
+                        now = time.perf_counter()
+                        time.sleep(max(0.0, min(
+                            ready_at for ready_at, _ in delayed
+                        ) - now))
+                    continue
+
                 wait_for = None
+                now = time.perf_counter()
                 if self.timeout is not None:
-                    now = time.perf_counter()
                     wait_for = max(0.0, min(
                         attempt.started + self.timeout - now
                         for attempt in live.values()
                     ))
+                if delayed:
+                    next_retry = max(0.0, min(
+                        ready_at for ready_at, _ in delayed
+                    ) - now)
+                    wait_for = (
+                        next_retry if wait_for is None
+                        else min(wait_for, next_retry)
+                    )
                 ready = _connection_wait(list(live), timeout=wait_for)
 
                 for conn in ready:
@@ -398,18 +615,32 @@ class ExperimentEngine:
                         message = None
                     conn.close()
                     attempt.process.join()
-                    if (
-                        isinstance(message, tuple)
-                        and message and message[0] == "ok"
-                    ):
+                    kind = (
+                        message[0]
+                        if isinstance(message, tuple) and message else None
+                    )
+                    if kind == "ok":
                         results[attempt.cell.index] = message[1]
                         self._record_success(
                             attempt.cell, message[1], elapsed
                         )
-                    elif (
-                        isinstance(message, tuple)
-                        and message and message[0] == "error"
-                    ):
+                    elif kind == "quarantined":
+                        self._quarantine(
+                            attempt.cell,
+                            [InvariantViolation.from_dict(v)
+                             for v in message[1]],
+                            failures, attempt.attempt, elapsed,
+                        )
+                    elif kind == "strict":
+                        raise IntegrityError(
+                            InvariantViolation.from_dict(message[1])
+                        )
+                    elif kind == "stuck":
+                        self._stuck_failure(
+                            attempt.cell, message[1], message[2],
+                            failures, attempt.attempt, elapsed,
+                        )
+                    elif kind == "error":
                         settle(attempt, "exception", message[1], elapsed)
                     else:
                         settle(

@@ -1,0 +1,144 @@
+"""Grid checkpointing: atomic persistence of partially completed grids.
+
+A long parallel grid run that dies at cell 900 of 1000 currently
+recomputes everything.  :class:`GridCheckpoint` is a merge-journal the
+execution engine writes as cells complete: each completed cell is
+recorded under its content-addressed cache-key digest, and the whole
+journal is rewritten atomically (temp file + ``os.replace``) every
+``every`` completions, so the file on disk is always a valid snapshot
+— a kill at any instant loses at most the last ``every - 1`` cells.
+
+On the next run, ``resume=True`` loads the journal and satisfies any
+cell whose digest matches a recorded entry, so only the missing cells
+execute.  Because entries are keyed by the same digest the result
+cache uses (configuration hash + trace fingerprint + package version),
+a checkpoint can never resurrect a stale result for a changed
+configuration: the digest simply will not match.
+
+The journal always *merges* on flush — existing entries on disk are
+loaded first even when not resuming — so two interleaved runs over
+different cells of the same grid extend one journal instead of
+clobbering each other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.result import SimResult
+
+__all__ = ["GridCheckpoint"]
+
+
+class GridCheckpoint:
+    """Append-ish journal of completed grid cells, keyed by cache-key
+    digest, rewritten atomically.
+
+    Parameters
+    ----------
+    path:
+        Journal file location (created on first flush; parent
+        directory is created if missing).
+    every:
+        Flush after this many newly recorded cells.  ``1`` (the
+        default) flushes on every completion — the safest setting and
+        cheap next to a timing run; raise it for very fast cells.
+    """
+
+    FORMAT = "repro-grid-checkpoint/1"
+
+    def __init__(self, path, *, every: int = 1):
+        self.path = os.fspath(path)
+        self.every = max(1, int(every))
+        self._entries: Dict[str, SimResult] = {}
+        self._dirty = 0
+        self._loaded = False
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> Dict[str, SimResult]:
+        """Read the journal from disk (merging into memory) and return
+        a digest -> :class:`SimResult` mapping.
+
+        Missing file means an empty journal; a corrupt or
+        wrong-format file raises ``ValueError`` rather than silently
+        discarding completed work.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self._loaded = True
+            return dict(self._entries)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"corrupt grid checkpoint {self.path!r}: {exc}"
+            ) from exc
+        if payload.get("format") != self.FORMAT:
+            raise ValueError(
+                f"not a grid checkpoint: {self.path!r} has format="
+                f"{payload.get('format')!r} (expected {self.FORMAT!r})"
+            )
+        for digest, entry in payload.get("cells", {}).items():
+            # In-memory entries are newer than what was on disk.
+            self._entries.setdefault(digest, SimResult.from_dict(entry))
+        self._loaded = True
+        return dict(self._entries)
+
+    def get(self, digest: str) -> Optional[SimResult]:
+        if not self._loaded:
+            self.load()
+        return self._entries.get(digest)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- writing -----------------------------------------------------------
+
+    def record(self, digest: str, result: SimResult) -> None:
+        """Journal one completed cell; flushes every ``every`` records."""
+        self._entries[digest] = result
+        self._dirty += 1
+        if self._dirty >= self.every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the journal with every known entry.
+
+        Merges with whatever is on disk first (another run may have
+        extended the journal since we last read it), then writes to a
+        temp file in the same directory and ``os.replace``s it over
+        the journal, so readers never observe a torn file.
+        """
+        if not self._loaded:
+            try:
+                self.load()
+            except ValueError:
+                # A corrupt journal must not block writing a good one.
+                self._loaded = True
+        payload = {
+            "format": self.FORMAT,
+            "cells": {
+                digest: result.to_dict()
+                for digest, result in sorted(self._entries.items())
+            },
+        }
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".checkpoint-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = 0

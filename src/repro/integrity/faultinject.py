@@ -1,0 +1,443 @@
+"""Fault injection: prove the integrity layers actually detect faults.
+
+Sanitizers that have never seen a corrupted run are unfalsifiable.
+This module deliberately perturbs running simulators — one fault class
+at a time — and records how (and whether) each fault was caught,
+producing a **detection matrix**:
+
+========================  ==========================================
+fault class               expected detection channel
+========================  ==========================================
+``maf_oversubscribe``     ``invariant:maf_occupancy`` (the PR 2 bug)
+``cycle_skew``            ``invariant:cycle_monotonicity``
+``nan_dram_latency``      MAF fill guard / ``finite_latency``
+``trace_truncation``      ``invariant:instruction_conservation``
+``ipc_overflow``          ``invariant:ipc_bound``
+``cpi_stack_leak``        ``invariant:cpi_stack_sum``
+``event_count_corruption``  ``invariant:cache_conservation``
+``retire_livelock``       ``stuck`` (bounded retirement port scan)
+``worker_crash``          ``crash`` (engine fault isolation)
+``worker_hang``           ``timeout`` (engine per-cell budget)
+========================  ==========================================
+
+Every fault runs through the *production* cell path — the
+:class:`~repro.exec.engine.ExperimentEngine` with sanitizers armed —
+so the matrix exercises exactly the code a real grid runs.  A clean
+``control`` row (unfaulted sim-alpha, same path) proves the checkers
+do not cry wolf.  A fault whose result lands in the grid as a normal
+cell is a **silent corruption** — the failure mode this whole
+subsystem exists to rule out; :attr:`DetectionMatrix.all_caught`
+asserts there are none.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.pipeline import AlphaPipeline
+from repro.integrity.sanitizers import Sanitizers
+from repro.obs.observer import Instrumentation
+from repro.workloads.suite import WorkloadSet
+
+__all__ = [
+    "FAULTS",
+    "FaultSpec",
+    "FaultedAlpha",
+    "Detection",
+    "DetectionMatrix",
+    "run_detection_matrix",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault class and where it should be caught."""
+
+    name: str
+    description: str
+    #: Detection channels that count as the *designed* catch for this
+    #: fault (``invariant:<name>``, ``exception``, ``stuck``,
+    #: ``crash``, ``timeout``).  Any quarantine/failure counts as
+    #: detected; matching one of these additionally counts as caught
+    #: by the intended mechanism.
+    expected: Tuple[str, ...]
+    #: Fault only manifests under the process pool (crash/hang).
+    needs_pool: bool = False
+
+
+FAULTS: Dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in (
+        FaultSpec(
+            "maf_oversubscribe",
+            "make the L2 MAF admit misses while full so more fills are "
+            "concurrently active than it has entries (the PR 2 "
+            "present_miss bug)",
+            ("invariant:maf_occupancy",),
+        ),
+        FaultSpec(
+            "cycle_skew",
+            "skew every 997th reported retire time backwards by 10k "
+            "cycles (a corrupted cycle counter)",
+            ("invariant:cycle_monotonicity",),
+        ),
+        FaultSpec(
+            "nan_dram_latency",
+            "make the SDRAM model return NaN access times",
+            ("exception", "invariant:finite_latency"),
+        ),
+        FaultSpec(
+            "trace_truncation",
+            "silently drop the second half of the input trace",
+            ("invariant:instruction_conservation",),
+        ),
+        FaultSpec(
+            "ipc_overflow",
+            "divide the measured cycle count by 1000 (IPC far above "
+            "the retire width)",
+            ("invariant:ipc_bound",),
+        ),
+        FaultSpec(
+            "cpi_stack_leak",
+            "leak 0.5 CPI into one stack component so the stack no "
+            "longer sums to the CPI",
+            ("invariant:cpi_stack_sum",),
+        ),
+        FaultSpec(
+            "event_count_corruption",
+            "inflate the architectural D-cache miss counter past what "
+            "the cache itself recorded",
+            ("invariant:cache_conservation",),
+        ),
+        FaultSpec(
+            "retire_livelock",
+            "zero the retire width so retirement can never find a "
+            "free port (no-retirement livelock)",
+            ("stuck",),
+        ),
+        FaultSpec(
+            "worker_crash",
+            "hard-kill the worker process (os._exit) mid-trace",
+            ("crash",),
+            needs_pool=True,
+        ),
+        FaultSpec(
+            "worker_hang",
+            "stop consuming the trace and sleep forever mid-cell",
+            ("timeout",),
+            needs_pool=True,
+        ),
+    )
+}
+
+
+class _SkewObserver:
+    """Observer shim that corrupts reported retire times in flight."""
+
+    def __init__(self, inner, every: int = 997, skew: float = 10_000.0):
+        self._inner = inner
+        self._every = every
+        self._skew = skew
+        self._count = 0
+        # The pipeline reads these straight off whatever observer it
+        # was handed, so the shim must mirror them.
+        self.metrics = getattr(inner, "metrics", None)
+        self.sanitizer = getattr(inner, "sanitizer", None)
+
+    def begin(self, stats) -> None:
+        self._inner.begin(stats)
+
+    def commit(self, dyn, fetch, map_time, issue, complete, retire,
+               stats) -> None:
+        self._count += 1
+        if not self._count % self._every:
+            complete = complete - self._skew
+            retire = retire - self._skew
+        self._inner.commit(
+            dyn, fetch, map_time, issue, complete, retire, stats
+        )
+
+    def commit_short(self, dyn, fetch, retire, stats) -> None:
+        self.commit(dyn, fetch, retire, retire, retire, retire, stats)
+
+    def finalize(self, result) -> None:
+        self._inner.finalize(result)
+
+
+class _SabotagedTrace:
+    """Trace wrapper that misbehaves mid-iteration (crash or hang)."""
+
+    def __init__(self, trace: Sequence, mode: str, after: int = 64):
+        self._trace = trace
+        self._mode = mode
+        self._after = after
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def __iter__(self):
+        for index, dyn in enumerate(self._trace):
+            if index >= self._after:
+                if self._mode == "crash":
+                    os._exit(42)
+                while True:  # hang: stop making progress, stay alive
+                    time.sleep(3600)
+            yield dyn
+
+
+class FaultedAlpha:
+    """sim-alpha with one deliberate corruption injected.
+
+    Drop-in simulator (``name``, ``config``, ``run_trace``) whose runs
+    carry the fault named at construction; built exclusively by
+    :func:`run_detection_matrix` and the integrity tests.
+    """
+
+    def __init__(self, fault: str, config: Optional[MachineConfig] = None):
+        if fault not in FAULTS:
+            raise ValueError(
+                f"unknown fault {fault!r}; known: {sorted(FAULTS)}"
+            )
+        self.fault = fault
+        config = config or MachineConfig(name=f"faulted-{fault}")
+        if fault == "retire_livelock":
+            import dataclasses
+
+            config = dataclasses.replace(config, retire_width=0)
+        self.config = config
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def run_trace(self, trace, workload: str = "", *,
+                  observer=None, watchdog=None):
+        fault = self.fault
+        if fault == "trace_truncation":
+            trace = list(trace)[: max(1, len(trace) // 2)]
+        elif fault in ("worker_crash", "worker_hang"):
+            trace = _SabotagedTrace(
+                trace, "crash" if fault == "worker_crash" else "hang"
+            )
+        pipeline = AlphaPipeline(self.config)
+        if fault == "maf_oversubscribe":
+            # Re-introduce the PR 2 present_miss bug: the file admits
+            # every miss immediately, never stalling when full, so
+            # under miss pressure more fills are concurrently active
+            # than the file has entries.  The L2 MAF is the target
+            # (only DRAM-latency fills overlap enough to oversubscribe)
+            # and is shrunk to two entries because the pipeline's own
+            # issue limits keep M-M below eight concurrent misses.
+            from repro.memory.mshr import MafConfig, MafOutcome
+
+            maf = pipeline.hierarchy.maf_l2
+            maf.config = MafConfig(entries=2)
+
+            def _never_stall(now, block, _maf=maf):
+                fill = _maf._inflight.get(block)
+                if fill is not None and fill > now:
+                    _maf.stats.combines += 1
+                    return MafOutcome(now, fill, False)
+                return MafOutcome(now, None, False)
+
+            maf.present_miss = _never_stall
+        elif fault == "nan_dram_latency":
+            pipeline.hierarchy.dram.access = (
+                lambda time, paddr: math.nan
+            )
+        elif fault == "cycle_skew" and observer is not None:
+            observer = _SkewObserver(observer)
+        result = pipeline.run_trace(
+            trace, workload, observer=observer, watchdog=watchdog
+        )
+        if fault == "ipc_overflow":
+            result.cycles = result.cycles / 1000.0
+        elif fault == "cpi_stack_leak" and result.cpi_stack:
+            component = next(iter(result.cpi_stack))
+            result.cpi_stack[component] += 0.5
+        elif fault == "event_count_corruption":
+            result.stats.dcache_misses += 1_000_003
+        return result
+
+
+@dataclass
+class Detection:
+    """One matrix row: how a fault class fared."""
+
+    fault: str
+    description: str
+    #: The fault did not produce a clean grid cell (control inverts
+    #: this: clean is the pass condition).
+    detected: bool
+    #: Channels that fired, e.g. ``["invariant:maf_occupancy"]``.
+    channels: List[str] = field(default_factory=list)
+    #: A fired channel is one the fault's spec designed for.
+    expected_channel: bool = False
+    detail: str = ""
+    skipped: str = ""
+
+    def to_dict(self) -> Dict:
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class DetectionMatrix:
+    """The full fault-injection verdict."""
+
+    workload: str
+    rows: List[Detection] = field(default_factory=list)
+
+    @property
+    def all_caught(self) -> bool:
+        """True iff every (non-skipped) fault was detected through its
+        designed channel and the control run stayed clean — i.e. zero
+        silent corruptions and zero false alarms."""
+        for row in self.rows:
+            if row.skipped:
+                continue
+            if row.fault == "control":
+                if row.detected:  # a false alarm
+                    return False
+            elif not (row.detected and row.expected_channel):
+                return False
+        return True
+
+    def silent_corruptions(self) -> List[str]:
+        """Fault classes that produced a clean-looking grid cell."""
+        return [
+            row.fault
+            for row in self.rows
+            if row.fault != "control" and not row.skipped
+            and not row.detected
+        ]
+
+    def render(self) -> str:
+        """Fixed-width table for reports and the CLI."""
+        header = f"{'fault':<24} {'detected':<9} {'via':<34} note"
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            if row.skipped:
+                status, via = "skip", row.skipped
+            elif row.fault == "control":
+                status = "clean" if not row.detected else "FALSE-ALARM"
+                via = ", ".join(row.channels) or "-"
+            else:
+                status = "yes" if row.detected else "MISSED"
+                via = ", ".join(row.channels) or "-"
+                if row.detected and not row.expected_channel:
+                    status = "yes*"  # caught, but not by design channel
+            lines.append(
+                f"{row.fault:<24} {status:<9} {via:<34} "
+                f"{row.description}"
+            )
+        return "\n".join(lines)
+
+
+def _channels_of(failure) -> List[str]:
+    if failure.kind == "invariant" and failure.snapshot:
+        return [
+            f"invariant:{violation.get('invariant', '?')}"
+            for violation in failure.snapshot.get("violations", ())
+        ]
+    return [failure.kind]
+
+
+def run_detection_matrix(
+    workload: str = "M-M",
+    *,
+    workloads: Optional[WorkloadSet] = None,
+    faults: Optional[Sequence[str]] = None,
+    include_pool_faults: bool = True,
+    pool_timeout_s: float = 10.0,
+    window: int = 128,
+    watchdog_s: float = 30.0,
+) -> DetectionMatrix:
+    """Inject every fault class (plus a clean control) into sim-alpha
+    on ``workload`` and report how each was caught.
+
+    Every run goes through the execution engine with sanitizers armed
+    (non-strict, window ``window``) and instrumentation on, exactly as
+    a production grid would; pool faults (crash/hang) run under a
+    two-worker pool with a ``pool_timeout_s`` cell budget and are
+    skipped (not failed) where fork is unavailable.
+    """
+    from repro.core.simalpha import SimAlpha
+    from repro.exec.engine import ExperimentEngine, RetryBackoff
+
+    workloads = workloads or WorkloadSet()
+    names = list(faults) if faults is not None else list(FAULTS)
+    matrix = DetectionMatrix(workload=workload)
+
+    def engine_for(spec: Optional[FaultSpec]) -> ExperimentEngine:
+        pool = spec is not None and spec.needs_pool
+        return ExperimentEngine(
+            workloads,
+            jobs=2 if pool else 1,
+            timeout=pool_timeout_s if pool else None,
+            retries=0,
+            backoff=RetryBackoff(base_s=0.0, cap_s=0.0, jitter=0.0),
+            sanitizers=Sanitizers(window=window),
+            watchdog_s=watchdog_s,
+        )
+
+    # Control: the unfaulted simulator through the identical path.
+    control_engine = engine_for(None)
+    control_grid = control_engine.run_grid(
+        [SimAlpha], [workload], instrumentation=Instrumentation()
+    )
+    matrix.rows.append(Detection(
+        fault="control",
+        description="unfaulted sim-alpha (must stay clean)",
+        detected=bool(control_grid.failures),
+        channels=[
+            channel
+            for failure in control_grid.failures
+            for channel in _channels_of(failure)
+        ],
+        expected_channel=False,
+        detail=(
+            control_grid.failures[0].message if control_grid.failures
+            else ""
+        ),
+    ))
+
+    for name in names:
+        spec = FAULTS[name]
+        engine = engine_for(spec)
+        if spec.needs_pool and (
+            not include_pool_faults or engine._ctx is None
+        ):
+            matrix.rows.append(Detection(
+                fault=name, description=spec.description,
+                detected=False,
+                skipped=(
+                    "pool faults disabled" if not include_pool_faults
+                    else "no fork start method"
+                ),
+            ))
+            continue
+        grid = engine.run_grid(
+            [lambda name=name: FaultedAlpha(name)], [workload],
+            instrumentation=Instrumentation(),
+        )
+        failure = grid.failures[0] if grid.failures else None
+        channels = _channels_of(failure) if failure is not None else []
+        matrix.rows.append(Detection(
+            fault=name,
+            description=spec.description,
+            detected=failure is not None,
+            channels=channels,
+            expected_channel=any(
+                channel in spec.expected for channel in channels
+            ),
+            detail=failure.message.strip().splitlines()[-1]
+            if failure is not None and failure.message else "",
+        ))
+    return matrix

@@ -1,0 +1,96 @@
+"""Livelock detection: a diagnosable alternative to hanging a worker.
+
+Two mechanisms, both cheap enough to be always-on or nearly so:
+
+* **scan bounds** — the pipeline's issue-port and retire-port
+  arbitration loops scan forward for a free cycle.  A corrupted width
+  (or a NaN-poisoned cycle) turns that scan into an infinite loop; the
+  engine bounds it at :data:`PORT_SCAN_LIMIT` cycles and raises
+  :class:`SimulationStuck` with the instruction index and the stuck
+  resource instead of spinning forever;
+* **heartbeat** — a :class:`Watchdog` object, beaten every few
+  thousand instructions by :meth:`AlphaPipeline.run_trace`, that
+  raises once the retire frontier has stopped advancing for a
+  configured wall-clock budget.  The execution engine threads one into
+  every worker process (``stuck_after=``), so a livelocked cell dies
+  with a diagnosis *inside* the worker rather than being opaquely
+  terminated by the parent's timeout.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["SimulationStuck", "Watchdog", "PORT_SCAN_LIMIT"]
+
+#: Cycles a port-arbitration scan may advance past its start before the
+#: engine declares livelock.  Three orders of magnitude above anything
+#: a congested-but-correct model produces.
+PORT_SCAN_LIMIT = 1_000_000
+
+
+class SimulationStuck(RuntimeError):
+    """A timing run stopped making forward progress.
+
+    Carries enough state to diagnose the hang without re-running:
+    how many instructions had been timed, where the retire frontier
+    froze, and which mechanism detected the stall.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        instructions: int = 0,
+        retire: float = 0.0,
+    ):
+        super().__init__(
+            f"simulation stuck: {detail} "
+            f"(after {instructions} instructions, "
+            f"retire frontier {retire:g})"
+        )
+        self.detail = detail
+        self.instructions = instructions
+        self.retire = retire
+
+
+class Watchdog:
+    """Raises :class:`SimulationStuck` when retirement stops advancing.
+
+    ``beat(instructions, retire)`` is called periodically by the timing
+    engine; any advance of the retire frontier resets the stall clock.
+    A beat arriving with no progress after ``stall_s`` wall-clock
+    seconds raises.  ``clock`` is injectable for tests.
+    """
+
+    __slots__ = ("stall_s", "_clock", "_last_retire", "_last_progress_at")
+
+    def __init__(
+        self,
+        stall_s: float = 60.0,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if stall_s <= 0:
+            raise ValueError(f"stall_s must be positive (got {stall_s})")
+        self.stall_s = stall_s
+        self._clock = clock
+        self._last_retire: Optional[float] = None
+        self._last_progress_at = 0.0
+
+    def beat(self, instructions: int, retire: float) -> None:
+        """Report progress; raises if the frontier has been stuck."""
+        now = self._clock()
+        if self._last_retire is None or retire > self._last_retire:
+            self._last_retire = retire
+            self._last_progress_at = now
+            return
+        stalled = now - self._last_progress_at
+        if stalled >= self.stall_s:
+            raise SimulationStuck(
+                f"retire frontier has not advanced in {stalled:.1f}s "
+                f"(watchdog budget {self.stall_s:g}s)",
+                instructions=instructions,
+                retire=retire,
+            )

@@ -260,7 +260,7 @@ class MemoryHierarchy:
         if outcome.combined_fill is not None:
             return outcome.combined_fill, False, conflict
         ready = self._dram_access(outcome.start_time, paddr)
-        self.maf_l2.record_fill(block, ready)
+        self.maf_l2.record_fill(block, ready, start=outcome.start_time)
         if result.evicted_dirty and cfg.writeback_traffic:
             self.mem_bus.request(ready, cfg.l2.block_bytes)
         return ready, False, conflict
@@ -303,7 +303,7 @@ class MemoryHierarchy:
         if outcome.combined_fill is not None:
             return IFetchResult(outcome.combined_fill, False, result.way)
         ready, _, _ = self._l2_access(outcome.start_time, paddr)
-        self.maf_i.record_fill(block, ready)
+        self.maf_i.record_fill(block, ready, start=outcome.start_time)
         if cfg.icache_prefetch:
             # Fetch up to four sequential lines on an I-miss into the
             # prefetch buffer; they trail the demand line.
@@ -404,7 +404,7 @@ class MemoryHierarchy:
             )
         ready, l2_hit, l2_conflict = self._l2_access(outcome.start_time, paddr)
         ready += cfg.fp_load_extra if fp else 0
-        self.maf_d.record_fill(block, ready)
+        self.maf_d.record_fill(block, ready, start=outcome.start_time)
         return LoadResult(
             ready, False, l2_hit, False,
             tlb_miss, stall_cycles, outcome.stalled, same_set, l2_conflict,
@@ -456,7 +456,7 @@ class MemoryHierarchy:
         ready, l2_hit, l2_conflict = self._l2_access(
             outcome.start_time, paddr, write=True
         )
-        self.maf_d.record_fill(block, ready)
+        self.maf_d.record_fill(block, ready, start=outcome.start_time)
         return LoadResult(
             ready, False, l2_hit, False,
             tlb_miss, stall_cycles, outcome.stalled, False, l2_conflict,

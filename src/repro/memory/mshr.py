@@ -15,6 +15,7 @@ hierarchy composes either arrangement from this class.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -55,21 +56,57 @@ class MissAddressFile:
     def __init__(self, config: MafConfig | None = None):
         self.config = config or MafConfig()
         self._inflight: Dict[int, float] = {}
+        self._starts: Dict[int, float] = {}
         self.stats = MafStats()
+        #: Highest concurrent occupancy ever observed at an allocation
+        #: instant.  In a correct MAF this never exceeds
+        #: ``config.entries`` — present_miss stalls first.  The
+        #: integrity sanitizers audit this bound after every run.
+        self.peak_occupancy: int = 0
 
     def _expire(self, now: float) -> None:
         if len(self._inflight) > self.config.entries * 4:
-            # Opportunistic cleanup; correctness never depends on it.
+            # Opportunistic cleanup; correctness never depends on it —
+            # but the two maps must stay in sync, and pruning must
+            # never drive tracked occupancy negative.
             self._inflight = {
                 b: t for b, t in self._inflight.items() if t > now
             }
+            self._starts = {
+                b: s for b, s in self._starts.items() if b in self._inflight
+            }
+            assert len(self._inflight) >= len(self._starts) >= 0, (
+                f"MAF bookkeeping corrupt after expiry: "
+                f"{len(self._inflight)} fills vs {len(self._starts)} starts"
+            )
 
     def _busy_entries(self, now: float) -> List[Tuple[int, float]]:
         return [(b, t) for b, t in self._inflight.items() if t > now]
 
     def outstanding(self, now: float) -> int:
         """Number of entries still tracking in-flight fills at ``now``."""
-        return len(self._busy_entries(now))
+        busy = len(self._busy_entries(now))
+        assert busy >= 0, f"negative MAF occupancy {busy} at t={now!r}"
+        return busy
+
+    def occupancy_at(self, when: float) -> int:
+        """Entries whose request was *active* at ``when`` — issued
+        (``start <= when``) but not yet filled (``when < fill``).
+
+        Unlike :meth:`outstanding` (which counts every tracked fill
+        later than ``now``, including backdated full-stall allocations
+        whose request has not issued yet), this is the physically
+        meaningful occupancy: it can never legitimately exceed
+        ``config.entries``.  The integrity sanitizers probe it; the
+        PR 2 ``present_miss`` oversubscription bug is exactly a
+        violation of this bound.  Fills recorded without a start time
+        are not counted.
+        """
+        return sum(
+            1
+            for block, fill in self._inflight.items()
+            if when < fill and self._starts.get(block, fill) <= when
+        )
 
     def present_miss(self, now: float, block: int) -> MafOutcome:
         """Present a miss for ``block`` at time ``now``.
@@ -96,10 +133,41 @@ class MissAddressFile:
             return MafOutcome(start, None, True)
         return MafOutcome(now, None, False)
 
-    def record_fill(self, block: int, fill_time: float) -> None:
-        """Register that the fill for ``block`` completes at ``fill_time``."""
+    def record_fill(
+        self, block: int, fill_time: float, start: float | None = None
+    ) -> None:
+        """Register that the fill for ``block`` completes at
+        ``fill_time``; ``start`` is when its request issued (the
+        ``MafOutcome.start_time`` of the allocating miss), enabling
+        time-aware occupancy accounting via :meth:`occupancy_at`.
+        """
+        if not math.isfinite(fill_time):
+            raise ValueError(
+                f"non-finite MAF fill time {fill_time!r} for block "
+                f"{block:#x} — a memory latency upstream is corrupt"
+            )
+        if start is not None:
+            if not math.isfinite(start):
+                raise ValueError(
+                    f"non-finite MAF start time {start!r} for block "
+                    f"{block:#x}"
+                )
+            if fill_time < start:
+                raise ValueError(
+                    f"MAF fill at t={fill_time:g} precedes its request "
+                    f"at t={start:g} for block {block:#x}"
+                )
+            self._starts[block] = start
+        else:
+            self._starts.pop(block, None)
         self.stats.allocations += 1
         self._inflight[block] = fill_time
+        if start is not None:
+            # Exact even after opportunistic pruning: pruned fills
+            # precede `now <= start`, so none could be active here.
+            occupancy = self.occupancy_at(start)
+            if occupancy > self.peak_occupancy:
+                self.peak_occupancy = occupancy
 
     def inflight_blocks(self, now: float) -> List[int]:
         """Blocks with fills still outstanding at ``now``."""

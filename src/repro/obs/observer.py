@@ -51,7 +51,7 @@ class RunObserver:
     """Per-run sink for the engine's instrumentation hook."""
 
     __slots__ = (
-        "tracer", "accountant", "metrics",
+        "tracer", "accountant", "metrics", "sanitizer",
         "simulator", "workload",
         "_prev_retire", "_pre", "_seq", "_instr_counter",
     )
@@ -62,12 +62,17 @@ class RunObserver:
         tracer: Optional[PipelineTracer] = None,
         accountant: Optional[CpiStackAccountant] = None,
         metrics: Optional[MetricsRegistry] = None,
+        sanitizer=None,
         simulator: str = "",
         workload: str = "",
     ):
         self.tracer = tracer
         self.accountant = accountant
         self.metrics = metrics
+        # An integrity RunSanitizer riding the same hook (or None);
+        # the timing engine also reads this attribute directly to
+        # attach its live state and validate latencies at the source.
+        self.sanitizer = sanitizer
         self.simulator = simulator
         self.workload = workload
         self._prev_retire = 0.0
@@ -105,6 +110,11 @@ class RunObserver:
         self._prev_retire = retire
         seq = self._seq
         self._seq = seq + 1
+
+        if self.sanitizer is not None:
+            self.sanitizer.on_commit(
+                fetch, map_time, issue, complete, retire, dyn.pc
+            )
 
         cause = "base"
         if self.accountant is not None:

@@ -77,8 +77,11 @@ class NativeMachine:
         workload: str = "",
         *,
         observer=None,
+        watchdog=None,
     ) -> SimResult:
-        result = self._machine.run_trace(trace, workload, observer=observer)
+        result = self._machine.run_trace(
+            trace, workload, observer=observer, watchdog=watchdog
+        )
         if not self.measure:
             return result
         from repro.simulators.dcpi import DcpiProfiler

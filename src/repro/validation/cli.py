@@ -22,6 +22,20 @@ Chrome trace-event file (loadable in ``chrome://tracing``)::
     repro-experiments trace M-D
     repro-experiments trace C-R --simulator sim-initial --emit-trace out/
     repro-experiments table2 --quick --metrics-out metrics.json
+
+Integrity options (see docs/ROBUSTNESS.md): ``--sanitize`` arms the
+invariant sanitizers (``--strict`` aborts on the first violation
+instead of quarantining), ``--stuck-after S`` arms the livelock
+watchdog, and ``--checkpoint FILE`` journals completed grid cells so
+``--resume`` can pick an interrupted run back up.  The exit status
+reports integrity: 0 clean, 3 when any cell was quarantined or failed,
+4 on a strict-mode abort.  The ``integrity`` subcommand runs the
+fault-injection detection matrix and exits nonzero unless every fault
+is caught::
+
+    repro-experiments table2 --sanitize --stuck-after 120
+    repro-experiments table3 --checkpoint t3.ckpt --resume
+    repro-experiments integrity
 """
 
 from __future__ import annotations
@@ -286,12 +300,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "trace"],
-        help="which experiment to run, or 'trace' to instrument one run",
+        choices=sorted(_EXPERIMENTS) + ["all", "trace", "integrity"],
+        help="which experiment to run, 'trace' to instrument one run, "
+             "or 'integrity' to run the fault-injection matrix",
     )
     parser.add_argument(
         "workload", nargs="?", default=None,
-        help="workload to trace (trace subcommand only), e.g. M-D or gzip",
+        help="workload to trace (trace/integrity subcommands), "
+             "e.g. M-D or gzip",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -331,9 +347,57 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="ignore --cache-dir: recompute every cell this run",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the invariant sanitizers: audit every cell and "
+             "quarantine violating results off the grid (exit 3)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="with --sanitize (implied): abort on the first invariant "
+             "violation instead of quarantining (exit 4)",
+    )
+    parser.add_argument(
+        "--stuck-after", type=float, default=None, metavar="S",
+        help="arm the livelock watchdog: a cell making no retirement "
+             "progress for S seconds fails as 'stuck' instead of "
+             "hanging forever",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="FILE", default="",
+        help="journal completed grid cells to FILE (atomic writes) so "
+             "an interrupted run can be resumed",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint: skip cells the journal already holds",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1 (got {args.jobs})")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint FILE")
+    if args.stuck_after is not None and args.stuck_after <= 0:
+        parser.error(
+            f"--stuck-after must be positive (got {args.stuck_after})"
+        )
+
+    if args.experiment == "integrity":
+        from repro.integrity.faultinject import run_detection_matrix
+
+        matrix = run_detection_matrix(
+            workload=args.workload or "M-M",
+            include_pool_faults=not args.quick,
+        )
+        print(matrix.render())
+        if matrix.all_caught:
+            print("all faults detected; control clean")
+            return 0
+        print(
+            "SILENT CORRUPTIONS: "
+            + ", ".join(matrix.silent_corruptions())
+        )
+        return 1
 
     if args.experiment == "trace":
         if not args.workload:
@@ -348,13 +412,25 @@ def main(argv=None) -> int:
         ))
         return 0
 
+    from repro.integrity.sanitizers import IntegrityError, Sanitizers
     from repro.obs.registry import MetricsRegistry
 
     registry = MetricsRegistry(enabled=bool(args.metrics_out))
+    sanitizers = (
+        Sanitizers(strict=args.strict)
+        if args.sanitize or args.strict else None
+    )
+    harness = Harness(
+        metrics=registry,
+        sanitizers=sanitizers,
+        watchdog_s=args.stuck_after,
+        checkpoint=args.checkpoint or None,
+        resume=args.resume,
+    )
     engine = {
         # One harness across experiments: traces are built once, and
         # cache/cell counters land in the --metrics-out registry.
-        "harness": Harness(metrics=registry),
+        "harness": harness,
         "jobs": args.jobs,
         "cache": (
             None if args.no_cache or not args.cache_dir
@@ -366,8 +442,14 @@ def main(argv=None) -> int:
     ]
     for name in names:
         started = time.time()
-        with registry.timer(f"experiment.{name}").time():
-            output = _EXPERIMENTS[name](args.quick, engine)
+        try:
+            with registry.timer(f"experiment.{name}").time():
+                output = _EXPERIMENTS[name](args.quick, engine)
+        except IntegrityError as error:
+            print(f"integrity violation (strict) in {name}:",
+                  file=sys.stderr)
+            print(f"  {error.violation}", file=sys.stderr)
+            return 4
         elapsed = time.time() - started
         print(output)
         print(f"[{name} completed in {elapsed:.1f}s]")
@@ -379,6 +461,14 @@ def main(argv=None) -> int:
                    "jobs": args.jobs,
                    "cache_dir": engine["cache"] or ""},
         )
+    if harness.failed_cells:
+        print(
+            f"{len(harness.failed_cells)} cell(s) failed or were "
+            f"quarantined:", file=sys.stderr,
+        )
+        for failure in harness.failed_cells:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        return 3
     return 0
 
 

@@ -10,13 +10,25 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.obs.observer import Instrumentation
+from repro.integrity.sanitizers import (
+    IntegrityError,
+    InvariantViolation,
+    Sanitizers,
+)
+from repro.integrity.watchdog import SimulationStuck, Watchdog
+from repro.obs.observer import Instrumentation, RunObserver
 from repro.obs.provenance import capture_provenance
 from repro.obs.registry import MetricsRegistry
 from repro.result import SimResult
 from repro.workloads.suite import WorkloadSet
 
-__all__ = ["SimulatorFactory", "CellFailure", "ResultGrid", "Harness"]
+__all__ = [
+    "SimulatorFactory",
+    "CellFailure",
+    "ResultGrid",
+    "Harness",
+    "quarantine_failure",
+]
 
 #: A factory producing a *fresh* simulator per run (predictor and cache
 #: state must not leak between workloads).
@@ -35,18 +47,31 @@ class CellFailure:
     Produced by the parallel execution engine
     (:mod:`repro.exec.engine`): a cell that raises, crashes its worker
     process, or exceeds its timeout is recorded here — after exhausting
-    its retry budget — instead of aborting the rest of the grid.
+    its retry budget — instead of aborting the rest of the grid.  The
+    integrity layer adds two kinds: ``"invariant"`` for results
+    quarantined by the sanitizers (the violated invariant and its state
+    snapshot land in ``snapshot``) and ``"stuck"`` for detected
+    livelocks.
     """
 
     simulator: str
     workload: str
-    #: One of ``"exception"``, ``"crash"``, ``"timeout"``.
+    #: One of ``"exception"``, ``"crash"``, ``"timeout"``,
+    #: ``"invariant"``, ``"stuck"``.
     kind: str
     message: str = ""
     #: Total attempts made (1 + retries).
     attempts: int = 1
     #: Wall-clock seconds spent on the final attempt.
     elapsed_s: float = 0.0
+    #: Diagnostic state captured at failure time (for ``"invariant"``
+    #: kinds, the violation records under a ``"violations"`` key).
+    snapshot: Optional[Dict] = None
+
+    def describe(self) -> str:
+        """One-line human summary (the CLI's failure listing)."""
+        head = f"{self.simulator} on {self.workload}: {self.kind}"
+        return f"{head} - {self.message}" if self.message else head
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -169,30 +194,58 @@ class ResultGrid:
         return grid
 
 
-#: run_trace function -> whether it takes the observer hook.  Keyed by
-#: the underlying function object (bound methods are recreated on every
+#: run_trace function -> its parameter-name set.  Keyed by the
+#: underlying function object (bound methods are recreated on every
 #: attribute access), so one inspect.signature pays for a whole grid.
-_OBSERVER_SIGNATURE_CACHE: "weakref.WeakKeyDictionary[Callable, bool]" = (
+_SIGNATURE_CACHE: "weakref.WeakKeyDictionary[Callable, frozenset]" = (
     weakref.WeakKeyDictionary()
 )
 
 
-def _accepts_observer(run_trace: Callable) -> bool:
-    """Whether a simulator's ``run_trace`` takes the observer hook."""
+def _signature_params(run_trace: Callable) -> frozenset:
+    """The parameter names a simulator's ``run_trace`` accepts (cached)."""
     probe = getattr(run_trace, "__func__", run_trace)
     try:
-        return _OBSERVER_SIGNATURE_CACHE[probe]
+        return _SIGNATURE_CACHE[probe]
     except (KeyError, TypeError):
         pass
     try:
-        accepts = "observer" in inspect.signature(probe).parameters
+        params = frozenset(inspect.signature(probe).parameters)
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
-        accepts = False
+        params = frozenset()
     try:
-        _OBSERVER_SIGNATURE_CACHE[probe] = accepts
+        _SIGNATURE_CACHE[probe] = params
     except TypeError:  # pragma: no cover - unweakrefable callable
         pass
-    return accepts
+    return params
+
+
+def _accepts_observer(run_trace: Callable) -> bool:
+    """Whether a simulator's ``run_trace`` takes the observer hook."""
+    return "observer" in _signature_params(run_trace)
+
+
+def quarantine_failure(
+    violations: Sequence[InvariantViolation],
+    *,
+    simulator: str = "",
+    workload: str = "",
+    attempts: int = 1,
+    elapsed_s: float = 0.0,
+) -> CellFailure:
+    """Build the ``kind="invariant"`` :class:`CellFailure` recording a
+    quarantined result (shared by the harness and the execution
+    engine)."""
+    first = violations[0] if violations else None
+    return CellFailure(
+        simulator=(first.simulator if first else "") or simulator,
+        workload=(first.workload if first else "") or workload,
+        kind="invariant",
+        message=str(first) if first else "invariant violation",
+        attempts=attempts,
+        elapsed_s=elapsed_s,
+        snapshot={"violations": [v.to_dict() for v in violations]},
+    )
 
 
 class Harness:
@@ -203,6 +256,16 @@ class Harness:
     every grid this harness runs.  ``instrumentation`` passed to the
     run methods additionally threads pipeline observers (CPI stacks,
     tracing) through simulators that support them.
+
+    ``sanitizers`` (a :class:`repro.integrity.Sanitizers`, disabled by
+    default) arms the invariant checkers: every cell is audited, and
+    in grid runs a violating result is *quarantined* — recorded as a
+    ``kind="invariant"`` :class:`CellFailure` instead of entering the
+    grid (strict bundles raise :class:`IntegrityError` instead).
+    ``watchdog_s`` arms a per-cell livelock watchdog with that stall
+    budget (seconds) on simulators that accept one.  Failures from
+    every grid this harness runs accumulate on ``failed_cells``, which
+    is what the CLI's exit status reports.
     """
 
     def __init__(
@@ -210,11 +273,30 @@ class Harness:
         workloads: Optional[WorkloadSet] = None,
         *,
         metrics: Optional[MetricsRegistry] = None,
+        sanitizers: Optional[Sanitizers] = None,
+        watchdog_s: Optional[float] = None,
+        checkpoint=None,
+        resume: bool = False,
     ):
         self.workloads = workloads or WorkloadSet()
         self.metrics = metrics if metrics is not None else (
             MetricsRegistry.disabled()
         )
+        self.sanitizers = sanitizers if sanitizers is not None else (
+            Sanitizers.disabled()
+        )
+        self.watchdog_s = watchdog_s
+        #: Grid-level defaults used when :meth:`run_grid` is not given
+        #: its own ``checkpoint``/``resume`` (how the CLI threads one
+        #: journal through drivers that only pass jobs/cache).
+        self.checkpoint = checkpoint
+        self.resume = resume
+        #: Violations found by the most recent cell (empty when the
+        #: sanitizers are disabled or the cell was clean).
+        self.last_violations: List[InvariantViolation] = []
+        #: Every failed/quarantined cell across all grids this harness
+        #: has run (the CLI exit-status source).
+        self.failed_cells: List[CellFailure] = []
 
     def _run_cell(
         self,
@@ -226,24 +308,50 @@ class Harness:
         """Time one (simulator, workload) cell, instrumented."""
         observer = None
         run_trace = simulator.run_trace
+        params = _signature_params(run_trace)
         if instrumentation is not None and instrumentation.enabled \
-                and _accepts_observer(run_trace):
+                and "observer" in params:
             observer = instrumentation.observer(
                 simulator=simulator.name, workload=workload
             )
+        sanitizer = None
+        if self.sanitizers.enabled:
+            sanitizer = self.sanitizers.run_sanitizer(
+                simulator=simulator.name, workload=workload
+            )
+            if "observer" in params:
+                # Ride the engine's observer hook (sharing the
+                # instrumentation observer when there is one).
+                if observer is None:
+                    observer = RunObserver(
+                        sanitizer=sanitizer,
+                        simulator=simulator.name, workload=workload,
+                    )
+                else:
+                    observer.sanitizer = sanitizer
+        kwargs = {}
+        if observer is not None:
+            kwargs["observer"] = observer
+        if self.watchdog_s is not None and "watchdog" in params:
+            kwargs["watchdog"] = Watchdog(self.watchdog_s)
         timer = self.metrics.timer(f"harness.cell.{simulator.name}.{workload}")
         with timer.time():
-            if observer is not None:
-                result = run_trace(trace, workload, observer=observer)
-            else:
-                result = run_trace(trace, workload)
+            result = run_trace(trace, workload, **kwargs)
         self.metrics.counter("harness.runs").inc()
         if result.provenance is None:
             result.provenance = capture_provenance(
                 getattr(simulator, "config", None),
                 name=getattr(simulator, "name", ""),
             )
+        if sanitizer is not None:
+            sanitizer.audit_result(
+                result, expected_instructions=len(trace)
+            )
+            self.last_violations = list(sanitizer.violations)
+        else:
+            self.last_violations = []
         return result
+
 
     def run_one(
         self,
@@ -268,6 +376,8 @@ class Harness:
         cache=None,
         timeout: Optional[float] = None,
         retries: int = 0,
+        checkpoint=None,
+        resume: bool = False,
     ) -> ResultGrid:
         """Run every factory over every workload.
 
@@ -278,15 +388,22 @@ class Harness:
         ``jobs > 1`` fans the cells out over a process pool, and
         ``cache`` (a :class:`repro.exec.ResultCache` or a directory
         path) memoizes cell results on disk across runs; either option
-        delegates to the execution engine (:mod:`repro.exec.engine`),
-        which also honours the per-cell ``timeout`` (seconds) and
-        ``retries`` budget and records failed cells as
-        :class:`CellFailure` entries on the returned grid.  The default
-        (``jobs=1``, no cache) is the in-process serial path, where a
-        failing cell raises.
+        — as does ``checkpoint`` (a
+        :class:`repro.integrity.GridCheckpoint` or journal path, with
+        ``resume=True`` to skip cells it already holds) — delegates to
+        the execution engine (:mod:`repro.exec.engine`), which also
+        honours the per-cell ``timeout`` (seconds) and ``retries``
+        budget and records failed cells as :class:`CellFailure`
+        entries on the returned grid.  The default (``jobs=1``, no
+        cache, no checkpoint) is the in-process serial path, where a
+        failing cell raises — except for integrity quarantines and
+        detected livelocks, which are isolated per cell in every mode.
         """
         names = list(workload_names)
-        if jobs > 1 or cache is not None:
+        if checkpoint is None and self.checkpoint is not None:
+            checkpoint = self.checkpoint
+            resume = resume or self.resume
+        if jobs > 1 or cache is not None or checkpoint is not None:
             from repro.exec.engine import ExperimentEngine
 
             engine = ExperimentEngine(
@@ -296,11 +413,17 @@ class Harness:
                 timeout=timeout,
                 retries=retries,
                 metrics=self.metrics,
+                sanitizers=self.sanitizers,
+                watchdog_s=self.watchdog_s,
+                checkpoint=checkpoint,
+                resume=resume,
             )
-            return engine.run_grid(
+            grid = engine.run_grid(
                 factories, names,
                 instrumentation=instrumentation, progress=progress,
             )
+            self.failed_cells.extend(grid.failures)
+            return grid
         grid = ResultGrid()
         for name in names:
             trace = self.workloads.trace(name)
@@ -308,7 +431,38 @@ class Harness:
                 simulator = factory()
                 if progress is not None:
                     progress(simulator.name, name)
-                grid.add(
-                    self._run_cell(simulator, trace, name, instrumentation)
-                )
+                try:
+                    result = self._run_cell(
+                        simulator, trace, name, instrumentation
+                    )
+                except IntegrityError as exc:
+                    # Fatal violation mid-run: quarantine the cell
+                    # (strict bundles never get here — the sanitizer's
+                    # raise propagates before the result exists).
+                    if self.sanitizers.strict:
+                        raise
+                    grid.failures.append(quarantine_failure(
+                        [exc.violation],
+                        simulator=simulator.name, workload=name,
+                    ))
+                except SimulationStuck as exc:
+                    grid.failures.append(CellFailure(
+                        simulator=simulator.name,
+                        workload=name,
+                        kind="stuck",
+                        message=str(exc),
+                        snapshot={
+                            "instructions": exc.instructions,
+                            "retire": exc.retire,
+                        },
+                    ))
+                else:
+                    if self.last_violations:
+                        grid.failures.append(quarantine_failure(
+                            self.last_violations,
+                            simulator=simulator.name, workload=name,
+                        ))
+                    else:
+                        grid.add(result)
+        self.failed_cells.extend(grid.failures)
         return grid

@@ -1,0 +1,17 @@
+"""Shared fixtures for the integrity-subsystem tests."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def harness():
+    from repro.validation.harness import Harness
+
+    return Harness()
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    from repro.workloads import WorkloadSet
+
+    return WorkloadSet()

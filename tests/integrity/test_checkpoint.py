@@ -1,0 +1,157 @@
+"""Grid checkpoint/resume: atomic journals and interrupted grids."""
+
+import json
+import os
+
+import pytest
+
+from repro import SimAlpha
+from repro.integrity.checkpoint import GridCheckpoint
+from repro.result import SimResult
+from repro.validation.harness import Harness, ResultGrid
+
+
+def make_result(sim="sim-alpha", workload="C-R"):
+    return SimResult(sim, workload, cycles=100.0, instructions=50)
+
+
+class TestJournal:
+    def test_record_flush_load_round_trip(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        checkpoint = GridCheckpoint(path)
+        checkpoint.record("abc123", make_result())
+        restored = GridCheckpoint(path).load()
+        assert set(restored) == {"abc123"}
+        assert restored["abc123"].cycles == 100.0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        checkpoint = GridCheckpoint(tmp_path / "nope.ckpt")
+        assert checkpoint.load() == {}
+        assert checkpoint.get("anything") is None
+
+    def test_corrupt_file_raises_not_discards(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        path.write_text("{truncated", encoding="utf-8")
+        with pytest.raises(ValueError) as excinfo:
+            GridCheckpoint(path).load()
+        assert "corrupt" in str(excinfo.value)
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            GridCheckpoint(path).load()
+
+    def test_every_n_batches_flushes(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        checkpoint = GridCheckpoint(path, every=3)
+        checkpoint.record("a", make_result(workload="C-R"))
+        checkpoint.record("b", make_result(workload="E-I"))
+        assert not os.path.exists(path)  # below the batch threshold
+        checkpoint.record("c", make_result(workload="M-D"))
+        assert os.path.exists(path)
+        assert len(GridCheckpoint(path).load()) == 3
+
+    def test_flush_merges_with_concurrent_writer(self, tmp_path):
+        """Two journals over the same path extend each other rather
+        than clobbering."""
+        path = tmp_path / "grid.ckpt"
+        first = GridCheckpoint(path)
+        second = GridCheckpoint(path)
+        first.record("a", make_result(workload="C-R"))
+        second.record("b", make_result(workload="E-I"))
+        merged = GridCheckpoint(path).load()
+        assert set(merged) == {"a", "b"}
+
+    def test_no_temp_droppings(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        checkpoint = GridCheckpoint(path)
+        for index in range(5):
+            checkpoint.record(f"d{index}", make_result())
+        leftovers = [
+            name for name in os.listdir(tmp_path) if name != "grid.ckpt"
+        ]
+        assert leftovers == []
+
+    def test_journal_is_always_valid_json(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        checkpoint = GridCheckpoint(path)
+        for index in range(3):
+            checkpoint.record(f"d{index}", make_result())
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            assert payload["format"] == GridCheckpoint.FORMAT
+            assert len(payload["cells"]) == index + 1
+
+
+class TestResume:
+    WORKLOADS = ["C-Ca", "E-I"]
+
+    def test_interrupted_grid_resumes_byte_identical(self, tmp_path):
+        """Kill a grid midway (simulated by journalling only some
+        cells), resume it, and require the canonical serialisation to
+        match an uninterrupted run exactly."""
+        path = tmp_path / "grid.ckpt"
+
+        uninterrupted = Harness().run_grid(
+            [SimAlpha], self.WORKLOADS, checkpoint=GridCheckpoint(
+                tmp_path / "full.ckpt"
+            ),
+        )
+
+        # The "interrupted" journal holds only the first cell.
+        full = GridCheckpoint(tmp_path / "full.ckpt").load()
+        partial = GridCheckpoint(path)
+        digest, result = sorted(full.items())[0]
+        partial.record(digest, result)
+
+        resumed = Harness().run_grid(
+            [SimAlpha], self.WORKLOADS,
+            checkpoint=GridCheckpoint(path), resume=True,
+        )
+        assert resumed.to_json(canonical=True) == \
+            uninterrupted.to_json(canonical=True)
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        harness = Harness()
+        harness.run_grid(
+            [SimAlpha], self.WORKLOADS, checkpoint=GridCheckpoint(path),
+        )
+
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        resumed_harness = Harness(metrics=registry)
+        grid = resumed_harness.run_grid(
+            [SimAlpha], self.WORKLOADS,
+            checkpoint=GridCheckpoint(path), resume=True,
+        )
+        assert sorted(grid.workloads()) == sorted(self.WORKLOADS)
+        snap = registry.snapshot()
+        assert snap["counters"]["exec.checkpoint.resumed"] == \
+            len(self.WORKLOADS)
+
+    def test_without_resume_flag_cells_recompute(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        harness = Harness()
+        harness.run_grid(
+            [SimAlpha], ["C-Ca"], checkpoint=GridCheckpoint(path),
+        )
+
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        grid = Harness(metrics=registry).run_grid(
+            [SimAlpha], ["C-Ca"], checkpoint=GridCheckpoint(path),
+        )
+        assert grid.workloads() == ["C-Ca"]
+        snap = registry.snapshot()
+        assert "exec.checkpoint.resumed" not in snap["counters"]
+
+    def test_harness_level_checkpoint_defaults(self, tmp_path):
+        """The CLI configures checkpoint/resume on the harness; grids
+        run without explicit arguments must still journal."""
+        path = tmp_path / "grid.ckpt"
+        harness = Harness(checkpoint=str(path), resume=True)
+        harness.run_grid([SimAlpha], ["C-Ca"])
+        assert len(GridCheckpoint(path).load()) == 1

@@ -1,0 +1,128 @@
+"""CLI integrity surface: flags, exit codes, and the integrity
+subcommand."""
+
+import pytest
+
+from repro.integrity.sanitizers import IntegrityError, InvariantViolation
+from repro.validation.cli import main
+from repro.validation.harness import CellFailure
+
+
+def fake_experiment(kind="invariant"):
+    """An experiment stub that leaves one failed cell on the harness."""
+
+    def runner(quick, engine):
+        engine["harness"].failed_cells.append(CellFailure(
+            simulator="sim-alpha", workload="M-M", kind=kind,
+            message="ipc_bound: IPC 50 outside (0, 11]",
+        ))
+        return "stub table"
+
+    return runner
+
+
+def strict_experiment(quick, engine):
+    raise IntegrityError(InvariantViolation(
+        invariant="cycle_monotonicity",
+        message="retire went backwards",
+        simulator="sim-alpha", workload="M-M",
+    ))
+
+
+class TestExitCodes:
+    def test_failed_cells_exit_3(self, monkeypatch, capsys):
+        import repro.validation.cli as cli
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "table2", fake_experiment())
+        assert main(["table2", "--sanitize"]) == 3
+        err = capsys.readouterr().err
+        assert "quarantined" in err
+        assert "sim-alpha on M-M: invariant" in err
+
+    def test_strict_violation_exits_4(self, monkeypatch, capsys):
+        import repro.validation.cli as cli
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "table2", strict_experiment)
+        assert main(["table2", "--strict"]) == 4
+        err = capsys.readouterr().err
+        assert "cycle_monotonicity" in err
+
+    def test_clean_run_exits_0(self, capsys):
+        assert main(["table1"]) == 0
+
+
+class TestFlagValidation:
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--resume"])
+
+    def test_stuck_after_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--stuck-after", "0"])
+
+    def test_sanitize_flags_reach_the_harness(self, monkeypatch):
+        import repro.validation.cli as cli
+
+        seen = {}
+
+        def spy(quick, engine):
+            harness = engine["harness"]
+            seen["enabled"] = harness.sanitizers.enabled
+            seen["strict"] = harness.sanitizers.strict
+            seen["watchdog_s"] = harness.watchdog_s
+            seen["checkpoint"] = harness.checkpoint
+            seen["resume"] = harness.resume
+            return "stub"
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "table2", spy)
+        assert main([
+            "table2", "--strict", "--stuck-after", "45",
+            "--checkpoint", "/tmp/j.ckpt", "--resume",
+        ]) == 0
+        assert seen == {
+            "enabled": True, "strict": True, "watchdog_s": 45.0,
+            "checkpoint": "/tmp/j.ckpt", "resume": True,
+        }
+
+    def test_default_harness_has_integrity_off(self, monkeypatch):
+        import repro.validation.cli as cli
+
+        seen = {}
+
+        def spy(quick, engine):
+            harness = engine["harness"]
+            seen["enabled"] = harness.sanitizers.enabled
+            seen["watchdog_s"] = harness.watchdog_s
+            return "stub"
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "table2", spy)
+        assert main(["table2"]) == 0
+        assert seen == {"enabled": False, "watchdog_s": None}
+
+
+class TestIntegritySubcommand:
+    def test_quick_matrix_runs_clean(self, capsys):
+        assert main(["integrity", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "all faults detected; control clean" in out
+        assert "maf_oversubscribe" in out
+
+    def test_detection_failure_is_nonzero(self, monkeypatch, capsys):
+        from repro.integrity import faultinject
+        from repro.integrity.faultinject import Detection, DetectionMatrix
+
+        def missing_matrix(workload="M-M", **kwargs):
+            matrix = DetectionMatrix(workload=workload)
+            matrix.rows.append(Detection(
+                fault="control", description="", detected=False,
+            ))
+            matrix.rows.append(Detection(
+                fault="cycle_skew", description="", detected=False,
+            ))
+            return matrix
+
+        monkeypatch.setattr(
+            faultinject, "run_detection_matrix", missing_matrix
+        )
+        assert main(["integrity", "--quick"]) == 1
+        assert "SILENT CORRUPTIONS" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Fault-injection detection matrix: every injected corruption class
+must be caught through its designed channel, with a clean control.
+
+The in-process faults run everywhere (this is the tier-1 assertion of
+the robustness acceptance criteria); the pool faults — which kill and
+hang real worker processes — carry the ``fault_inject`` marker and run
+in the integrity-smoke CI job.
+"""
+
+import pytest
+
+from repro.integrity.faultinject import (
+    FAULTS,
+    FaultedAlpha,
+    run_detection_matrix,
+)
+
+
+class TestRegistry:
+    def test_at_least_six_fault_classes(self):
+        in_process = [s for s in FAULTS.values() if not s.needs_pool]
+        assert len(in_process) >= 6
+
+    def test_every_fault_names_a_detection_channel(self):
+        for spec in FAULTS.values():
+            assert spec.expected, spec.name
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultedAlpha("no_such_fault")
+        assert "no_such_fault" in str(excinfo.value)
+
+
+class TestInProcessMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_detection_matrix(include_pool_faults=False)
+
+    def test_control_run_is_clean(self, matrix):
+        [control] = [r for r in matrix.rows if r.fault == "control"]
+        assert not control.detected
+        assert control.channels == []
+
+    def test_no_silent_corruptions(self, matrix):
+        assert matrix.silent_corruptions() == []
+
+    def test_every_fault_caught_via_expected_channel(self, matrix):
+        assert matrix.all_caught
+        for row in matrix.rows:
+            if row.fault == "control" or row.skipped:
+                continue
+            expected = FAULTS[row.fault].expected
+            assert any(c in expected for c in row.channels), (
+                row.fault, row.channels, expected
+            )
+
+    def test_render_mentions_every_fault(self, matrix):
+        rendered = matrix.render()
+        for row in matrix.rows:
+            assert row.fault in rendered
+
+
+@pytest.mark.fault_inject
+class TestPoolMatrix:
+    """Worker-killing faults: the pool must diagnose a hard-killed and
+    a hung worker rather than losing the grid."""
+
+    def test_pool_faults_detected(self):
+        matrix = run_detection_matrix(
+            faults=["worker_crash", "worker_hang"],
+            include_pool_faults=True,
+        )
+        skipped = [r.fault for r in matrix.rows if r.skipped]
+        if skipped:
+            pytest.skip(f"pool unavailable here: {skipped}")
+        assert matrix.all_caught
+        channels = {
+            r.fault: r.channels
+            for r in matrix.rows if r.fault != "control"
+        }
+        assert channels["worker_crash"] == ["crash"]
+        assert channels["worker_hang"] == ["timeout"]

@@ -1,0 +1,75 @@
+"""Watchdog and stuck-simulation detection."""
+
+import pytest
+
+from repro.integrity.watchdog import (
+    PORT_SCAN_LIMIT,
+    SimulationStuck,
+    Watchdog,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestWatchdog:
+    def test_progress_resets_the_clock(self):
+        clock = FakeClock()
+        watchdog = Watchdog(stall_s=10.0, clock=clock)
+        for step in range(100):
+            clock.now = step * 9.0  # always inside the budget
+            watchdog.beat(step * 8192, float(step))
+
+    def test_no_progress_raises(self):
+        clock = FakeClock()
+        watchdog = Watchdog(stall_s=10.0, clock=clock)
+        watchdog.beat(8192, 100.0)
+        clock.now = 10.0
+        with pytest.raises(SimulationStuck) as excinfo:
+            watchdog.beat(16384, 100.0)  # retire frontier frozen
+        error = excinfo.value
+        assert error.instructions == 16384
+        assert error.retire == 100.0
+        assert "stuck" in str(error)
+
+    def test_retire_regression_is_not_progress(self):
+        clock = FakeClock()
+        watchdog = Watchdog(stall_s=5.0, clock=clock)
+        watchdog.beat(1, 100.0)
+        clock.now = 6.0
+        with pytest.raises(SimulationStuck):
+            watchdog.beat(2, 99.0)
+
+    def test_within_budget_is_quiet(self):
+        clock = FakeClock()
+        watchdog = Watchdog(stall_s=10.0, clock=clock)
+        watchdog.beat(1, 100.0)
+        clock.now = 9.9
+        watchdog.beat(2, 100.0)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Watchdog(stall_s=0.0)
+
+
+class TestPortScanBound:
+    def test_limit_is_generous(self):
+        """The bound must sit far above any real arbitration scan — a
+        port conflict resolves within a few cycles of the width."""
+        assert PORT_SCAN_LIMIT >= 100_000
+
+    def test_retire_livelock_is_diagnosed(self, workloads):
+        """A machine that can never retire (width 0) must raise
+        SimulationStuck with the frontier state, not loop forever."""
+        from repro.integrity.faultinject import FaultedAlpha
+
+        trace = workloads.trace("C-R")
+        simulator = FaultedAlpha("retire_livelock")
+        with pytest.raises(SimulationStuck) as excinfo:
+            simulator.run_trace(trace, "C-R")
+        assert "retire" in str(excinfo.value)

@@ -1,0 +1,118 @@
+"""MAF occupancy accounting: the regression suite locking in the PR 2
+``present_miss`` fix and the integrity-layer guards around it."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.mshr import MafConfig, MissAddressFile
+
+
+class TestOccupancyAt:
+    def test_counts_only_active_windows(self):
+        maf = MissAddressFile()
+        maf.record_fill(0x1000, 100.0, start=10.0)
+        maf.record_fill(0x2000, 150.0, start=50.0)
+        assert maf.occupancy_at(0.0) == 0    # nothing issued yet
+        assert maf.occupancy_at(10.0) == 1   # first active
+        assert maf.occupancy_at(60.0) == 2   # both active
+        assert maf.occupancy_at(120.0) == 1  # first filled
+        assert maf.occupancy_at(150.0) == 0  # fill boundary is exclusive
+
+    def test_fills_without_starts_are_not_counted(self):
+        maf = MissAddressFile()
+        maf.record_fill(0x1000, 100.0)
+        assert maf.occupancy_at(50.0) == 0
+
+    def test_backdated_full_stall_does_not_overcount(self):
+        """A stalled allocation backdates its start to when a slot
+        frees; the *physical* occupancy must never exceed capacity even
+        while the file tracks entries+1 fills."""
+        maf = MissAddressFile(MafConfig(entries=2))
+        maf.record_fill(0x1000, 50.0, start=0.0)
+        maf.record_fill(0x2000, 80.0, start=0.0)
+        outcome = maf.present_miss(10.0, 0x3000)
+        assert outcome.stalled and outcome.start_time == 50.0
+        maf.record_fill(0x3000, 130.0, start=outcome.start_time)
+        assert len(maf._inflight) == 3  # tracked fills exceed entries...
+        for when in (0.0, 10.0, 49.0, 50.0, 79.0, 80.0, 129.0):
+            assert maf.occupancy_at(when) <= 2  # ...occupancy never does
+        assert maf.peak_occupancy <= 2
+
+
+class TestPeakOccupancy:
+    def test_respecting_start_time_stays_within_capacity(self):
+        maf = MissAddressFile(MafConfig(entries=2))
+        now = 0.0
+        for index in range(10):
+            block = 0x40 * (index + 1)
+            outcome = maf.present_miss(now, block)
+            start = max(now, outcome.start_time)
+            maf.record_fill(block, start + 50.0, start=start)
+            now = start + 1.0
+        assert maf.peak_occupancy <= 2
+
+    def test_oversubscription_is_visible_in_the_peak(self):
+        """The PR 2 bug shape: allocations admitted while full."""
+        maf = MissAddressFile(MafConfig(entries=2))
+        for index in range(5):
+            maf.record_fill(0x40 * (index + 1), 100.0, start=0.0)
+        assert maf.peak_occupancy == 5
+
+    @given(st.lists(st.tuples(st.floats(0, 1e6), st.integers(0, 63)),
+                    max_size=200))
+    def test_peak_never_exceeds_entries_for_honest_callers(self, events):
+        maf = MissAddressFile(MafConfig(entries=8))
+        time = 0.0
+        for delta, block_index in events:
+            time += abs(delta) % 100
+            block = block_index * 64
+            outcome = maf.present_miss(time, block)
+            if outcome.combined_fill is None:
+                start = max(time, outcome.start_time)
+                maf.record_fill(block, start + 50, start=start)
+        assert maf.peak_occupancy <= 8
+
+
+class TestRecordFillGuards:
+    def test_nan_fill_time_rejected(self):
+        maf = MissAddressFile()
+        with pytest.raises(ValueError) as excinfo:
+            maf.record_fill(0x1000, math.nan)
+        assert "corrupt" in str(excinfo.value)
+
+    def test_infinite_fill_time_rejected(self):
+        maf = MissAddressFile()
+        with pytest.raises(ValueError):
+            maf.record_fill(0x1000, math.inf)
+
+    def test_nan_start_rejected(self):
+        maf = MissAddressFile()
+        with pytest.raises(ValueError):
+            maf.record_fill(0x1000, 100.0, start=math.nan)
+
+    def test_fill_before_start_rejected(self):
+        maf = MissAddressFile()
+        with pytest.raises(ValueError):
+            maf.record_fill(0x1000, 10.0, start=20.0)
+
+    def test_rejected_fill_leaves_no_entry(self):
+        maf = MissAddressFile()
+        with pytest.raises(ValueError):
+            maf.record_fill(0x1000, math.nan)
+        assert maf.occupancy_at(0.0) == 0
+        assert maf.outstanding(0.0) == 0
+
+
+class TestExpiryBookkeeping:
+    def test_pruning_keeps_maps_in_sync(self):
+        maf = MissAddressFile(MafConfig(entries=2))
+        # Enough stale fills to trigger the opportunistic pruning.
+        for index in range(12):
+            maf.record_fill(0x40 * (index + 1), float(index + 1),
+                            start=float(index))
+        maf.present_miss(1e9, 0x9999)  # everything has long filled
+        assert len(maf._inflight) <= 2
+        assert set(maf._starts) <= set(maf._inflight)
+        assert maf.outstanding(1e9) >= 0

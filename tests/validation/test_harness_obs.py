@@ -88,7 +88,7 @@ class TestObserverSignatureCache:
             def run_trace(self, trace, workload):
                 return make_result(self.name, workload)
 
-        harness_mod._OBSERVER_SIGNATURE_CACHE.clear()
+        harness_mod._SIGNATURE_CACHE.clear()
         inspected = []
         real_signature = inspect.signature
 
