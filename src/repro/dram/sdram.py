@@ -27,6 +27,9 @@ class DramStats:
     row_hits: int = 0
     row_misses: int = 0
     bank_conflicts: int = 0
+    #: Precharge commands issued: one per closed-page access, one per
+    #: open-page row miss that found another row active.
+    precharges: int = 0
 
     @property
     def row_hit_rate(self) -> float:
@@ -79,6 +82,8 @@ class Sdram:
                 latency = cfg.cas_cycles
             else:
                 self.stats.row_misses += 1
+                if open_row is not None:
+                    self.stats.precharges += 1
                 latency = (
                     (cfg.precharge_cycles if open_row is not None else 0)
                     + cfg.ras_cycles
@@ -89,6 +94,7 @@ class Sdram:
             self._bank_free[bank] = ready
         else:  # closed page: activate + read every time, precharge after
             self.stats.row_misses += 1
+            self.stats.precharges += 1
             latency = cfg.ras_cycles + cfg.cas_cycles
             ready = start + latency * scale
             self._open_row[bank] = None

@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import signal
 import time
 import traceback
 from collections import deque
@@ -42,7 +43,10 @@ from repro.integrity.sanitizers import (
     InvariantViolation,
     Sanitizers,
 )
-from repro.integrity.watchdog import SimulationStuck
+from repro.integrity.watchdog import (
+    SimulationStuck,
+    install_escalation_handler,
+)
 from repro.obs.observer import Instrumentation
 from repro.obs.provenance import _package_version, config_hash
 from repro.obs.registry import MetricsRegistry
@@ -133,9 +137,11 @@ def _worker_main(conn, factory, workload, workload_set, instrumentation,
     * ``"strict"`` — a violation under a strict bundle; the parent
       re-raises :class:`IntegrityError` and aborts the grid;
     * ``"stuck"`` — the watchdog diagnosed a livelock inside the
-      worker; message + state snapshot follow;
+      worker (or the parent escalated a wall-clock timeout over
+      SIGUSR1); message + state snapshot follow;
     * ``"error"`` — any other exception; formatted traceback follows.
     """
+    install_escalation_handler()
     try:
         harness = Harness(
             workload_set, sanitizers=sanitizers, watchdog_s=watchdog_s
@@ -151,6 +157,7 @@ def _worker_main(conn, factory, workload, workload_set, instrumentation,
                 conn.send(("quarantined", [exc.violation.to_dict()]))
         except SimulationStuck as exc:
             conn.send(("stuck", str(exc), {
+                "detail": exc.detail,
                 "instructions": exc.instructions, "retire": exc.retire,
             }))
         else:
@@ -188,7 +195,13 @@ class ExperimentEngine:
     timeout:
         Per-cell wall-clock budget in seconds; a worker past it is
         terminated (``kind="timeout"``).  Enforced only when cells run
-        in worker processes (``jobs > 1``).
+        in worker processes (``jobs > 1``).  Before terminating, the
+        parent escalates SIGUSR1 and grants ``escalation_grace_s`` for
+        the worker to dump a :class:`SimulationStuck` diagnosis, which
+        lands in the failure's ``snapshot``.
+    escalation_grace_s:
+        Seconds a wall-clock-expired worker gets, post-SIGUSR1, to ship
+        its stuck snapshot before being terminated anyway.
     retries:
         Extra attempts granted to a failing cell before it becomes a
         :class:`CellFailure`.
@@ -234,10 +247,12 @@ class ExperimentEngine:
         checkpoint=None,
         resume: bool = False,
         backoff: Optional[RetryBackoff] = None,
+        escalation_grace_s: float = 1.0,
     ):
         self.workloads = workloads or WorkloadSet()
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
+        self.escalation_grace_s = max(0.0, float(escalation_grace_s))
         self.retries = max(0, int(retries))
         self.metrics = metrics if metrics is not None else (
             MetricsRegistry.disabled()
@@ -516,6 +531,34 @@ class ExperimentEngine:
                         )
                     break
 
+    def _escalate_timeout(
+        self, attempt: _Attempt
+    ) -> Optional[Tuple[str, str, Dict]]:
+        """Ask a wall-clock-expired worker for a diagnosis before the
+        kill: forward SIGUSR1 (the worker's escalation handler raises
+        :class:`SimulationStuck` wherever it is hung) and grant
+        ``escalation_grace_s`` for the resulting ``("stuck", ...)``
+        dump to arrive on the pipe.  Returns that dump, or ``None`` if
+        the worker could not be signalled or did not answer in time —
+        either way the caller still terminates it."""
+        if not hasattr(signal, "SIGUSR1"):  # pragma: no cover - non-POSIX
+            return None
+        try:
+            os.kill(attempt.process.pid, signal.SIGUSR1)
+        except (ProcessLookupError, OSError):
+            return None
+        try:
+            if not attempt.conn.poll(self.escalation_grace_s):
+                return None
+            dumped = attempt.conn.recv()
+        except (EOFError, OSError):
+            return None
+        if (isinstance(dumped, tuple) and len(dumped) == 3
+                and dumped[0] == "stuck"):
+            self.metrics.counter("exec.cells.escalated").inc()
+            return dumped
+        return None
+
     def _run_pool(self, to_run, results, failures,
                   instrumentation, progress) -> None:
         """Process-pool backend: up to ``jobs`` forked workers."""
@@ -546,7 +589,8 @@ class ExperimentEngine:
             self.metrics.counter("exec.cells.launched").inc()
 
         def settle(attempt: _Attempt, kind: str, message: str,
-                   elapsed: float) -> None:
+                   elapsed: float,
+                   snapshot: Optional[Dict] = None) -> None:
             cell = attempt.cell
             if attempt.attempt <= self.retries:
                 self.metrics.counter("exec.cells.retried").inc()
@@ -562,6 +606,7 @@ class ExperimentEngine:
                 message=message,
                 attempts=attempt.attempt,
                 elapsed_s=elapsed,
+                snapshot=snapshot,
             )
             self.metrics.counter("exec.cells.failed").inc()
 
@@ -657,14 +702,25 @@ class ExperimentEngine:
                         if now - attempt.started < self.timeout:
                             continue
                         live.pop(conn)
+                        dumped = self._escalate_timeout(attempt)
                         attempt.process.terminate()
                         attempt.process.join()
                         conn.close()
-                        settle(
-                            attempt, "timeout",
+                        message = (
                             f"cell exceeded its {self.timeout:g}s "
-                            f"timeout and was terminated",
-                            now - attempt.started,
+                            f"timeout and was terminated"
+                        )
+                        snapshot = None
+                        if dumped is not None:
+                            message += (
+                                f"; worker dumped a diagnosis on "
+                                f"SIGUSR1: {dumped[1]}"
+                            )
+                            snapshot = dumped[2]
+                        settle(
+                            attempt, "timeout", message,
+                            time.perf_counter() - attempt.started,
+                            snapshot,
                         )
         finally:
             for attempt in live.values():

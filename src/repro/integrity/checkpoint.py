@@ -19,6 +19,15 @@ The journal always *merges* on flush — existing entries on disk are
 loaded first even when not resuming — so two interleaved runs over
 different cells of the same grid extend one journal instead of
 clobbering each other.
+
+Merge-on-flush has a cost: a journal shared across reconfigurations
+grows monotonically, accumulating entries whose digests no grid will
+ever ask for again.  :meth:`GridCheckpoint.gc` prunes by entry age
+and/or a live-digest set; the v2 journal format stamps each entry with
+its record time to make the age pass possible.  v1 journals still
+load (their entries are treated as recorded at load time, so an age
+pass never silently destroys pre-timestamp work) and are upgraded to
+v2 on the next flush.
 """
 
 from __future__ import annotations
@@ -26,7 +35,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+import time
+from typing import Dict, Iterable, List, Optional
 
 from repro.result import SimResult
 
@@ -48,12 +58,17 @@ class GridCheckpoint:
         cheap next to a timing run; raise it for very fast cells.
     """
 
-    FORMAT = "repro-grid-checkpoint/1"
+    FORMAT = "repro-grid-checkpoint/2"
+    #: The pre-GC format: plain digest -> result cells, no timestamps.
+    FORMAT_V1 = "repro-grid-checkpoint/1"
 
     def __init__(self, path, *, every: int = 1):
         self.path = os.fspath(path)
         self.every = max(1, int(every))
         self._entries: Dict[str, SimResult] = {}
+        #: Unix timestamp each digest was recorded (or first seen, for
+        #: entries loaded from a v1 journal).
+        self._recorded: Dict[str, float] = {}
         self._dirty = 0
         self._loaded = False
 
@@ -77,14 +92,24 @@ class GridCheckpoint:
             raise ValueError(
                 f"corrupt grid checkpoint {self.path!r}: {exc}"
             ) from exc
-        if payload.get("format") != self.FORMAT:
+        fmt = payload.get("format")
+        if fmt not in (self.FORMAT, self.FORMAT_V1):
             raise ValueError(
                 f"not a grid checkpoint: {self.path!r} has format="
-                f"{payload.get('format')!r} (expected {self.FORMAT!r})"
+                f"{fmt!r} (expected {self.FORMAT!r})"
             )
+        now = time.time()
         for digest, entry in payload.get("cells", {}).items():
             # In-memory entries are newer than what was on disk.
-            self._entries.setdefault(digest, SimResult.from_dict(entry))
+            if digest in self._entries:
+                continue
+            if fmt == self.FORMAT_V1:
+                result, recorded = entry, now
+            else:
+                result = entry["result"]
+                recorded = float(entry.get("recorded", now))
+            self._entries[digest] = SimResult.from_dict(result)
+            self._recorded[digest] = recorded
         self._loaded = True
         return dict(self._entries)
 
@@ -101,6 +126,7 @@ class GridCheckpoint:
     def record(self, digest: str, result: SimResult) -> None:
         """Journal one completed cell; flushes every ``every`` records."""
         self._entries[digest] = result
+        self._recorded[digest] = time.time()
         self._dirty += 1
         if self._dirty >= self.every:
             self.flush()
@@ -122,7 +148,10 @@ class GridCheckpoint:
         payload = {
             "format": self.FORMAT,
             "cells": {
-                digest: result.to_dict()
+                digest: {
+                    "recorded": self._recorded.get(digest, 0.0),
+                    "result": result.to_dict(),
+                }
                 for digest, result in sorted(self._entries.items())
             },
         }
@@ -141,4 +170,47 @@ class GridCheckpoint:
             except OSError:
                 pass
             raise
+
         self._dirty = 0
+
+    # -- garbage collection ------------------------------------------------
+
+    def gc(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        live: Optional[Iterable[str]] = None,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Prune journal entries and rewrite the file; returns the
+        pruned digests (sorted).
+
+        ``max_age_s`` drops entries recorded longer ago than that
+        (v1-era entries count as recorded when first loaded, so an
+        age pass cannot destroy work that predates timestamps);
+        ``live`` drops entries whose digest is not in the given set —
+        pass the digests of the grid you still care about to shed
+        every stale reconfiguration at once.  Passing neither is a
+        no-op beyond a (possibly upgrading) rewrite of the journal.
+        """
+        if not self._loaded:
+            self.load()
+        cutoff = None
+        if max_age_s is not None:
+            cutoff = (time.time() if now is None else now) - max_age_s
+        keep = set(live) if live is not None else None
+
+        pruned = []
+        for digest in list(self._entries):
+            recorded = self._recorded.get(digest, 0.0)
+            stale = cutoff is not None and recorded < cutoff
+            dead = keep is not None and digest not in keep
+            if stale or dead:
+                del self._entries[digest]
+                self._recorded.pop(digest, None)
+                pruned.append(digest)
+        # Rewrite without re-merging the pruned entries back in: the
+        # whole point is that they leave the file.
+        self._loaded = True
+        self.flush()
+        return sorted(pruned)

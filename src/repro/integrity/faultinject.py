@@ -5,20 +5,26 @@ This module deliberately perturbs running simulators — one fault class
 at a time — and records how (and whether) each fault was caught,
 producing a **detection matrix**:
 
-========================  ==========================================
-fault class               expected detection channel
-========================  ==========================================
-``maf_oversubscribe``     ``invariant:maf_occupancy`` (the PR 2 bug)
-``cycle_skew``            ``invariant:cycle_monotonicity``
-``nan_dram_latency``      MAF fill guard / ``finite_latency``
-``trace_truncation``      ``invariant:instruction_conservation``
-``ipc_overflow``          ``invariant:ipc_bound``
-``cpi_stack_leak``        ``invariant:cpi_stack_sum``
-``event_count_corruption``  ``invariant:cache_conservation``
-``retire_livelock``       ``stuck`` (bounded retirement port scan)
-``worker_crash``          ``crash`` (engine fault isolation)
-``worker_hang``           ``timeout`` (engine per-cell budget)
-========================  ==========================================
+==============================  ==========================================
+fault class                     expected detection channel
+==============================  ==========================================
+``maf_oversubscribe``           ``invariant:maf_occupancy`` (the PR 2 bug)
+``shared_maf_oversubscribe``    ``invariant:maf_occupancy`` (native
+                                machine's single MAF: three names, one
+                                object, combined i/d/L2 traffic)
+``cycle_skew``                  ``invariant:cycle_monotonicity``
+``nan_dram_latency``            MAF fill guard / ``finite_latency``
+``trace_truncation``            ``invariant:instruction_conservation``
+``ipc_overflow``                ``invariant:ipc_bound``
+``cpi_stack_leak``              ``invariant:cpi_stack_sum``
+``event_count_corruption``      ``invariant:cache_conservation``
+``dram_row_overcount``          ``invariant:dram_row_accounting``
+``dram_conflict_overflow``      ``invariant:dram_bank_conservation``
+``dram_phantom_row_hit``        ``invariant:dram_page_policy``
+``retire_livelock``             ``stuck`` (bounded retirement port scan)
+``worker_crash``                ``crash`` (engine fault isolation)
+``worker_hang``                 ``timeout`` (engine per-cell budget)
+==============================  ==========================================
 
 Every fault runs through the *production* cell path — the
 :class:`~repro.exec.engine.ExperimentEngine` with sanitizers armed —
@@ -28,10 +34,23 @@ do not cry wolf.  A fault whose result lands in the grid as a normal
 cell is a **silent corruption** — the failure mode this whole
 subsystem exists to rule out; :attr:`DetectionMatrix.all_caught`
 asserts there are none.
+
+Single-workload detection (:func:`run_detection_matrix`) proves each
+checker *can* fire; it says nothing about whether the workload was the
+one built to stress the faulted subsystem.  The **workload sweep**
+(:func:`run_detection_sweep`) pairs every fault class with the
+microbenchmark families from :data:`repro.workloads.suite.
+WORKLOAD_FAMILIES` that stress its subsystem — control faults against
+branch-heavy micros, memory faults against pointer chases, DRAM faults
+against the row-locality kernels — and demands detection on **every**
+(fault, stressing-workload) cell, so an invariant that only happens to
+fire on one lucky workload cannot masquerade as coverage.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import math
 import os
 import time
@@ -42,7 +61,7 @@ from repro.core.config import MachineConfig
 from repro.core.pipeline import AlphaPipeline
 from repro.integrity.sanitizers import Sanitizers
 from repro.obs.observer import Instrumentation
-from repro.workloads.suite import WorkloadSet
+from repro.workloads.suite import WORKLOAD_FAMILIES, WorkloadSet
 
 __all__ = [
     "FAULTS",
@@ -51,6 +70,7 @@ __all__ = [
     "Detection",
     "DetectionMatrix",
     "run_detection_matrix",
+    "run_detection_sweep",
 ]
 
 
@@ -66,6 +86,10 @@ class FaultSpec:
     #: detected; matching one of these additionally counts as caught
     #: by the intended mechanism.
     expected: Tuple[str, ...]
+    #: Workload families (keys of :data:`WORKLOAD_FAMILIES`) built to
+    #: stress the faulted subsystem; the sweep runs the fault on every
+    #: member of every listed family and requires detection on each.
+    families: Tuple[str, ...] = ("memory",)
     #: Fault only manifests under the process pool (crash/hang).
     needs_pool: bool = False
 
@@ -79,57 +103,96 @@ FAULTS: Dict[str, FaultSpec] = {
             "concurrently active than it has entries (the PR 2 "
             "present_miss bug)",
             ("invariant:maf_occupancy",),
+            families=("memory",),
+        ),
+        FaultSpec(
+            "shared_maf_oversubscribe",
+            "same admission bug on the native machine's single shared "
+            "MAF (maf_i, maf_d and maf_l2: three names, one object) "
+            "under combined i-stream/d-stream/L2 traffic",
+            ("invariant:maf_occupancy",),
+            families=("memory", "dram"),
         ),
         FaultSpec(
             "cycle_skew",
             "skew every 997th reported retire time backwards by 10k "
             "cycles (a corrupted cycle counter)",
             ("invariant:cycle_monotonicity",),
+            families=("control",),
         ),
         FaultSpec(
             "nan_dram_latency",
             "make the SDRAM model return NaN access times",
             ("exception", "invariant:finite_latency"),
+            families=("memory", "dram"),
         ),
         FaultSpec(
             "trace_truncation",
             "silently drop the second half of the input trace",
             ("invariant:instruction_conservation",),
+            families=("control", "execute"),
         ),
         FaultSpec(
             "ipc_overflow",
             "divide the measured cycle count by 1000 (IPC far above "
             "the retire width)",
             ("invariant:ipc_bound",),
+            families=("execute",),
         ),
         FaultSpec(
             "cpi_stack_leak",
             "leak 0.5 CPI into one stack component so the stack no "
             "longer sums to the CPI",
             ("invariant:cpi_stack_sum",),
+            families=("control", "execute"),
         ),
         FaultSpec(
             "event_count_corruption",
             "inflate the architectural D-cache miss counter past what "
             "the cache itself recorded",
             ("invariant:cache_conservation",),
+            families=("memory",),
+        ),
+        FaultSpec(
+            "dram_row_overcount",
+            "double-count SDRAM row-buffer hits so hits + misses no "
+            "longer partition the accesses",
+            ("invariant:dram_row_accounting",),
+            families=("dram",),
+        ),
+        FaultSpec(
+            "dram_conflict_overflow",
+            "charge two phantom bank conflicts per SDRAM access, "
+            "pushing the conflict count past the access count",
+            ("invariant:dram_bank_conservation",),
+            families=("dram",),
+        ),
+        FaultSpec(
+            "dram_phantom_row_hit",
+            "score row-buffer hits under a closed-page policy (whose "
+            "banks auto-precharge and can never hit)",
+            ("invariant:dram_page_policy",),
+            families=("dram",),
         ),
         FaultSpec(
             "retire_livelock",
             "zero the retire width so retirement can never find a "
             "free port (no-retirement livelock)",
             ("stuck",),
+            families=("control",),
         ),
         FaultSpec(
             "worker_crash",
             "hard-kill the worker process (os._exit) mid-trace",
             ("crash",),
+            families=("execute",),
             needs_pool=True,
         ),
         FaultSpec(
             "worker_hang",
             "stop consuming the trace and sleep forever mid-cell",
             ("timeout",),
+            families=("execute",),
             needs_pool=True,
         ),
     )
@@ -195,7 +258,8 @@ class FaultedAlpha:
 
     Drop-in simulator (``name``, ``config``, ``run_trace``) whose runs
     carry the fault named at construction; built exclusively by
-    :func:`run_detection_matrix` and the integrity tests.
+    :func:`run_detection_matrix`/:func:`run_detection_sweep` and the
+    integrity tests.
     """
 
     def __init__(self, fault: str, config: Optional[MachineConfig] = None):
@@ -206,9 +270,22 @@ class FaultedAlpha:
         self.fault = fault
         config = config or MachineConfig(name=f"faulted-{fault}")
         if fault == "retire_livelock":
-            import dataclasses
-
             config = dataclasses.replace(config, retire_width=0)
+        elif fault == "shared_maf_oversubscribe":
+            # The native machine's single MAF: resolved() propagates
+            # the flag so maf_i, maf_d and maf_l2 become one object.
+            config = dataclasses.replace(
+                config,
+                native=dataclasses.replace(config.native, shared_maf=True),
+            )
+        elif fault == "dram_phantom_row_hit":
+            config = dataclasses.replace(
+                config,
+                memory=dataclasses.replace(
+                    config.memory,
+                    dram=config.memory.dram.with_policy("closed"),
+                ),
+            )
         self.config = config
 
     @property
@@ -225,14 +302,17 @@ class FaultedAlpha:
                 trace, "crash" if fault == "worker_crash" else "hang"
             )
         pipeline = AlphaPipeline(self.config)
-        if fault == "maf_oversubscribe":
+        if fault in ("maf_oversubscribe", "shared_maf_oversubscribe"):
             # Re-introduce the PR 2 present_miss bug: the file admits
             # every miss immediately, never stalling when full, so
             # under miss pressure more fills are concurrently active
             # than the file has entries.  The L2 MAF is the target
             # (only DRAM-latency fills overlap enough to oversubscribe)
             # and is shrunk to two entries because the pipeline's own
-            # issue limits keep M-M below eight concurrent misses.
+            # issue limits keep the micros below eight concurrent
+            # misses.  Under the shared-MAF native config maf_l2 *is*
+            # maf_i and maf_d, so the bug corrupts the one file the
+            # whole hierarchy shares.
             from repro.memory.mshr import MafConfig, MafOutcome
 
             maf = pipeline.hierarchy.maf_l2
@@ -250,6 +330,29 @@ class FaultedAlpha:
             pipeline.hierarchy.dram.access = (
                 lambda time, paddr: math.nan
             )
+        elif fault in (
+            "dram_row_overcount",
+            "dram_conflict_overflow",
+            "dram_phantom_row_hit",
+        ):
+            dram = pipeline.hierarchy.dram
+            real_access = dram.access
+
+            def _corrupting_access(
+                now, paddr, _dram=dram, _real=real_access, _fault=fault
+            ):
+                ready = _real(now, paddr)
+                stats = _dram.stats
+                if _fault == "dram_row_overcount":
+                    stats.row_hits += 1
+                elif _fault == "dram_conflict_overflow":
+                    stats.bank_conflicts += 2
+                else:  # phantom hit: rebook this miss, partition intact
+                    stats.row_hits += 1
+                    stats.row_misses -= 1
+                return ready
+
+            dram.access = _corrupting_access
         elif fault == "cycle_skew" and observer is not None:
             observer = _SkewObserver(observer)
         result = pipeline.run_trace(
@@ -267,7 +370,7 @@ class FaultedAlpha:
 
 @dataclass
 class Detection:
-    """One matrix row: how a fault class fared."""
+    """One matrix cell: how a fault class fared on one workload."""
 
     fault: str
     description: str
@@ -280,47 +383,71 @@ class Detection:
     expected_channel: bool = False
     detail: str = ""
     skipped: str = ""
+    #: The workload this cell ran, and the family that paired it with
+    #: the fault (empty for control rows and skipped faults).
+    workload: str = ""
+    family: str = ""
 
     def to_dict(self) -> Dict:
-        import dataclasses
-
         return dataclasses.asdict(self)
 
 
 @dataclass
 class DetectionMatrix:
-    """The full fault-injection verdict."""
+    """The full fault-injection verdict (one or many workloads)."""
 
     workload: str
     rows: List[Detection] = field(default_factory=list)
 
     @property
     def all_caught(self) -> bool:
-        """True iff every (non-skipped) fault was detected through its
-        designed channel and the control run stayed clean — i.e. zero
-        silent corruptions and zero false alarms."""
+        """True iff every (fault, workload) cell detected its fault,
+        every fault was caught through its designed channel on at
+        least one cell, and every control cell stayed clean — i.e.
+        zero silent corruptions and zero false alarms."""
+        via_design: Dict[str, bool] = {}
         for row in self.rows:
             if row.skipped:
                 continue
             if row.fault == "control":
                 if row.detected:  # a false alarm
                     return False
-            elif not (row.detected and row.expected_channel):
+                continue
+            if not row.detected:
                 return False
-        return True
+            via_design[row.fault] = (
+                via_design.get(row.fault, False) or row.expected_channel
+            )
+        return all(via_design.values())
 
     def silent_corruptions(self) -> List[str]:
-        """Fault classes that produced a clean-looking grid cell."""
+        """Cells whose fault produced a clean-looking grid result
+        (``fault`` alone, or ``fault@workload`` in a sweep)."""
         return [
-            row.fault
+            row.fault + (f"@{row.workload}" if row.workload else "")
             for row in self.rows
             if row.fault != "control" and not row.skipped
             and not row.detected
         ]
 
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical for identical sweeps."""
+        payload = {
+            "workload": self.workload,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
     def render(self) -> str:
         """Fixed-width table for reports and the CLI."""
-        header = f"{'fault':<24} {'detected':<9} {'via':<34} note"
+        swept = any(row.workload for row in self.rows)
+        if swept:
+            header = (
+                f"{'fault':<26} {'workload':<9} {'family':<8} "
+                f"{'detected':<9} via"
+            )
+        else:
+            header = f"{'fault':<26} {'detected':<9} {'via':<34} note"
         lines = [header, "-" * len(header)]
         for row in self.rows:
             if row.skipped:
@@ -333,10 +460,16 @@ class DetectionMatrix:
                 via = ", ".join(row.channels) or "-"
                 if row.detected and not row.expected_channel:
                     status = "yes*"  # caught, but not by design channel
-            lines.append(
-                f"{row.fault:<24} {status:<9} {via:<34} "
-                f"{row.description}"
-            )
+            if swept:
+                lines.append(
+                    f"{row.fault:<26} {row.workload or '-':<9} "
+                    f"{row.family or '-':<8} {status:<9} {via}"
+                )
+            else:
+                lines.append(
+                    f"{row.fault:<26} {status:<9} {via:<34} "
+                    f"{row.description}"
+                )
         return "\n".join(lines)
 
 
@@ -349,34 +482,24 @@ def _channels_of(failure) -> List[str]:
     return [failure.kind]
 
 
-def run_detection_matrix(
-    workload: str = "M-M",
+def _run_cells(
+    matrix: DetectionMatrix,
+    fault_cells: "Dict[str, List[Tuple[str, str]]]",
+    control_workloads: Sequence[str],
     *,
-    workloads: Optional[WorkloadSet] = None,
-    faults: Optional[Sequence[str]] = None,
-    include_pool_faults: bool = True,
-    pool_timeout_s: float = 10.0,
-    window: int = 128,
-    watchdog_s: float = 30.0,
+    workloads: WorkloadSet,
+    include_pool_faults: bool,
+    pool_timeout_s: float,
+    window: int,
+    watchdog_s: float,
+    label_cells: bool,
 ) -> DetectionMatrix:
-    """Inject every fault class (plus a clean control) into sim-alpha
-    on ``workload`` and report how each was caught.
-
-    Every run goes through the execution engine with sanitizers armed
-    (non-strict, window ``window``) and instrumentation on, exactly as
-    a production grid would; pool faults (crash/hang) run under a
-    two-worker pool with a ``pool_timeout_s`` cell budget and are
-    skipped (not failed) where fork is unavailable.
-    """
+    """Run control cells plus every ``fault -> [(workload, family)]``
+    cell through the production engine, appending matrix rows."""
     from repro.core.simalpha import SimAlpha
     from repro.exec.engine import ExperimentEngine, RetryBackoff
 
-    workloads = workloads or WorkloadSet()
-    names = list(faults) if faults is not None else list(FAULTS)
-    matrix = DetectionMatrix(workload=workload)
-
-    def engine_for(spec: Optional[FaultSpec]) -> ExperimentEngine:
-        pool = spec is not None and spec.needs_pool
+    def engine_for(pool: bool) -> ExperimentEngine:
         return ExperimentEngine(
             workloads,
             jobs=2 if pool else 1,
@@ -387,30 +510,34 @@ def run_detection_matrix(
             watchdog_s=watchdog_s,
         )
 
-    # Control: the unfaulted simulator through the identical path.
-    control_engine = engine_for(None)
-    control_grid = control_engine.run_grid(
-        [SimAlpha], [workload], instrumentation=Instrumentation()
+    # Controls: the unfaulted simulator through the identical path,
+    # once per workload any fault will run on.
+    control_grid = engine_for(False).run_grid(
+        [SimAlpha], list(control_workloads),
+        instrumentation=Instrumentation(),
     )
-    matrix.rows.append(Detection(
-        fault="control",
-        description="unfaulted sim-alpha (must stay clean)",
-        detected=bool(control_grid.failures),
-        channels=[
-            channel
-            for failure in control_grid.failures
-            for channel in _channels_of(failure)
-        ],
-        expected_channel=False,
-        detail=(
-            control_grid.failures[0].message if control_grid.failures
-            else ""
-        ),
-    ))
+    control_failures: Dict[str, List] = {}
+    for failure in control_grid.failures:
+        control_failures.setdefault(failure.workload, []).append(failure)
+    for name in control_workloads:
+        failures = control_failures.get(name, [])
+        matrix.rows.append(Detection(
+            fault="control",
+            description="unfaulted sim-alpha (must stay clean)",
+            detected=bool(failures),
+            channels=[
+                channel
+                for failure in failures
+                for channel in _channels_of(failure)
+            ],
+            expected_channel=False,
+            detail=failures[0].message if failures else "",
+            workload=name if label_cells else "",
+        ))
 
-    for name in names:
+    for name, cells in fault_cells.items():
         spec = FAULTS[name]
-        engine = engine_for(spec)
+        engine = engine_for(spec.needs_pool)
         if spec.needs_pool and (
             not include_pool_faults or engine._ctx is None
         ):
@@ -424,20 +551,127 @@ def run_detection_matrix(
             ))
             continue
         grid = engine.run_grid(
-            [lambda name=name: FaultedAlpha(name)], [workload],
+            [lambda name=name: FaultedAlpha(name)],
+            [workload for workload, _ in cells],
             instrumentation=Instrumentation(),
         )
-        failure = grid.failures[0] if grid.failures else None
-        channels = _channels_of(failure) if failure is not None else []
-        matrix.rows.append(Detection(
-            fault=name,
-            description=spec.description,
-            detected=failure is not None,
-            channels=channels,
-            expected_channel=any(
-                channel in spec.expected for channel in channels
-            ),
-            detail=failure.message.strip().splitlines()[-1]
-            if failure is not None and failure.message else "",
-        ))
+        by_workload = {f.workload: f for f in grid.failures}
+        for workload, family in cells:
+            failure = by_workload.get(workload)
+            channels = _channels_of(failure) if failure is not None else []
+            matrix.rows.append(Detection(
+                fault=name,
+                description=spec.description,
+                detected=failure is not None,
+                channels=channels,
+                expected_channel=any(
+                    channel in spec.expected for channel in channels
+                ),
+                detail=failure.message.strip().splitlines()[-1]
+                if failure is not None and failure.message else "",
+                workload=workload if label_cells else "",
+                family=family if label_cells else "",
+            ))
     return matrix
+
+
+def run_detection_matrix(
+    workload: str = "M-M",
+    *,
+    workloads: Optional[WorkloadSet] = None,
+    faults: Optional[Sequence[str]] = None,
+    include_pool_faults: bool = True,
+    pool_timeout_s: float = 10.0,
+    window: int = 128,
+    watchdog_s: float = 30.0,
+) -> DetectionMatrix:
+    """Inject every fault class (plus a clean control) into sim-alpha
+    on the single ``workload`` and report how each was caught.
+
+    Every run goes through the execution engine with sanitizers armed
+    (non-strict, window ``window``) and instrumentation on, exactly as
+    a production grid would; pool faults (crash/hang) run under a
+    two-worker pool with a ``pool_timeout_s`` cell budget and are
+    skipped (not failed) where fork is unavailable.
+    """
+    names = list(faults) if faults is not None else list(FAULTS)
+    fault_cells = {
+        name: [(workload, FAULTS[name].families[0])] for name in names
+    }
+    return _run_cells(
+        DetectionMatrix(workload=workload),
+        fault_cells,
+        [workload],
+        workloads=workloads or WorkloadSet(),
+        include_pool_faults=include_pool_faults,
+        pool_timeout_s=pool_timeout_s,
+        window=window,
+        watchdog_s=watchdog_s,
+        label_cells=False,
+    )
+
+
+def run_detection_sweep(
+    *,
+    families: Optional[Sequence[str]] = None,
+    faults: Optional[Sequence[str]] = None,
+    family_members: Optional[Dict[str, Sequence[str]]] = None,
+    workloads: Optional[WorkloadSet] = None,
+    include_pool_faults: bool = True,
+    pool_timeout_s: float = 10.0,
+    window: int = 128,
+    watchdog_s: float = 30.0,
+) -> DetectionMatrix:
+    """The workload-swept matrix: every fault class on every member of
+    every workload family built to stress its subsystem.
+
+    ``families`` restricts the sweep (faults none of whose families
+    are selected are left out entirely); ``family_members`` overrides
+    the members of individual families (the tests use one-workload
+    families to keep tier-1 cheap).  Each workload appears at most
+    once per fault even when two of its families are paired, and every
+    distinct workload gets its own clean control cell.
+    """
+    selected = list(families) if families is not None else list(
+        WORKLOAD_FAMILIES
+    )
+    for family in selected:
+        if family not in WORKLOAD_FAMILIES:
+            raise KeyError(
+                f"unknown workload family {family!r}; known: "
+                f"{list(WORKLOAD_FAMILIES)}"
+            )
+    members: Dict[str, Sequence[str]] = dict(WORKLOAD_FAMILIES)
+    if family_members:
+        members.update(family_members)
+    names = list(faults) if faults is not None else list(FAULTS)
+
+    fault_cells: Dict[str, List[Tuple[str, str]]] = {}
+    control_workloads: List[str] = []
+    for name in names:
+        spec = FAULTS[name]
+        cells: List[Tuple[str, str]] = []
+        for family in spec.families:
+            if family not in selected:
+                continue
+            for workload in members[family]:
+                if all(workload != seen for seen, _ in cells):
+                    cells.append((workload, family))
+        if not cells:
+            continue  # fault's subsystem is outside the selected sweep
+        fault_cells[name] = cells
+        for workload, _ in cells:
+            if workload not in control_workloads:
+                control_workloads.append(workload)
+
+    return _run_cells(
+        DetectionMatrix(workload="sweep"),
+        fault_cells,
+        control_workloads,
+        workloads=workloads or WorkloadSet(),
+        include_pool_faults=include_pool_faults,
+        pool_timeout_s=pool_timeout_s,
+        window=window,
+        watchdog_s=watchdog_s,
+        label_cells=True,
+    )

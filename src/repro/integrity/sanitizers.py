@@ -32,7 +32,19 @@ satisfies by construction:
 ``instruction_conservation``
     the run retired exactly as many instructions as the trace supplied;
 ``finite_stats``
-    cycle and event counters are finite and non-negative.
+    cycle and event counters are finite and non-negative;
+``dram_row_accounting``
+    every DRAM access is exactly one of a row-buffer hit or a row miss,
+    so the counters partition the access mix and the hit rate lies in
+    [0, 1];
+``dram_bank_conservation``
+    bank-conflict stalls are bounded by the accesses that could have
+    collided (0 <= conflicts <= accesses) and never negative;
+``dram_page_policy``
+    the row-buffer counters obey the configured page policy: a
+    closed-page bank precharges after every access and can never score
+    a row hit, an open-page bank precharges only on a row miss that
+    found another row active.
 
 Violations are *recorded*, not raised (strict mode raises
 :class:`IntegrityError` on the first one); the harness and execution
@@ -69,6 +81,9 @@ INVARIANTS: Tuple[str, ...] = (
     "cache_conservation",
     "instruction_conservation",
     "finite_stats",
+    "dram_row_accounting",
+    "dram_bank_conservation",
+    "dram_page_policy",
 )
 
 #: IPC ceiling used when no machine configuration was attached (the
@@ -307,6 +322,7 @@ class RunSanitizer:
         self._audit_stack(result)
         self._audit_conservation(result)
         self._audit_maf_peak()
+        self._audit_dram()
         return list(self.violations)
 
     def _audit_finite_stats(self, result) -> None:
@@ -386,6 +402,68 @@ class RunSanitizer:
                      "full_stalls": maf.stats.full_stalls,
                      "allocations": maf.stats.allocations},
                 )
+
+    def _audit_dram(self) -> None:
+        """The SDRAM model's own counters against its invariants.
+
+        Uses the attached hierarchy's DRAM (the one the run actually
+        drove), so a fault that corrupts the counters — or a model
+        change that breaks hit/miss partitioning — is caught on any
+        workload whose traffic reaches main memory at all.
+        """
+        hier = self._hier
+        if hier is None:
+            return
+        dram = getattr(hier, "dram", None)
+        if dram is None:
+            return
+        stats = dram.stats
+        counters = {
+            "accesses": stats.accesses,
+            "row_hits": stats.row_hits,
+            "row_misses": stats.row_misses,
+            "bank_conflicts": stats.bank_conflicts,
+            "precharges": stats.precharges,
+        }
+        if (
+            any(c < 0 for c in counters.values())
+            or stats.row_hits + stats.row_misses != stats.accesses
+            or not 0.0 <= stats.row_hit_rate <= 1.0
+        ):
+            self._violate(
+                "dram_row_accounting",
+                f"row counters do not partition the access mix: "
+                f"{stats.row_hits} hits + {stats.row_misses} misses != "
+                f"{stats.accesses} accesses "
+                f"(hit rate {stats.row_hit_rate:g})",
+                dict(counters, row_hit_rate=stats.row_hit_rate),
+            )
+            return  # dependent checks below would only echo the damage
+        if stats.bank_conflicts > stats.accesses:
+            self._violate(
+                "dram_bank_conservation",
+                f"{stats.bank_conflicts} bank conflicts from only "
+                f"{stats.accesses} accesses — at most one conflict can "
+                f"be charged per access",
+                counters,
+            )
+        policy = dram.config.page_policy
+        if policy == "closed":
+            ok = (
+                stats.row_hits == 0
+                and stats.precharges == stats.accesses
+            )
+        else:  # open page: precharge exactly when a conflicting row was open
+            ok = stats.precharges <= stats.row_misses
+        if not ok:
+            self._violate(
+                "dram_page_policy",
+                f"counters inconsistent with {policy}-page policy: "
+                f"{stats.row_hits} row hits, {stats.precharges} "
+                f"precharges over {stats.accesses} accesses "
+                f"({stats.row_misses} row misses)",
+                dict(counters, page_policy=policy),
+            )
 
     def _audit_conservation(self, result) -> None:
         """Architectural counters vs. the hierarchy's own bookkeeping.

@@ -15,14 +15,29 @@ Two mechanisms, both cheap enough to be always-on or nearly so:
   every worker process (``stuck_after=``), so a livelocked cell dies
   with a diagnosis *inside* the worker rather than being opaquely
   terminated by the parent's timeout.
+
+A third mechanism covers the gap between the two: a worker whose
+watchdog never fires (too generous a budget, or a hang outside the
+timed loop) is eventually killed by the parent's wall-clock timeout,
+losing every clue about where it was.  :func:`install_escalation_handler`
+arms SIGUSR1 in the worker so the parent can *ask* for a diagnosis
+first: the handler raises :class:`SimulationStuck` carrying the last
+heartbeat the process saw, the worker's normal stuck-reporting path
+ships the snapshot home, and only then does the parent terminate it.
 """
 
 from __future__ import annotations
 
+import signal
 import time
 from typing import Callable, Optional
 
-__all__ = ["SimulationStuck", "Watchdog", "PORT_SCAN_LIMIT"]
+__all__ = [
+    "SimulationStuck",
+    "Watchdog",
+    "PORT_SCAN_LIMIT",
+    "install_escalation_handler",
+]
 
 #: Cycles a port-arbitration scan may advance past its start before the
 #: engine declares livelock.  Three orders of magnitude above anything
@@ -81,6 +96,8 @@ class Watchdog:
 
     def beat(self, instructions: int, retire: float) -> None:
         """Report progress; raises if the frontier has been stuck."""
+        _last_beat["instructions"] = instructions
+        _last_beat["retire"] = retire
         now = self._clock()
         if self._last_retire is None or retire > self._last_retire:
             self._last_retire = retire
@@ -94,3 +111,36 @@ class Watchdog:
                 instructions=instructions,
                 retire=retire,
             )
+
+
+#: The most recent heartbeat any :class:`Watchdog` in this process
+#: received — what the escalation handler reports when the parent asks
+#: a wall-clock-expired worker where it got stuck.  Workers are
+#: single-cell processes, so one record suffices.
+_last_beat = {"instructions": 0, "retire": 0.0}
+
+
+def _escalate(signum, frame):
+    raise SimulationStuck(
+        "parent escalated a wall-clock timeout (SIGUSR1)",
+        instructions=_last_beat["instructions"],
+        retire=_last_beat["retire"],
+    )
+
+
+def install_escalation_handler() -> bool:
+    """Arm SIGUSR1 to raise :class:`SimulationStuck` in this process.
+
+    Called by pool workers on startup.  When the parent's per-cell
+    timeout expires it sends SIGUSR1 before terminating; the raise
+    interrupts whatever the worker is doing (Python signal handlers run
+    between bytecodes, and interrupt ``time.sleep``-style waits), so
+    the worker's existing stuck-reporting path ships a diagnosis —
+    last heartbeat, detail — over the pipe before the kill lands.
+
+    Returns ``False`` on platforms without SIGUSR1 (no handler armed).
+    """
+    if not hasattr(signal, "SIGUSR1"):  # pragma: no cover - non-POSIX
+        return False
+    signal.signal(signal.SIGUSR1, _escalate)
+    return True

@@ -1,6 +1,11 @@
 """Table/chart rendering and the paper's published numbers."""
 
 from repro.reporting.barchart import render_grouped_bars
+from repro.reporting.coverage import (
+    CoverageCell,
+    coverage_cells,
+    render_coverage,
+)
 from repro.reporting.cpistack import (
     render_cpi_stack_bars,
     render_cpi_stack_table,
@@ -9,6 +14,9 @@ from repro.reporting.tables import format_value, render_table
 from repro.reporting import paper_data
 
 __all__ = [
+    "CoverageCell",
+    "coverage_cells",
+    "render_coverage",
     "render_grouped_bars",
     "render_cpi_stack_bars",
     "render_cpi_stack_table",

@@ -1,0 +1,112 @@
+"""Detection-coverage reporting: the fault × workload-family table.
+
+The sweep (:func:`repro.integrity.faultinject.run_detection_sweep`)
+produces one :class:`Detection` per (fault, workload) cell; this module
+folds those cells into the *coverage* view the robustness acceptance
+criteria are written against — for each fault class and each family
+built to stress its subsystem, how many member workloads caught the
+fault, and whether any cell was silently clean.
+
+Cell notation in the rendered table:
+
+``3/3✓``   every member detected the fault, at least one through its
+           designed channel;
+``2/3!``   a member was silently clean — the sweep fails;
+``3/3*``   detected everywhere but never through the designed channel;
+``·``      family not paired with this fault (not a gap: the family
+           does not stress that subsystem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.reporting.tables import render_table
+
+__all__ = ["CoverageCell", "coverage_cells", "render_coverage"]
+
+
+@dataclass
+class CoverageCell:
+    """One (fault, family) aggregate over the family's member cells."""
+
+    fault: str
+    family: str
+    detected: int = 0
+    total: int = 0
+    via_designed: int = 0
+    #: Workloads in this family whose cell was silently clean.
+    silent: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.total > 0 and not self.silent
+
+    def label(self) -> str:
+        mark = "✓" if self.complete and self.via_designed else (
+            "!" if self.silent else "*"
+        )
+        return f"{self.detected}/{self.total}{mark}"
+
+
+def coverage_cells(matrix) -> Dict[Tuple[str, str], CoverageCell]:
+    """Fold a sweep's rows into (fault, family) coverage aggregates.
+
+    Control rows and skipped faults are left out: controls are judged
+    by :attr:`DetectionMatrix.all_caught`, and a skipped fault has no
+    cells to aggregate.
+    """
+    cells: Dict[Tuple[str, str], CoverageCell] = {}
+    for row in matrix.rows:
+        if row.fault == "control" or row.skipped or not row.family:
+            continue
+        key = (row.fault, row.family)
+        cell = cells.get(key)
+        if cell is None:
+            cell = cells[key] = CoverageCell(row.fault, row.family)
+        cell.total += 1
+        if row.detected:
+            cell.detected += 1
+            if row.expected_channel:
+                cell.via_designed += 1
+        else:
+            cell.silent.append(row.workload)
+    return cells
+
+
+def render_coverage(matrix, *, title: str = "Detection coverage") -> str:
+    """The fault × family coverage table plus a one-line verdict."""
+    cells = coverage_cells(matrix)
+    if not cells:
+        return f"{title}: no swept cells (single-workload matrix?)"
+    faults: List[str] = []
+    families: List[str] = []
+    for fault, family in cells:
+        if fault not in faults:
+            faults.append(fault)
+        if family not in families:
+            families.append(family)
+    rows = []
+    for fault in faults:
+        row: List[str] = [fault]
+        for family in families:
+            cell = cells.get((fault, family))
+            row.append(cell.label() if cell is not None else "·")
+        rows.append(row)
+    table = render_table(["fault"] + families, rows, title=title)
+
+    silent = matrix.silent_corruptions()
+    if matrix.all_caught:
+        verdict = (
+            f"PASS: {len(cells)} (fault, family) pairings, every cell "
+            f"detected, controls clean"
+        )
+    elif silent:
+        verdict = "FAIL: silently clean cells: " + ", ".join(silent)
+    else:
+        verdict = (
+            "FAIL: a control cell raised a false alarm or a fault "
+            "never fired its designed channel"
+        )
+    return f"{table}\n{verdict}"

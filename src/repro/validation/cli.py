@@ -31,11 +31,17 @@ watchdog, and ``--checkpoint FILE`` journals completed grid cells so
 reports integrity: 0 clean, 3 when any cell was quarantined or failed,
 4 on a strict-mode abort.  The ``integrity`` subcommand runs the
 fault-injection detection matrix and exits nonzero unless every fault
-is caught::
+is caught; ``--sweep`` pairs every fault with the microbenchmark
+families that stress its subsystem and prints the coverage report,
+``--families`` restricts the sweep.  ``checkpoint-gc`` prunes a grid
+journal by entry age::
 
     repro-experiments table2 --sanitize --stuck-after 120
     repro-experiments table3 --checkpoint t3.ckpt --resume
     repro-experiments integrity
+    repro-experiments integrity --sweep
+    repro-experiments integrity --sweep --families dram,memory
+    repro-experiments checkpoint-gc t3.ckpt --gc-max-age 604800
 """
 
 from __future__ import annotations
@@ -300,14 +306,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "trace", "integrity"],
+        choices=sorted(_EXPERIMENTS) + [
+            "all", "trace", "integrity", "checkpoint-gc",
+        ],
         help="which experiment to run, 'trace' to instrument one run, "
-             "or 'integrity' to run the fault-injection matrix",
+             "'integrity' to run the fault-injection matrix, or "
+             "'checkpoint-gc' to prune a grid journal",
     )
     parser.add_argument(
         "workload", nargs="?", default=None,
-        help="workload to trace (trace/integrity subcommands), "
-             "e.g. M-D or gzip",
+        help="workload to trace (trace/integrity subcommands, e.g. "
+             "M-D or gzip) or journal path (checkpoint-gc)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -372,6 +381,23 @@ def main(argv=None) -> int:
         "--resume", action="store_true",
         help="with --checkpoint: skip cells the journal already holds",
     )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="integrity subcommand: pair every fault with the workload "
+             "families that stress its subsystem and print the "
+             "fault x family coverage report",
+    )
+    parser.add_argument(
+        "--families", metavar="LIST", default="",
+        help="with integrity --sweep: comma-separated workload "
+             "families to sweep (control, execute, memory, dram; "
+             "default: all)",
+    )
+    parser.add_argument(
+        "--gc-max-age", type=float, default=None, metavar="S",
+        help="checkpoint-gc subcommand: prune journal entries "
+             "recorded more than S seconds ago",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1 (got {args.jobs})")
@@ -382,14 +408,58 @@ def main(argv=None) -> int:
             f"--stuck-after must be positive (got {args.stuck_after})"
         )
 
-    if args.experiment == "integrity":
-        from repro.integrity.faultinject import run_detection_matrix
+    if args.experiment == "checkpoint-gc":
+        from repro.integrity.checkpoint import GridCheckpoint
 
-        matrix = run_detection_matrix(
-            workload=args.workload or "M-M",
-            include_pool_faults=not args.quick,
+        path = args.checkpoint or args.workload
+        if not path:
+            parser.error(
+                "checkpoint-gc requires a journal path (positional or "
+                "--checkpoint FILE)"
+            )
+        checkpoint = GridCheckpoint(path)
+        try:
+            before = len(checkpoint.load())
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        pruned = checkpoint.gc(max_age_s=args.gc_max_age)
+        print(
+            f"{path}: pruned {len(pruned)} of {before} entries, "
+            f"{len(checkpoint)} kept"
         )
-        print(matrix.render())
+        return 0
+
+    if args.experiment == "integrity":
+        from repro.integrity.faultinject import (
+            run_detection_matrix,
+            run_detection_sweep,
+        )
+
+        if args.sweep or args.families:
+            from repro.reporting import render_coverage
+
+            families = [
+                family.strip()
+                for family in args.families.split(",")
+                if family.strip()
+            ] or None
+            try:
+                matrix = run_detection_sweep(
+                    families=families,
+                    include_pool_faults=not args.quick,
+                )
+            except KeyError as error:
+                parser.error(str(error.args[0]))
+            print(matrix.render())
+            print()
+            print(render_coverage(matrix))
+        else:
+            matrix = run_detection_matrix(
+                workload=args.workload or "M-M",
+                include_pool_faults=not args.quick,
+            )
+            print(matrix.render())
         if matrix.all_caught:
             print("all faults detected; control clean")
             return 0

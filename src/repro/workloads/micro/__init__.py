@@ -1,8 +1,10 @@
-"""The 21-entry microbenchmark suite (paper Section 3).
+"""The microbenchmark suite (paper Section 3).
 
 :func:`microbenchmark_suite` returns the benchmarks in the order of
 paper Table 2: C-Ca, C-Cb, C-R, C-S1, C-S2, C-S3, C-O, E-I, E-F,
-E-D1..E-D6, E-DM1, M-I, M-D, M-L2, M-M, M-IP.
+E-D1..E-D6, E-DM1, M-I, M-D, M-L2, M-M, M-IP — followed by the two
+DRAM-layer kernels (M-ROW, M-BANK) this reproduction adds for the
+Section 4.2 row-buffer/bank calibration.
 """
 
 from __future__ import annotations
@@ -15,6 +17,10 @@ from repro.workloads.micro.control import (
     control_conditional,
     control_recursive,
     control_switch,
+)
+from repro.workloads.micro.dram import (
+    dram_bank_thrash,
+    dram_row_stream,
 )
 from repro.workloads.micro.execute import (
     execute_dependent,
@@ -43,6 +49,8 @@ __all__ = [
     "execute_dependent_multiply",
     "execute_float_independent",
     "execute_independent",
+    "dram_bank_thrash",
+    "dram_row_stream",
     "build_chain",
     "memory_dependent",
     "memory_independent",
@@ -74,6 +82,8 @@ MICROBENCHMARKS: Dict[str, Callable[[], Program]] = {
     "M-L2": memory_l2,
     "M-M": memory_memory,
     "M-IP": memory_instruction_prefetch,
+    "M-ROW": dram_row_stream,
+    "M-BANK": dram_bank_thrash,
 }
 
 
@@ -89,5 +99,5 @@ def build_microbenchmark(name: str) -> Program:
 
 
 def microbenchmark_suite() -> List[Program]:
-    """All 21 microbenchmarks in Table 2 order."""
+    """All microbenchmarks, Table 2 order plus the DRAM kernels."""
     return [builder() for builder in MICROBENCHMARKS.values()]

@@ -1,0 +1,116 @@
+"""DRAM-layer microbenchmarks: M-ROW and M-BANK.
+
+The Section 3.3 memory microbenchmarks stop at "misses both caches"
+(M-M); they say nothing about *how* the resulting DRAM traffic lands on
+the banked SDRAM.  Calibrating — and sanitizing — the DRAM timing model
+(Section 4.2) needs workloads whose row-buffer behaviour is known by
+construction:
+
+* **M-ROW** — a single cold pass of independent sequential loads, one
+  per 64-byte block.  Every access misses both caches (compulsory), and
+  consecutive blocks share a 4KB DRAM row, so under an open-page policy
+  nearly every access after the first in a row is a row-buffer hit:
+  the row-locality extreme.
+* **M-BANK** — first touches every page in order (pinning the
+  first-touch mapper to sequential frames), then strides through
+  *alternate* pages at a fixed in-page offset.  With 8KB pages and 4KB
+  rows, a two-page stride advances the row number by four — the bank
+  index never changes — so every access opens a fresh row in the *same*
+  bank while the loads (independent, eight MAF entries deep) overlap in
+  flight: the bank-conflict extreme.
+
+Both kernels are cold-pass by design: re-traversing would hit the L2
+(the distinct-block footprint is tiny next to 2MB), so all volume comes
+from fresh blocks.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+
+__all__ = ["dram_row_stream", "dram_bank_thrash"]
+
+#: Bytes per L1/L2 cache block (the stride that makes every load a
+#: fresh block) and per first-touch page (the mapper's frame granule).
+_BLOCK = 64
+_PAGE = 8192
+
+
+def dram_row_stream(*, blocks: int = 6144, unroll: int = 8) -> Program:
+    """M-ROW: one cold sequential pass, one load per 64B block.
+
+    ``blocks`` * 64B (default 384KB) of fresh memory, so every load
+    misses L1 and L2 and the DRAM sees a pure streaming reference
+    pattern: 64 consecutive block accesses per 4KB row.
+    """
+    if blocks % unroll:
+        raise ValueError(
+            f"blocks ({blocks}) must be a multiple of unroll ({unroll})"
+        )
+    b = ProgramBuilder("M-ROW")
+    base = b.alloc(blocks * _BLOCK, align=_PAGE)
+    b.load_imm("r1", 0)
+    b.load_imm("r2", blocks // unroll)
+    b.load_imm("r9", base)
+    b.align_octaword()
+    b.label("loop")
+    for i in range(unroll):
+        b.emit(Opcode.LDQ, dest=f"r{10 + (i % 8)}", base="r9",
+               disp=_BLOCK * i)
+    b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=_BLOCK * unroll)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r4", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r4", "loop")
+    b.halt()
+    return b.build()
+
+
+def dram_bank_thrash(*, pages: int = 384, unroll: int = 2) -> Program:
+    """M-BANK: same-bank row misses from overlapping independent loads.
+
+    Phase 1 touches byte 0 of every page in ascending order, so the
+    sequential first-touch mapper assigns frame ``i`` to page ``i``.
+    Phase 2 then loads byte 4096 of every *second* page: physical
+    addresses ``16384k + 4096`` whose DRAM row numbers are ``4k + 1`` —
+    the same bank every time (rows advance by the bank count), a fresh
+    row every time, and a fresh 64B block every time (phase 1 cached a
+    different block), so the accesses all reach DRAM and pile onto one
+    bank while in flight together.
+    """
+    if pages % 2 or (pages // 2) % unroll:
+        raise ValueError(
+            f"pages ({pages}) must be even with pages/2 a multiple of "
+            f"unroll ({unroll})"
+        )
+    b = ProgramBuilder("M-BANK")
+    base = b.alloc(pages * _PAGE, align=_PAGE)
+
+    # Phase 1: pin the first-touch mapping — one load per page, in order.
+    b.load_imm("r1", 0)
+    b.load_imm("r2", pages)
+    b.load_imm("r9", base)
+    b.align_octaword()
+    b.label("touch")
+    b.emit(Opcode.LDQ, dest="r10", base="r9", disp=0)
+    b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=_PAGE)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r4", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r4", "touch")
+
+    # Phase 2: hammer one bank — alternate pages, second-row offset.
+    stride = 2 * _PAGE
+    b.load_imm("r1", 0)
+    b.load_imm("r2", pages // (2 * unroll))
+    b.load_imm("r9", base + _PAGE // 2)
+    b.align_octaword()
+    b.label("thrash")
+    for i in range(unroll):
+        b.emit(Opcode.LDQ, dest=f"r{10 + (i % 8)}", base="r9",
+               disp=stride * i)
+    b.emit(Opcode.ADDQ, dest="r9", srcs=("r9",), imm=stride * unroll)
+    b.emit(Opcode.ADDQ, dest="r1", srcs=("r1",), imm=1)
+    b.emit(Opcode.CMPLT, dest="r4", srcs=("r1", "r2"))
+    b.branch(Opcode.BNE, "r4", "thrash")
+    b.halt()
+    return b.build()

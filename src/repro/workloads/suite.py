@@ -23,10 +23,43 @@ from repro.workloads.micro import MICROBENCHMARKS
 
 __all__ = [
     "WorkloadSet",
+    "WORKLOAD_FAMILIES",
+    "family_workloads",
     "micro_names",
     "spec2000_names",
     "spec95_names",
 ]
+
+#: Microbenchmark families by the subsystem they were built to stress
+#: (paper Section 3's control/execute/memory taxonomy, plus the DRAM
+#: row-locality kernels this reproduction adds).  The detection sweep
+#: pairs each fault class with the families designed to expose it, so
+#: the members are deliberately small, representative subsets — cheap
+#: enough to fan a full fault matrix across, extreme enough that the
+#: stressed subsystem dominates each run.
+WORKLOAD_FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "control": ("C-Ca", "C-R", "C-S1"),
+    "execute": ("E-I", "E-D3"),
+    "memory": ("M-D", "M-L2", "M-M"),
+    "dram": ("M-ROW", "M-BANK", "M-M"),
+}
+
+
+def family_workloads(families: Iterable[str]) -> List[str]:
+    """Workload names for ``families``, deduplicated, family order."""
+    names: List[str] = []
+    for family in families:
+        try:
+            members = WORKLOAD_FAMILIES[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload family {family!r}; known: "
+                f"{list(WORKLOAD_FAMILIES)}"
+            ) from None
+        for name in members:
+            if name not in names:
+                names.append(name)
+    return names
 
 
 def micro_names() -> List[str]:

@@ -89,6 +89,30 @@ class TestClosedPagePolicy:
         assert second > first
 
 
+class TestPrechargeAccounting:
+    def test_open_page_precharges_only_on_row_conflict(self):
+        dram = Sdram(DramConfig(page_policy="open", banks=1))
+        dram.access(0.0, 0x0)        # cold activate: no precharge
+        dram.access(1000.0, 0x40)    # row hit: no precharge
+        dram.access(2000.0, 0x10000)  # conflicting row: precharge
+        assert dram.stats.precharges == 1
+        assert dram.stats.precharges <= dram.stats.row_misses
+
+    def test_closed_page_precharges_every_access(self):
+        dram = Sdram(DramConfig(page_policy="closed"))
+        for i in range(5):
+            dram.access(i * 1000.0, i * 64)
+        assert dram.stats.precharges == dram.stats.accesses == 5
+
+    def test_row_counters_partition_accesses(self):
+        dram = Sdram(DramConfig(page_policy="open"))
+        for i in range(32):
+            dram.access(i * 100.0, (i * 0x2040) & 0xFFFFF)
+        stats = dram.stats
+        assert stats.row_hits + stats.row_misses == stats.accesses
+        assert 0.0 <= stats.row_hit_rate <= 1.0
+
+
 class TestBanking:
     def test_bank_conflicts_counted(self):
         config = DramConfig(banks=1)

@@ -82,6 +82,60 @@ class TestFaultIsolation:
         assert failure.elapsed_s >= 0.9
         assert failure.elapsed_s < FakeSim.HANG_SECONDS
 
+    def test_expired_worker_dumps_stuck_snapshot(self, harness):
+        """SIGUSR1 escalation: a wall-clock-expired worker ships a
+        SimulationStuck diagnosis home before the parent kills it."""
+        registry = MetricsRegistry()
+        engine = ExperimentEngine(
+            harness.workloads, jobs=2, timeout=1.0, metrics=registry,
+        )
+        grid = engine.run_grid(
+            [fake_factory("fake-ok"), fake_factory("fake-hung", "hang")],
+            QUICK,
+        )
+        assert sorted(grid.ipcs("fake-ok")) == sorted(QUICK)
+        [failure] = grid.failures
+        assert failure.kind == "timeout"
+        assert "SIGUSR1" in failure.message
+        assert failure.snapshot is not None
+        assert "escalated" in failure.snapshot["detail"]
+        # The dump arrived over the pipe, not after HANG_SECONDS.
+        assert failure.elapsed_s < FakeSim.HANG_SECONDS
+        counters = registry.snapshot()["counters"]
+        assert counters["exec.cells.escalated"] == 1
+
+    def test_deaf_worker_is_still_terminated(self, harness):
+        """A worker that blocks SIGUSR1 gets the grace period, no
+        diagnosis, and the kill — escalation must never let a hung
+        cell outlive its timeout by more than the grace."""
+        import signal as signal_module
+        import time as time_module
+
+        class DeafSim(FakeSim):
+            def run_trace(self, trace, workload):
+                if workload == self.FAIL_WORKLOAD:
+                    signal_module.pthread_sigmask(
+                        signal_module.SIG_BLOCK,
+                        {signal_module.SIGUSR1},
+                    )
+                return super().run_trace(trace, workload)
+
+        engine = ExperimentEngine(
+            harness.workloads, jobs=2, timeout=0.5,
+            escalation_grace_s=0.2,
+        )
+        started = time_module.perf_counter()
+        grid = engine.run_grid(
+            [lambda: DeafSim(FakeConfig(name="deaf", flavor="hang"))],
+            ["E-I"],
+        )
+        elapsed = time_module.perf_counter() - started
+        [failure] = grid.failures
+        assert failure.kind == "timeout"
+        assert failure.snapshot is None
+        assert "SIGUSR1" not in failure.message
+        assert elapsed < FakeSim.HANG_SECONDS / 2
+
     def test_inprocess_engine_isolates_exceptions(self, harness):
         engine = ExperimentEngine(harness.workloads)
         grid = engine.run_grid(

@@ -83,6 +83,84 @@ class TestJournal:
             assert len(payload["cells"]) == index + 1
 
 
+class TestGC:
+    def test_age_pass_prunes_only_old_entries(self, tmp_path):
+        checkpoint = GridCheckpoint(tmp_path / "grid.ckpt")
+        checkpoint.record("old", make_result(workload="C-R"))
+        checkpoint.record("new", make_result(workload="E-I"))
+        checkpoint._recorded["old"] -= 3600.0
+        pruned = checkpoint.gc(max_age_s=600.0)
+        assert pruned == ["old"]
+        assert set(GridCheckpoint(tmp_path / "grid.ckpt").load()) == {
+            "new"
+        }
+
+    def test_live_set_pass_sheds_stale_digests(self, tmp_path):
+        checkpoint = GridCheckpoint(tmp_path / "grid.ckpt")
+        for digest in ("a", "b", "c"):
+            checkpoint.record(digest, make_result())
+        pruned = checkpoint.gc(live={"b"})
+        assert pruned == ["a", "c"]
+        assert set(GridCheckpoint(tmp_path / "grid.ckpt").load()) == {
+            "b"
+        }
+
+    def test_no_criteria_is_a_rewrite_not_a_wipe(self, tmp_path):
+        checkpoint = GridCheckpoint(tmp_path / "grid.ckpt")
+        checkpoint.record("a", make_result())
+        assert checkpoint.gc() == []
+        assert len(GridCheckpoint(tmp_path / "grid.ckpt").load()) == 1
+
+    def test_pruned_entries_stay_out_despite_merge(self, tmp_path):
+        """gc must not merge the pruned entries straight back in from
+        the on-disk copy it just read."""
+        path = tmp_path / "grid.ckpt"
+        checkpoint = GridCheckpoint(path)
+        checkpoint.record("a", make_result())
+        checkpoint.record("b", make_result())
+        fresh = GridCheckpoint(path)
+        fresh.gc(live={"a"})
+        assert set(GridCheckpoint(path).load()) == {"a"}
+
+    def test_v1_journal_loads_and_upgrades(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        payload = {
+            "format": GridCheckpoint.FORMAT_V1,
+            "cells": {"legacy": make_result().to_dict()},
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        checkpoint = GridCheckpoint(path)
+        assert set(checkpoint.load()) == {"legacy"}
+        # Pre-timestamp entries count as freshly recorded: an age pass
+        # must not destroy them.
+        assert checkpoint.gc(max_age_s=60.0) == []
+        upgraded = json.loads(path.read_text(encoding="utf-8"))
+        assert upgraded["format"] == GridCheckpoint.FORMAT
+        assert "recorded" in upgraded["cells"]["legacy"]
+
+    def test_pruned_journal_resumes_byte_identical(self, tmp_path):
+        """GC half the journal, resume the grid: the recomputed cells
+        must reproduce the uninterrupted serialisation exactly."""
+        path = tmp_path / "grid.ckpt"
+        uninterrupted = Harness().run_grid(
+            [SimAlpha], ["C-Ca", "E-I"],
+            checkpoint=GridCheckpoint(path),
+        )
+
+        checkpoint = GridCheckpoint(path)
+        full = checkpoint.load()
+        survivor = sorted(full)[0]
+        pruned = checkpoint.gc(live={survivor})
+        assert len(pruned) == len(full) - 1
+
+        resumed = Harness().run_grid(
+            [SimAlpha], ["C-Ca", "E-I"],
+            checkpoint=GridCheckpoint(path), resume=True,
+        )
+        assert resumed.to_json(canonical=True) == \
+            uninterrupted.to_json(canonical=True)
+
+
 class TestResume:
     WORKLOADS = ["C-Ca", "E-I"]
 

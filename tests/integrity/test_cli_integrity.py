@@ -126,3 +126,80 @@ class TestIntegritySubcommand:
         )
         assert main(["integrity", "--quick"]) == 1
         assert "SILENT CORRUPTIONS" in capsys.readouterr().out
+
+    def test_sweep_flag_prints_coverage_report(self, monkeypatch, capsys):
+        from repro.integrity import faultinject
+        from repro.integrity.faultinject import Detection, DetectionMatrix
+
+        seen = {}
+
+        def fake_sweep(*, families=None, include_pool_faults=True,
+                       **kwargs):
+            seen["families"] = families
+            seen["pool"] = include_pool_faults
+            matrix = DetectionMatrix(workload="sweep")
+            matrix.rows.append(Detection(
+                fault="dram_row_overcount", description="",
+                detected=True,
+                channels=["invariant:dram_row_accounting"],
+                expected_channel=True,
+                workload="M-BANK", family="dram",
+            ))
+            return matrix
+
+        monkeypatch.setattr(
+            faultinject, "run_detection_sweep", fake_sweep
+        )
+        assert main(["integrity", "--sweep", "--families",
+                     "dram,memory"]) == 0
+        out = capsys.readouterr().out
+        assert "Detection coverage" in out
+        assert "1/1✓" in out
+        assert seen == {"families": ["dram", "memory"], "pool": True}
+
+    def test_sweep_rejects_unknown_family(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["integrity", "--sweep", "--families", "cache"])
+        assert excinfo.value.code == 2
+        assert "unknown workload family" in capsys.readouterr().err
+
+
+class TestCheckpointGcSubcommand:
+    def _journal(self, tmp_path, *digests):
+        from repro.integrity.checkpoint import GridCheckpoint
+        from repro.result import SimResult
+
+        path = tmp_path / "grid.ckpt"
+        checkpoint = GridCheckpoint(path)
+        for digest in digests:
+            checkpoint.record(
+                digest, SimResult("s", "C-R", cycles=1.0, instructions=1)
+            )
+        return path, checkpoint
+
+    def test_age_pass_prunes_and_reports(self, tmp_path, capsys):
+        path, checkpoint = self._journal(tmp_path, "old", "new")
+        checkpoint._recorded["old"] -= 7200.0
+        checkpoint.flush()
+        assert main([
+            "checkpoint-gc", str(path), "--gc-max-age", "3600",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 of 2 entries, 1 kept" in out
+
+    def test_journal_path_via_checkpoint_flag(self, tmp_path, capsys):
+        path, _ = self._journal(tmp_path, "a")
+        assert main([
+            "checkpoint-gc", "--checkpoint", str(path),
+        ]) == 0
+        assert "pruned 0 of 1 entries, 1 kept" in capsys.readouterr().out
+
+    def test_missing_path_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["checkpoint-gc"])
+
+    def test_corrupt_journal_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "grid.ckpt"
+        path.write_text("{truncated", encoding="utf-8")
+        assert main(["checkpoint-gc", str(path)]) == 2
+        assert "corrupt" in capsys.readouterr().err

@@ -184,6 +184,116 @@ class TestAudits:
         assert violation.snapshot["entries"] == 2
 
 
+def _dram_hier(dram):
+    """Minimal attached hierarchy exposing a DRAM model and clean,
+    zero-miss caches (so the conservation audit passes through)."""
+    from repro.memory.mshr import MissAddressFile
+
+    class _Stats:
+        misses = 0
+
+    class _Cache:
+        stats = _Stats()
+
+    class _Hier:
+        pass
+
+    hier = _Hier()
+    hier.maf_i = hier.maf_d = hier.maf_l2 = MissAddressFile()
+    hier.l1d = hier.l1i = _Cache()
+    hier.dram = dram
+    return hier
+
+
+def _exercised_sdram(policy="open"):
+    """An Sdram that has absorbed a small mixed access pattern."""
+    from repro.dram.config import DramConfig
+    from repro.dram.sdram import Sdram
+
+    dram = Sdram(DramConfig().with_policy(policy))
+    time = 0.0
+    for paddr in (0, 64, 4096, 0, 16384, 128):
+        time = dram.access(time, paddr)
+    return dram
+
+
+def _dram_sanitizer(dram):
+    sanitizer = RunSanitizer()
+    sanitizer.attach(None, _dram_hier(dram))
+    return sanitizer
+
+
+class TestDramAudits:
+    @pytest.mark.parametrize("policy", ["open", "closed"])
+    def test_real_model_is_clean(self, policy):
+        sanitizer = _dram_sanitizer(_exercised_sdram(policy))
+        sanitizer._audit_dram()
+        assert sanitizer.violations == []
+
+    def test_missing_dram_is_skipped(self):
+        sanitizer = RunSanitizer()
+        hier = _dram_hier(None)
+        del hier.dram
+        sanitizer.attach(None, hier)
+        sanitizer._audit_dram()
+        assert sanitizer.violations == []
+
+    def test_row_overcount_breaks_partition(self):
+        dram = _exercised_sdram()
+        dram.stats.row_hits += 2  # hits + misses no longer == accesses
+        sanitizer = _dram_sanitizer(dram)
+        sanitizer._audit_dram()
+        [violation] = sanitizer.violations
+        assert violation.invariant == "dram_row_accounting"
+        assert violation.snapshot["accesses"] == dram.stats.accesses
+
+    def test_negative_conflicts_flagged_as_accounting(self):
+        dram = _exercised_sdram()
+        dram.stats.bank_conflicts = -1
+        sanitizer = _dram_sanitizer(dram)
+        sanitizer._audit_dram()
+        [violation] = sanitizer.violations
+        assert violation.invariant == "dram_row_accounting"
+
+    def test_conflict_overflow_flagged(self):
+        dram = _exercised_sdram()
+        dram.stats.bank_conflicts = dram.stats.accesses + 1
+        sanitizer = _dram_sanitizer(dram)
+        sanitizer._audit_dram()
+        [violation] = sanitizer.violations
+        assert violation.invariant == "dram_bank_conservation"
+
+    def test_phantom_row_hit_under_closed_page(self):
+        dram = _exercised_sdram("closed")
+        # Move one access from the miss column to the hit column: the
+        # partition still balances, but a closed-page bank can never
+        # score a row hit.
+        dram.stats.row_hits += 1
+        dram.stats.row_misses -= 1
+        sanitizer = _dram_sanitizer(dram)
+        sanitizer._audit_dram()
+        [violation] = sanitizer.violations
+        assert violation.invariant == "dram_page_policy"
+        assert violation.snapshot["page_policy"] == "closed"
+
+    def test_excess_precharges_under_open_page(self):
+        dram = _exercised_sdram("open")
+        dram.stats.precharges = dram.stats.row_misses + 1
+        sanitizer = _dram_sanitizer(dram)
+        sanitizer._audit_dram()
+        [violation] = sanitizer.violations
+        assert violation.invariant == "dram_page_policy"
+
+    def test_audit_result_reaches_dram(self):
+        dram = _exercised_sdram()
+        dram.stats.row_hits += 1
+        sanitizer = _dram_sanitizer(dram)
+        sanitizer.audit_result(make_result(), expected_instructions=50)
+        assert [v.invariant for v in sanitizer.violations] == [
+            "dram_row_accounting"
+        ]
+
+
 class TestViolationRecords:
     def test_round_trip(self):
         violation = InvariantViolation(

@@ -1,11 +1,16 @@
 """Watchdog and stuck-simulation detection."""
 
+import os
+import signal
+
 import pytest
 
+from repro.integrity import watchdog as watchdog_module
 from repro.integrity.watchdog import (
     PORT_SCAN_LIMIT,
     SimulationStuck,
     Watchdog,
+    install_escalation_handler,
 )
 
 
@@ -55,6 +60,32 @@ class TestWatchdog:
     def test_rejects_nonpositive_budget(self):
         with pytest.raises(ValueError):
             Watchdog(stall_s=0.0)
+
+
+class TestEscalationHandler:
+    @pytest.fixture()
+    def armed(self):
+        previous = signal.getsignal(signal.SIGUSR1)
+        beat = dict(watchdog_module._last_beat)
+        assert install_escalation_handler()
+        try:
+            yield
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+            watchdog_module._last_beat.update(beat)
+
+    def test_sigusr1_raises_stuck(self, armed):
+        with pytest.raises(SimulationStuck) as excinfo:
+            os.kill(os.getpid(), signal.SIGUSR1)
+        assert "SIGUSR1" in excinfo.value.detail
+
+    def test_dump_carries_last_heartbeat(self, armed):
+        clock = FakeClock()
+        Watchdog(stall_s=10.0, clock=clock).beat(8192, 100.0)
+        with pytest.raises(SimulationStuck) as excinfo:
+            os.kill(os.getpid(), signal.SIGUSR1)
+        assert excinfo.value.instructions == 8192
+        assert excinfo.value.retire == 100.0
 
 
 class TestPortScanBound:

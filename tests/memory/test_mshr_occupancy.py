@@ -75,6 +75,81 @@ class TestPeakOccupancy:
         assert maf.peak_occupancy <= 8
 
 
+class TestOccupancyReplayProperty:
+    """``occupancy_at`` against first-principles interval replay.
+
+    The MAF's incremental accounting (dict of fills, dict of starts,
+    peak updated at allocation instants) must agree with the obvious
+    brute force: keep every (start, fill) window and count the ones
+    covering the probe time.  Random interleaved allocate/fill streams
+    drive both representations through overwrites, combines, full-MAF
+    backdating, and opportunistic pruning.
+    """
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(0, 15),
+            st.floats(0.0, 1_000.0, allow_nan=False),
+            st.floats(0.0, 500.0, allow_nan=False),
+        ),
+        min_size=1, max_size=60,
+    ))
+    def test_occupancy_matches_interval_replay(self, stream):
+        # 16 distinct blocks on an 8-entry file: the pruning threshold
+        # (entries * 4) is unreachable, so no window ever disappears
+        # and every probe time is fair game.
+        maf = MissAddressFile()
+        windows = {}
+        for block_index, start, duration in stream:
+            block = block_index * 64
+            maf.record_fill(block, start + duration, start=start)
+            windows[block] = (start, start + duration)
+        probes = {0.0}
+        for start, fill in windows.values():
+            probes.update((
+                start, fill, (start + fill) / 2.0,
+                start - 1e-3, fill + 1e-3,
+            ))
+        for when in probes:
+            expected = sum(
+                1 for s, f in windows.values() if s <= when < f
+            )
+            assert maf.occupancy_at(when) == expected
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(0, 63),
+            st.floats(0.0, 80.0, allow_nan=False),
+            st.floats(1.0, 200.0, allow_nan=False),
+        ),
+        max_size=80,
+    ))
+    def test_peak_is_supremum_of_replayed_occupancy(self, stream):
+        """``peak_occupancy`` equals the supremum of the brute-force
+        occupancy over allocation instants.  Occupancy only steps up at
+        a request start, so the supremum over all time is attained at
+        one; an honest caller on a 4-entry file also never pushes it
+        past capacity."""
+        maf = MissAddressFile(MafConfig(entries=4))
+        windows = {}
+        now = 0.0
+        supremum = 0
+        for block_index, delta, latency in stream:
+            now += delta
+            block = block_index * 64
+            outcome = maf.present_miss(now, block)
+            if outcome.combined_fill is not None:
+                continue
+            start = max(now, outcome.start_time)
+            maf.record_fill(block, start + latency, start=start)
+            windows[block] = (start, start + latency)
+            supremum = max(supremum, sum(
+                1 for s, f in windows.values() if s <= start < f
+            ))
+        assert maf.peak_occupancy == supremum
+        assert supremum <= 4
+
+
 class TestRecordFillGuards:
     def test_nan_fill_time_rejected(self):
         maf = MissAddressFile()

@@ -1,0 +1,107 @@
+"""Tests for the fault × family coverage report."""
+
+from repro.integrity.faultinject import Detection, DetectionMatrix
+from repro.reporting.coverage import (
+    CoverageCell,
+    coverage_cells,
+    render_coverage,
+)
+
+
+def _cell(fault, workload, family, *, detected=True, expected=True,
+          skipped=""):
+    return Detection(
+        fault=fault, description=fault, detected=detected,
+        channels=["invariant:x"] if detected else [],
+        expected_channel=detected and expected,
+        workload=workload, family=family, skipped=skipped,
+    )
+
+
+def _sweep(rows):
+    return DetectionMatrix(workload="sweep", rows=rows)
+
+
+class TestAggregation:
+    def test_folds_family_members_into_one_cell(self):
+        matrix = _sweep([
+            _cell("f", "A", "memory"),
+            _cell("f", "B", "memory"),
+            _cell("f", "C", "dram"),
+        ])
+        cells = coverage_cells(matrix)
+        assert set(cells) == {("f", "memory"), ("f", "dram")}
+        assert cells["f", "memory"].total == 2
+        assert cells["f", "memory"].detected == 2
+        assert cells["f", "memory"].complete
+
+    def test_silent_cell_lists_workload(self):
+        matrix = _sweep([
+            _cell("f", "A", "memory"),
+            _cell("f", "B", "memory", detected=False),
+        ])
+        cell = coverage_cells(matrix)["f", "memory"]
+        assert cell.silent == ["B"]
+        assert not cell.complete
+        assert cell.label().endswith("!")
+
+    def test_controls_and_skips_excluded(self):
+        matrix = _sweep([
+            Detection(fault="control", description="", detected=False,
+                      workload="A"),
+            _cell("f", "", "", skipped="pool faults disabled"),
+            _cell("f", "A", "memory"),
+        ])
+        assert set(coverage_cells(matrix)) == {("f", "memory")}
+
+    def test_off_design_channel_label(self):
+        cell = CoverageCell("f", "memory", detected=2, total=2,
+                            via_designed=0)
+        assert cell.label() == "2/2*"
+
+
+class TestRender:
+    def test_pass_verdict_and_grid(self):
+        matrix = _sweep([
+            _cell("f1", "A", "memory"),
+            _cell("f1", "C", "dram"),
+            _cell("f2", "A", "memory"),
+        ])
+        report = render_coverage(matrix)
+        assert "PASS" in report
+        assert "f1" in report and "f2" in report
+        assert "memory" in report and "dram" in report
+        # f2 is not paired with dram: a dot, not a gap.
+        f2_line = next(
+            line for line in report.splitlines()
+            if line.startswith("f2")
+        )
+        assert "·" in f2_line
+
+    def test_fail_verdict_names_silent_cells(self):
+        matrix = _sweep([
+            _cell("f1", "A", "memory", detected=False),
+        ])
+        report = render_coverage(matrix)
+        assert "FAIL" in report
+        assert "f1@A" in report
+
+    def test_single_workload_matrix_degrades_gracefully(self):
+        matrix = DetectionMatrix(workload="M-M", rows=[
+            Detection(fault="f", description="", detected=True),
+        ])
+        assert "no swept cells" in render_coverage(matrix)
+
+    def test_real_sweep_shape(self):
+        """End-to-end on a tiny real sweep: one fault, one family."""
+        from repro.integrity.faultinject import run_detection_sweep
+
+        sweep = run_detection_sweep(
+            faults=["dram_row_overcount"],
+            family_members={"dram": ("M-BANK",)},
+            include_pool_faults=False,
+        )
+        report = render_coverage(sweep)
+        assert "dram_row_overcount" in report
+        assert "1/1✓" in report
+        assert "PASS" in report

@@ -1,0 +1,95 @@
+"""Tests for the DRAM-layer kernels (M-ROW, M-BANK) and the
+workload-family registry the detection sweep is built on."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.pipeline import AlphaPipeline
+from repro.functional.machine import run_program
+from repro.workloads.micro import MICROBENCHMARKS
+from repro.workloads.micro.dram import dram_bank_thrash, dram_row_stream
+from repro.workloads.suite import (
+    WORKLOAD_FAMILIES,
+    WorkloadSet,
+    family_workloads,
+)
+
+
+def _dram_stats(name, program):
+    """Run ``program`` through sim-alpha and return its DRAM stats."""
+    trace = run_program(program)
+    pipeline = AlphaPipeline(MachineConfig(name="dram-micros-test"))
+    pipeline.run_trace(trace, name)
+    return pipeline.hierarchy.dram.stats
+
+
+class TestRowStream:
+    def test_every_load_is_a_fresh_block(self):
+        trace = run_program(dram_row_stream(blocks=256, unroll=8))
+        loads = [d for d in trace if d.is_load]
+        assert len(loads) == 256
+        blocks = [d.eaddr // 64 for d in loads]
+        assert len(set(blocks)) == 256
+        # Sequential: the whole point of the row-locality extreme.
+        assert blocks == sorted(blocks)
+
+    def test_row_hit_rate_is_extreme(self):
+        stats = _dram_stats("M-ROW", dram_row_stream(blocks=2048, unroll=8))
+        # 64 blocks per 4KB row: at most one miss per row plus cold
+        # i-stream traffic, so the hit rate lands well above 90%.
+        assert stats.accesses >= 2048
+        assert stats.row_hit_rate > 0.9
+
+    def test_rejects_ragged_unroll(self):
+        with pytest.raises(ValueError, match="multiple of unroll"):
+            dram_row_stream(blocks=100, unroll=8)
+
+
+class TestBankThrash:
+    def test_thrash_phase_strides_alternate_pages(self):
+        trace = run_program(dram_bank_thrash(pages=32, unroll=2))
+        loads = [d for d in trace if d.is_load]
+        # Phase 1: one load per page; phase 2: one per alternate page.
+        assert len(loads) == 32 + 16
+        thrash = loads[32:]
+        addresses = [d.eaddr for d in thrash]
+        assert all(a % 8192 == 4096 for a in addresses)
+        assert all(b - a == 16384 for a, b in zip(addresses, addresses[1:]))
+
+    def test_row_misses_and_bank_conflicts_dominate(self):
+        stats = _dram_stats("M-BANK", dram_bank_thrash(pages=384, unroll=2))
+        # Every data access opens a fresh row; overlapping independent
+        # loads pile onto the same bank.
+        assert stats.row_hit_rate < 0.1
+        assert stats.bank_conflicts > stats.accesses // 4
+
+    def test_rejects_odd_pages(self):
+        with pytest.raises(ValueError, match="must be even"):
+            dram_bank_thrash(pages=33)
+
+
+class TestFamilies:
+    def test_every_member_is_a_registered_workload(self):
+        known = set(MICROBENCHMARKS)
+        for family, members in WORKLOAD_FAMILIES.items():
+            assert members, family
+            missing = [m for m in members if m not in known]
+            assert not missing, f"{family}: {missing}"
+
+    def test_families_cover_paper_taxonomy(self):
+        assert set(WORKLOAD_FAMILIES) == {
+            "control", "execute", "memory", "dram",
+        }
+
+    def test_family_workloads_dedups_in_family_order(self):
+        names = family_workloads(["memory", "dram"])
+        assert names == ["M-D", "M-L2", "M-M", "M-ROW", "M-BANK"]
+
+    def test_family_workloads_rejects_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload family"):
+            family_workloads(["cache"])
+
+    def test_workload_set_builds_family_members(self):
+        ws = WorkloadSet()
+        for name in family_workloads(WORKLOAD_FAMILIES):
+            assert ws.program(name).name == name
