@@ -8,9 +8,12 @@ configurations over the same cached traces:
 * **baseline** — no instrumentation argument at all;
 * **disabled** — ``Instrumentation.disabled()`` threaded through the
   harness (the observer resolves to ``None`` inside the engine);
-* **enabled** — CPI stacks + metrics registry + a bounded tracer.
+* **enabled** — CPI stacks + metrics registry + a bounded tracer;
+* **profiled** — the hot-path profiler's phase laps + component wraps.
 
-and asserts the disabled mode stays within 5% of baseline.  Timing is
+and asserts the disabled mode stays within 5% of baseline.  (Cell
+telemetry — the getrusage pair — is always on and thus part of
+*baseline*; what this bench gates is the opt-in machinery.)  Timing is
 per (mode, workload) cell: rounds are interleaved with the mode order
 rotated each round so machine drift hits every mode alike, the best
 observation per cell is kept, and per-mode cell minima are summed.
@@ -47,6 +50,9 @@ def test_disabled_observability_overhead(harness):
         "enabled (stacks+metrics+trace)": lambda: Instrumentation(
             trace=True, trace_capacity=4096
         ),
+        "profiled (laps+components)": lambda: Instrumentation(
+            profile=True
+        ),
     }
     names = list(modes)
     cell_best = {
@@ -72,6 +78,7 @@ def test_disabled_observability_overhead(harness):
     baseline = best["baseline (no instrumentation)"]
     disabled = best["disabled Instrumentation"]
     enabled = best["enabled (stacks+metrics+trace)"]
+    profiled = best["profiled (laps+components)"]
     rows = [
         (name, seconds * 1e3, seconds / baseline)
         for name, seconds in best.items()
@@ -87,7 +94,9 @@ def test_disabled_observability_overhead(harness):
     overhead = disabled / baseline - 1.0
     print(f"\ndisabled-mode overhead: {overhead * 100:+.2f}% "
           f"(budget +5%); enabled-mode: "
-          f"{(enabled / baseline - 1.0) * 100:+.1f}%")
+          f"{(enabled / baseline - 1.0) * 100:+.1f}%; "
+          f"profiled-mode: "
+          f"{(profiled / baseline - 1.0) * 100:+.1f}%")
 
     # The contract: opting out of observability costs <5% wall time.
     assert disabled <= baseline * 1.05

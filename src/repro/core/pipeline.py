@@ -36,7 +36,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig
 from repro.functional.trace import DynInstr
-from repro.integrity.watchdog import PORT_SCAN_LIMIT, SimulationStuck
+from repro.integrity.watchdog import (
+    PORT_SCAN_LIMIT,
+    SimulationStuck,
+    record_heartbeat,
+)
 from repro.isa.instructions import InstrClass, Opcode
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.predictors.line import LinePredictor
@@ -288,6 +292,13 @@ class AlphaPipeline:
         sanitizer = getattr(observer, "sanitizer", None)
         if sanitizer is not None:
             sanitizer.attach(cfg, hier)
+        prof = getattr(observer, "profiler", None)
+        lap = None
+        if prof is not None:
+            prof.run_begin()
+            prof.instrument(self)
+            lap = prof.lap
+            lap("setup")
 
         for dyn in trace:
             instructions += 1
@@ -345,6 +356,8 @@ class AlphaPipeline:
                 prev_octaword = octaword
                 force_new_fetch = False
             fetch_time = group_ready
+            if lap is not None:
+                lap("fetch")
 
             # ----------------------------------------------------------
             # Short paths: no-ops, halt
@@ -356,6 +369,8 @@ class AlphaPipeline:
                 final_retire = retire if retire > final_retire else final_retire
                 if observer is not None:
                     observer.commit_short(dyn, fetch_time, retire, stats)
+                if lap is not None:
+                    lap("retire")
                 continue
             if klass is InstrClass.HALT:
                 retire = max(fetch_time + front_depth + 1, last_retire)
@@ -363,6 +378,8 @@ class AlphaPipeline:
                 final_retire = retire if retire > final_retire else final_retire
                 if observer is not None:
                     observer.commit_short(dyn, fetch_time, retire, stats)
+                if lap is not None:
+                    lap("retire")
                 continue
 
             # ----------------------------------------------------------
@@ -405,6 +422,8 @@ class AlphaPipeline:
                     oldest = storeq_ring.popleft()
                     if oldest > map_time:
                         map_time = oldest
+            if lap is not None:
+                lap("map")
 
             # ----------------------------------------------------------
             # Operand readiness and cluster choice
@@ -490,6 +509,15 @@ class AlphaPipeline:
                         f"{PORT_SCAN_LIMIT} cycles (width={width})",
                         instructions=instructions,
                         retire=last_retire,
+                        state={
+                            "stage": "issue-port-scan",
+                            "pc": pc,
+                            "cycle": cycle,
+                            "width": width,
+                            "issue_cycles_live": (
+                                len(int_ports) + len(fp_ports)
+                            ),
+                        },
                     )
             ports[cycle] = ports.get(cycle, 0) + 1
             if cycle > issue_time:
@@ -505,6 +533,8 @@ class AlphaPipeline:
                 best[1] = issue_time + 1
 
             queue_ring.append(issue_time + removal_delay)
+            if lap is not None:
+                lap("issue")
 
             # ----------------------------------------------------------
             # Execute / memory
@@ -590,6 +620,8 @@ class AlphaPipeline:
             else:
                 consumer_ready = issue_time + latency + bypass_penalty
                 complete = issue_time + regread + latency
+            if lap is not None:
+                lap("mem" if (dyn.is_load or dyn.is_store) else "execute")
 
             # ----------------------------------------------------------
             # Control resolution
@@ -679,6 +711,8 @@ class AlphaPipeline:
             if trap_redirect:
                 pending_fetch_at = max(pending_fetch_at, trap_redirect)
                 force_new_fetch = True
+            if lap is not None:
+                lap("control")
 
             # ----------------------------------------------------------
             # Write-back / retire
@@ -700,6 +734,13 @@ class AlphaPipeline:
                         f"(retire_width={retire_width})",
                         instructions=instructions,
                         retire=last_retire,
+                        state={
+                            "stage": "retire-port-scan",
+                            "pc": pc,
+                            "cycle": rcycle,
+                            "retire_width": retire_width,
+                            "rob": len(rob_ring),
+                        },
                     )
             retire_ports[rcycle] = retire_ports.get(rcycle, 0) + 1
             if rcycle > retire:
@@ -724,8 +765,26 @@ class AlphaPipeline:
             # heartbeat, which rides the same stride for zero cost on
             # the common path).
             if not instructions % 8192:
+                # The heartbeat carries a pipeline-state snapshot so a
+                # SIGUSR1 escalation (or watchdog trip) reports *where*
+                # the run was — stage frontier, window and queue
+                # occupancies, live port-table sizes — not just how far.
+                beat_state = {
+                    "stage": "retire",
+                    "pc": pc,
+                    "rob": len(rob_ring),
+                    "int_rename": len(int_rename),
+                    "fp_rename": len(fp_rename),
+                    "intq": len(intq_ring),
+                    "fpq": len(fpq_ring),
+                    "storeq": len(storeq_ring),
+                    "issue_cycles_live": len(int_ports) + len(fp_ports),
+                    "retire_cycles_live": len(retire_ports),
+                }
                 if watchdog is not None:
-                    watchdog.beat(instructions, last_retire)
+                    watchdog.beat(instructions, last_retire, beat_state)
+                else:
+                    record_heartbeat(instructions, last_retire, beat_state)
                 now = issue_time
                 if len(pending_stores) > 4096:
                     pending_stores = {
@@ -748,6 +807,8 @@ class AlphaPipeline:
                     retire_ports = {
                         c: n for c, n in retire_ports.items() if c > horizon
                     }
+            if lap is not None:
+                lap("retire")
 
         stats.itlb_misses = hier.itlb.stats.misses
         if window_size is not None:
@@ -762,4 +823,6 @@ class AlphaPipeline:
         )
         if observer is not None:
             observer.finalize(result)
+        if prof is not None:
+            prof.run_end()
         return result

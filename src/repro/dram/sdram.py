@@ -113,3 +113,11 @@ class Sdram:
         self._open_row.clear()
         self._bank_free.clear()
         self.stats = DramStats()
+
+
+#: Declarative profiler hooks (see :mod:`repro.obs.profiler`).
+PROFILE_COMPONENTS = {
+    "Sdram": {
+        "access": "mem/dram",
+    },
+}

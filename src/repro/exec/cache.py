@@ -28,8 +28,9 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.obs.registry import MetricsRegistry
 from repro.result import SimResult
@@ -125,6 +126,13 @@ class ResultCache:
                 else:
                     self.hits += 1
                     self._count("hits")
+                    try:
+                        # Refresh mtime: recency is the LRU eviction
+                        # order :meth:`gc` uses, so a hit keeps an
+                        # entry alive.
+                        os.utime(path)
+                    except OSError:  # pragma: no cover - races
+                        pass
                     return result
             else:
                 self._drop(path)
@@ -159,16 +167,103 @@ class ResultCache:
         """Explicitly drop ``key``'s entry (the refresh path)."""
         return self._drop(self._path(key))
 
-    def _drop(self, path: str) -> bool:
+    def _unlink(self, path: str) -> bool:
         try:
             os.unlink(path)
         except FileNotFoundError:
             return False
         except OSError:  # pragma: no cover - permission races
             return False
+        return True
+
+    def _drop(self, path: str) -> bool:
+        if not self._unlink(path):
+            return False
         self.invalidations += 1
         self._count("invalidations")
         return True
+
+    def gc(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        live: Optional[Iterable] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Dict:
+        """Prune the cache; returns a summary of what was reclaimed.
+
+        Three independent criteria, applied in order:
+
+        * ``live`` — an iterable of :class:`CacheKey` (or digest
+          strings) that are *never* evicted, whatever their age or the
+          size budget (the current experiment's working set);
+        * ``max_age_s`` — entries not touched (stored or hit) within
+          that many seconds of ``now`` are removed;
+        * ``max_bytes`` — if the surviving entries still exceed this
+          byte budget, least-recently-used entries (oldest mtime
+          first) are evicted until the cache fits.
+
+        Orphaned ``.tmp`` files from interrupted writes are removed by
+        the age pass as well.  ``now`` is injectable for tests.  The
+        summary — removed digests (sorted), bytes reclaimed, entries
+        kept — is also mirrored into the attached metrics registry
+        (``exec.cache.gc_removed`` / ``exec.cache.gc_bytes_reclaimed``).
+        """
+        if now is None:
+            now = time.time()
+        keep = set()
+        for item in (live or ()):
+            keep.add(item.digest() if isinstance(item, CacheKey) else item)
+
+        entries = []   # (mtime, size, digest, path)
+        removed = []
+        reclaimed = 0
+        for name in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, name)
+            try:
+                stat = os.stat(path)
+            except OSError:  # pragma: no cover - deletion race
+                continue
+            if name.endswith(".tmp"):
+                # Interrupted-write leftovers age out like entries.
+                if max_age_s is not None and now - stat.st_mtime > max_age_s:
+                    if self._unlink(path):
+                        reclaimed += stat.st_size
+                continue
+            if not name.endswith(".json"):
+                continue
+            digest = name[:-len(".json")]
+            if digest in keep:
+                continue
+            if max_age_s is not None and now - stat.st_mtime > max_age_s:
+                if self._unlink(path):
+                    removed.append(digest)
+                    reclaimed += stat.st_size
+                continue
+            entries.append((stat.st_mtime, stat.st_size, digest, path))
+
+        if max_bytes is not None:
+            total = sum(size for _, size, _, _ in entries)
+            entries.sort()  # oldest mtime first = least recently used
+            for _, size, digest, path in entries:
+                if total <= max_bytes:
+                    break
+                if self._unlink(path):
+                    removed.append(digest)
+                    reclaimed += size
+                    total -= size
+
+        if self.metrics is not None:
+            self.metrics.counter("exec.cache.gc_removed").inc(len(removed))
+            self.metrics.counter("exec.cache.gc_bytes_reclaimed").inc(
+                reclaimed
+            )
+        return {
+            "removed": sorted(removed),
+            "reclaimed_bytes": reclaimed,
+            "kept": len(self),
+        }
 
     def __len__(self) -> int:
         return sum(

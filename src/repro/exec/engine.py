@@ -50,6 +50,7 @@ from repro.integrity.watchdog import (
 from repro.obs.observer import Instrumentation
 from repro.obs.provenance import _package_version, config_hash
 from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import GridProgress, RunLedger, mirror_to_metrics
 from repro.result import SimResult
 from repro.validation.harness import (
     CellFailure,
@@ -159,6 +160,7 @@ def _worker_main(conn, factory, workload, workload_set, instrumentation,
             conn.send(("stuck", str(exc), {
                 "detail": exc.detail,
                 "instructions": exc.instructions, "retire": exc.retire,
+                "state": exc.state,
             }))
         else:
             if harness.last_violations:
@@ -272,6 +274,10 @@ class ExperimentEngine:
         if cache is not None and cache.metrics is None:
             cache.metrics = self.metrics
         self.cache: Optional[ResultCache] = cache
+        #: Live per-grid telemetry sinks (set for the duration of one
+        #: :meth:`run_grid` call; ``None`` otherwise).
+        self._ledger: Optional[RunLedger] = None
+        self._progress_line: Optional[GridProgress] = None
         self._ctx = (
             multiprocessing.get_context("fork")
             if "fork" in multiprocessing.get_all_start_methods()
@@ -300,12 +306,19 @@ class ExperimentEngine:
         *,
         instrumentation: Optional[Instrumentation] = None,
         progress: Optional[Callable[[str, str], None]] = None,
+        ledger=None,
+        live_progress: bool = False,
     ) -> ResultGrid:
         """Run every factory over every workload; see the module doc.
 
         The returned grid holds a result for every cell that completed
         and a :class:`CellFailure` for every cell that exhausted its
         attempts, in serial iteration order.
+
+        ``ledger`` (a :class:`~repro.obs.telemetry.RunLedger` or a
+        JSONL path) appends one telemetry record per settled cell;
+        ``live_progress=True`` renders a live
+        ``cells done/total, cells/s, ETA`` line on stderr.
         """
         names = list(workload_names)
         self.metrics.gauge("exec.jobs").set(self.jobs)
@@ -342,6 +355,14 @@ class ExperimentEngine:
                 )
                 cells.append(_Cell(len(cells), sim_name, factory, name, key))
 
+        owns_ledger = isinstance(ledger, (str, os.PathLike))
+        if owns_ledger:
+            ledger = RunLedger(ledger)
+        self._ledger = ledger
+        self._progress_line = (
+            GridProgress(len(cells)) if live_progress else None
+        )
+
         # Resolve checkpointed cells (resuming) and cache hits (or,
         # refreshing, drop stale entries).
         checkpointed: Dict[str, SimResult] = {}
@@ -358,6 +379,10 @@ class ExperimentEngine:
                 if hit is not None:
                     results[cell.index] = hit
                     self.metrics.counter("exec.checkpoint.resumed").inc()
+                    self._note_cell(
+                        cell.sim_name, cell.workload, "ok",
+                        source="checkpoint", telemetry=hit.telemetry,
+                    )
                     continue
             if self.cache is not None and self.refresh:
                 self.cache.invalidate(cell.key)
@@ -365,6 +390,10 @@ class ExperimentEngine:
                 hit = self.cache.get(cell.key)
                 if hit is not None:
                     results[cell.index] = hit
+                    self._note_cell(
+                        cell.sim_name, cell.workload, "ok",
+                        source="cache", telemetry=hit.telemetry,
+                    )
                     continue
             to_run.append(cell)
 
@@ -382,6 +411,12 @@ class ExperimentEngine:
         finally:
             if self.checkpoint is not None:
                 self.checkpoint.flush()
+            if self._progress_line is not None:
+                self._progress_line.close()
+            self._progress_line = None
+            self._ledger = None
+            if owns_ledger:
+                ledger.close()
 
         grid = ResultGrid()
         for cell in cells:
@@ -422,8 +457,20 @@ class ExperimentEngine:
 
     # -- execution backends ------------------------------------------------
 
+    def _note_cell(self, simulator: str, workload: str, status: str,
+                   *, source: str = "run", attempts: int = 1,
+                   telemetry=None) -> None:
+        """Report one settled cell to the run ledger and progress line."""
+        if self._ledger is not None:
+            self._ledger.record(
+                simulator=simulator, workload=workload, status=status,
+                source=source, attempts=attempts, telemetry=telemetry,
+            )
+        if self._progress_line is not None:
+            self._progress_line.update()
+
     def _record_success(self, cell: _Cell, result: SimResult,
-                        elapsed: float) -> None:
+                        elapsed: float, attempts: int = 1) -> None:
         self.metrics.timer(
             f"exec.cell.{cell.sim_name}.{cell.workload}"
         ).observe(elapsed)
@@ -432,6 +479,10 @@ class ExperimentEngine:
             self.cache.put(cell.key, result)
         if self.checkpoint is not None:
             self.checkpoint.record(cell.key.digest(), result)
+        self._note_cell(
+            cell.sim_name, cell.workload, "ok",
+            attempts=attempts, telemetry=result.telemetry,
+        )
 
     def _quarantine(self, cell: _Cell,
                     violations: List[InvariantViolation],
@@ -446,6 +497,9 @@ class ExperimentEngine:
             attempts=attempts, elapsed_s=elapsed,
         )
         self.metrics.counter("exec.cells.quarantined").inc()
+        self._note_cell(
+            cell.sim_name, cell.workload, "invariant", attempts=attempts
+        )
 
     def _stuck_failure(self, cell: _Cell, message: str,
                        snapshot: Optional[Dict],
@@ -462,6 +516,9 @@ class ExperimentEngine:
             snapshot=snapshot,
         )
         self.metrics.counter("exec.cells.failed").inc()
+        self._note_cell(
+            cell.sim_name, cell.workload, "stuck", attempts=attempts
+        )
 
     def _run_inprocess(self, to_run, results, failures,
                        instrumentation, progress) -> None:
@@ -497,7 +554,8 @@ class ExperimentEngine:
                     self._stuck_failure(
                         cell, str(exc),
                         {"instructions": exc.instructions,
-                         "retire": exc.retire},
+                         "retire": exc.retire,
+                         "state": exc.state},
                         failures, attempt, time.perf_counter() - started,
                     )
                     break
@@ -518,6 +576,10 @@ class ExperimentEngine:
                         elapsed_s=elapsed,
                     )
                     self.metrics.counter("exec.cells.failed").inc()
+                    self._note_cell(
+                        cell.sim_name, cell.workload, "exception",
+                        attempts=attempt,
+                    )
                 else:
                     if harness.last_violations:
                         self._quarantine(
@@ -527,7 +589,8 @@ class ExperimentEngine:
                     else:
                         results[cell.index] = result
                         self._record_success(
-                            cell, result, time.perf_counter() - started
+                            cell, result, time.perf_counter() - started,
+                            attempt,
                         )
                     break
 
@@ -609,6 +672,10 @@ class ExperimentEngine:
                 snapshot=snapshot,
             )
             self.metrics.counter("exec.cells.failed").inc()
+            self._note_cell(
+                cell.sim_name, cell.workload, kind,
+                attempts=attempt.attempt,
+            )
 
         try:
             while pending or live or delayed:
@@ -666,8 +733,15 @@ class ExperimentEngine:
                     )
                     if kind == "ok":
                         results[attempt.cell.index] = message[1]
+                        # The worker's registry died with the worker;
+                        # mirror its telemetry into the parent's.
+                        mirror_to_metrics(
+                            self.metrics, attempt.cell.sim_name,
+                            attempt.cell.workload, message[1].telemetry,
+                        )
                         self._record_success(
-                            attempt.cell, message[1], elapsed
+                            attempt.cell, message[1], elapsed,
+                            attempt.attempt,
                         )
                     elif kind == "quarantined":
                         self._quarantine(

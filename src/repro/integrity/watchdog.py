@@ -30,13 +30,14 @@ from __future__ import annotations
 
 import signal
 import time
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 __all__ = [
     "SimulationStuck",
     "Watchdog",
     "PORT_SCAN_LIMIT",
     "install_escalation_handler",
+    "record_heartbeat",
 ]
 
 #: Cycles a port-arbitration scan may advance past its start before the
@@ -59,6 +60,7 @@ class SimulationStuck(RuntimeError):
         *,
         instructions: int = 0,
         retire: float = 0.0,
+        state: Optional[Dict] = None,
     ):
         super().__init__(
             f"simulation stuck: {detail} "
@@ -68,6 +70,11 @@ class SimulationStuck(RuntimeError):
         self.detail = detail
         self.instructions = instructions
         self.retire = retire
+        #: Pipeline stage/port state at detection time (see
+        #: :func:`record_heartbeat`): where in the loop the engine was,
+        #: plus window/queue/port occupancies — what localises a hang
+        #: on a remote shard where no debugger can reach.
+        self.state = state
 
 
 class Watchdog:
@@ -94,10 +101,14 @@ class Watchdog:
         self._last_retire: Optional[float] = None
         self._last_progress_at = 0.0
 
-    def beat(self, instructions: int, retire: float) -> None:
+    def beat(
+        self,
+        instructions: int,
+        retire: float,
+        state: Optional[Dict] = None,
+    ) -> None:
         """Report progress; raises if the frontier has been stuck."""
-        _last_beat["instructions"] = instructions
-        _last_beat["retire"] = retire
+        record_heartbeat(instructions, retire, state)
         now = self._clock()
         if self._last_retire is None or retire > self._last_retire:
             self._last_retire = retire
@@ -110,6 +121,7 @@ class Watchdog:
                 f"(watchdog budget {self.stall_s:g}s)",
                 instructions=instructions,
                 retire=retire,
+                state=state,
             )
 
 
@@ -117,7 +129,26 @@ class Watchdog:
 #: received — what the escalation handler reports when the parent asks
 #: a wall-clock-expired worker where it got stuck.  Workers are
 #: single-cell processes, so one record suffices.
-_last_beat = {"instructions": 0, "retire": 0.0}
+_last_beat = {"instructions": 0, "retire": 0.0, "state": None}
+
+
+def record_heartbeat(
+    instructions: int,
+    retire: float,
+    state: Optional[Dict] = None,
+) -> None:
+    """Update the process-wide heartbeat the escalation handler reports.
+
+    The timing engine calls this on its heartbeat stride even when no
+    :class:`Watchdog` is armed, passing a small pipeline-state dict
+    (current stage, window/queue occupancies, port frontiers).  A
+    SIGUSR1 escalation then dumps *where in the pipeline* the run was,
+    not just how far it had got.
+    """
+    _last_beat["instructions"] = instructions
+    _last_beat["retire"] = retire
+    if state is not None:
+        _last_beat["state"] = state
 
 
 def _escalate(signum, frame):
@@ -125,6 +156,7 @@ def _escalate(signum, frame):
         "parent escalated a wall-clock timeout (SIGUSR1)",
         instructions=_last_beat["instructions"],
         retire=_last_beat["retire"],
+        state=_last_beat["state"],
     )
 
 

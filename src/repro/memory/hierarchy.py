@@ -461,3 +461,18 @@ class MemoryHierarchy:
             ready, False, l2_hit, False,
             tlb_miss, stall_cycles, outcome.stalled, False, l2_conflict,
         )
+
+
+#: Declarative profiler hooks (see :mod:`repro.obs.profiler`): method
+#: name -> "parent-phase/component".  Consumed by
+#: ``HotPathProfiler.instrument`` when ``Instrumentation(profile=True)``
+#: is active; costs nothing otherwise (no inline timing code here).
+PROFILE_COMPONENTS = {
+    "MemoryHierarchy": {
+        "ifetch": "fetch/icache",
+        "load": "mem/dcache",
+        "store": "mem/dcache-store",
+        "_translate": "mem/tlb",
+        "_l2_access": "mem/l2",
+    },
+}

@@ -180,3 +180,12 @@ class MissAddressFile:
         if fill is not None and fill > now:
             return fill
         return None
+
+
+#: Declarative profiler hooks (see :mod:`repro.obs.profiler`).
+PROFILE_COMPONENTS = {
+    "MissAddressFile": {
+        "present_miss": "mem/maf",
+        "record_fill": "mem/maf",
+    },
+}

@@ -13,6 +13,13 @@ lens over itself:
   base/fetch/issue/memory/trap/bubble components that sum exactly;
 * :class:`RunProvenance` — config hash + version + host + wall clock
   attached to results;
+* :class:`HotPathProfiler` — exact wall-time attribution of the
+  simulator's own hot loop to pipeline phases and hierarchy/predictor
+  components, with a flamegraph-compatible collapsed-stack export
+  (``Instrumentation(profile=True)``);
+* :class:`CellTelemetry` / :class:`RunLedger` / :class:`GridProgress`
+  — per-cell resource cost (wall, CPU, RSS, KIPS) on every result, a
+  JSONL per-grid run ledger, and a live progress line;
 * :class:`Instrumentation` — the bundle the harness, CLI, and
   simulators accept; ``Instrumentation.disabled()`` (or simply passing
   nothing) keeps the hot timing loop at one pointer check per
@@ -37,15 +44,30 @@ from repro.obs.cpistack import (
     cpi_stack_total,
 )
 from repro.obs.observer import EVENT_FIELDS, Instrumentation, RunObserver
+from repro.obs.profiler import PHASES, HotPathProfiler
 from repro.obs.provenance import (
     RunProvenance,
     capture_provenance,
     config_hash,
 )
 from repro.obs.registry import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.telemetry import (
+    CellTelemetry,
+    GridProgress,
+    RunLedger,
+    TelemetryProbe,
+    mirror_to_metrics,
+)
 from repro.obs.tracer import PipelineTracer, TraceEvent, validate_chrome_trace
 
 __all__ = [
+    "HotPathProfiler",
+    "PHASES",
+    "CellTelemetry",
+    "TelemetryProbe",
+    "RunLedger",
+    "GridProgress",
+    "mirror_to_metrics",
     "CPI_COMPONENTS",
     "CpiStackAccountant",
     "cpi_stack_total",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.cpistack import CpiStackAccountant
+from repro.obs.profiler import HotPathProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import PipelineTracer, TraceEvent
 
@@ -51,7 +52,7 @@ class RunObserver:
     """Per-run sink for the engine's instrumentation hook."""
 
     __slots__ = (
-        "tracer", "accountant", "metrics", "sanitizer",
+        "tracer", "accountant", "metrics", "sanitizer", "profiler",
         "simulator", "workload",
         "_prev_retire", "_pre", "_seq", "_instr_counter",
     )
@@ -63,6 +64,7 @@ class RunObserver:
         accountant: Optional[CpiStackAccountant] = None,
         metrics: Optional[MetricsRegistry] = None,
         sanitizer=None,
+        profiler: Optional[HotPathProfiler] = None,
         simulator: str = "",
         workload: str = "",
     ):
@@ -73,6 +75,10 @@ class RunObserver:
         # the timing engine also reads this attribute directly to
         # attach its live state and validate latencies at the source.
         self.sanitizer = sanitizer
+        # A HotPathProfiler (or None); the timing engine reads this
+        # attribute directly to lap its stage boundaries and wrap the
+        # hierarchy/predictor components.
+        self.profiler = profiler
         self.simulator = simulator
         self.workload = workload
         self._prev_retire = 0.0
@@ -170,12 +176,14 @@ class Instrumentation:
         trace: bool = False,
         trace_capacity: int = 65_536,
         cpi_stacks: bool = True,
+        profile: bool = False,
         registry: Optional[MetricsRegistry] = None,
     ):
         self.enabled = enabled
         self.trace = trace
         self.trace_capacity = trace_capacity
         self.cpi_stacks = cpi_stacks
+        self.profile = profile
         self.registry = registry if registry is not None else MetricsRegistry(
             enabled=enabled
         )
@@ -198,6 +206,7 @@ class Instrumentation:
             ),
             accountant=CpiStackAccountant() if self.cpi_stacks else None,
             metrics=self.registry if self.registry.enabled else None,
+            profiler=HotPathProfiler() if self.profile else None,
             simulator=simulator,
             workload=workload,
         )
@@ -216,4 +225,18 @@ class Instrumentation:
         for _, _, obs in reversed(self.runs):
             if obs.tracer is not None:
                 return obs.tracer
+        return None
+
+    def profilers(self) -> Dict[Tuple[str, str], HotPathProfiler]:
+        """Profilers collected so far, keyed by (simulator, workload)."""
+        return {
+            (sim, wl): obs.profiler
+            for sim, wl, obs in self.runs
+            if obs.profiler is not None
+        }
+
+    def last_profiler(self) -> Optional[HotPathProfiler]:
+        for _, _, obs in reversed(self.runs):
+            if obs.profiler is not None:
+                return obs.profiler
         return None

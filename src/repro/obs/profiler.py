@@ -1,0 +1,303 @@
+"""Hot-path profiler: where the simulator's *own* wall-time goes.
+
+The paper's discipline — never trust a number whose error you have not
+measured — applies to the tooling too.  ROADMAP item 1 wants the
+per-instruction Python timing loop 10-100x faster, and a speedup
+campaign without attribution optimizes blind.  This module is the map:
+a :class:`HotPathProfiler` attributes one run's wall-clock time to the
+pipeline's phases (fetch / map / issue / mem / execute / control /
+retire) and, one level down, to the components those phases call into
+(cache lookups, the MSHRs, TLB/page-walk, the DRAM model, predictor
+updates).
+
+Two measurement mechanisms, both exact (no sampling):
+
+* **phase laps** — :meth:`AlphaPipeline.run_trace` calls
+  :meth:`HotPathProfiler.lap` at each stage boundary of the
+  per-instruction loop.  Laps form a continuous timeline: every
+  nanosecond between ``run_begin`` and ``run_end`` lands in exactly one
+  phase, so the attribution table *sums to the measured run time* (the
+  acceptance bar is >=95% coverage; laps deliver ~100% minus the cost
+  of the final bookkeeping).
+* **component wrapping** — :meth:`instrument` walks the declarative
+  ``PROFILE_COMPONENTS`` tables that :mod:`repro.memory.hierarchy`,
+  :mod:`repro.memory.mshr`, :mod:`repro.dram.sdram`, and the predictor
+  modules export, and wraps those bound methods on the *instances* of
+  one pipeline.  Wrapped calls nest (DRAM inside L2 inside a load);
+  a child-time stack keeps every component's total *exclusive*
+  (self-time), so components never double-count each other.
+
+When no profiler is attached the engine pays one ``is not None`` check
+per lap point and nothing is wrapped — the same <5% disabled-overhead
+contract as the tracer, asserted by
+``benchmarks/bench_observability_overhead.py``.
+
+Export: :meth:`attribution` (plain data), :meth:`render` (the
+attribution table), and :meth:`write_collapsed` (collapsed-stack lines,
+``phase;component microseconds``, loadable by any flamegraph tool —
+``flamegraph.pl``, speedscope, inferno).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["HotPathProfiler", "PHASES"]
+
+#: Phase names in pipeline order (the attribution table's row order).
+PHASES: Tuple[str, ...] = (
+    "setup",
+    "fetch",
+    "map",
+    "issue",
+    "mem",
+    "execute",
+    "control",
+    "retire",
+    "finalize",
+)
+
+
+class HotPathProfiler:
+    """Exact wall-time attribution for one (or more) timing runs.
+
+    One profiler may accumulate several runs (a grid's worth); totals
+    are cumulative.  ``clock`` is injectable for tests.
+    """
+
+    __slots__ = (
+        "_clock", "phases", "components", "component_calls",
+        "total_s", "runs",
+        "_lap_prev", "_run_start", "_stack", "_wrapped",
+    )
+
+    def __init__(self, *, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        #: phase -> accumulated seconds (a complete partition of run time).
+        self.phases: Dict[str, float] = {}
+        #: component -> accumulated *exclusive* seconds.
+        self.components: Dict[str, float] = {}
+        #: component -> call count.
+        self.component_calls: Dict[str, int] = {}
+        #: total measured wall seconds across runs (run_begin..run_end).
+        self.total_s = 0.0
+        self.runs = 0
+        self._lap_prev = 0.0
+        self._run_start: Optional[float] = None
+        #: Child-time accumulators for in-flight component calls.
+        self._stack: List[float] = []
+        #: ids of objects already wrapped (shared-MAF dedup).
+        self._wrapped: set = set()
+
+    # -- run scope ---------------------------------------------------------
+
+    def run_begin(self) -> None:
+        """Mark the start of a timed run (resets the lap origin)."""
+        now = self._clock()
+        self._run_start = now
+        self._lap_prev = now
+
+    def run_end(self) -> None:
+        """Close the run: the tail lands in ``finalize``."""
+        if self._run_start is None:
+            return
+        self.lap("finalize")
+        self.total_s += self._lap_prev - self._run_start
+        self.runs += 1
+        self._run_start = None
+
+    # -- phase laps (the pipeline loop's API) ------------------------------
+
+    def lap(self, phase: str) -> None:
+        """Attribute the time since the previous lap to ``phase``.
+
+        Laps are a continuous timeline: each call charges exactly the
+        interval since the last lap (or ``run_begin``), so phase totals
+        partition the run with no gaps and no overlap.
+        """
+        now = self._clock()
+        self.phases[phase] = (
+            self.phases.get(phase, 0.0) + now - self._lap_prev
+        )
+        self._lap_prev = now
+
+    # -- component timing (the wrapped-method API) -------------------------
+
+    def cstart(self) -> float:
+        """Open a component interval; returns the start token."""
+        self._stack.append(0.0)
+        return self._clock()
+
+    def cstop(self, name: str, start: float) -> None:
+        """Close a component interval opened by :meth:`cstart`.
+
+        The elapsed time minus any nested component time is credited to
+        ``name`` (exclusive attribution); the full elapsed time is
+        reported upward to the enclosing component, if any.
+        """
+        elapsed = self._clock() - start
+        child = self._stack.pop()
+        self.components[name] = (
+            self.components.get(name, 0.0) + elapsed - child
+        )
+        self.component_calls[name] = self.component_calls.get(name, 0) + 1
+        if self._stack:
+            self._stack[-1] += elapsed
+
+    # -- instance instrumentation ------------------------------------------
+
+    def _wrap(self, obj: object, attr: str, component: str) -> None:
+        inner = getattr(obj, attr)
+        if getattr(inner, "_profiled", False):
+            return
+
+        def timed(*args, _inner=inner, _name=component, **kwargs):
+            token = self.cstart()
+            try:
+                return _inner(*args, **kwargs)
+            finally:
+                self.cstop(_name, token)
+
+        timed._profiled = True
+        setattr(obj, attr, timed)
+
+    def _instrument_object(self, obj: object) -> None:
+        """Wrap one instance's declared profile hooks (idempotent)."""
+        if obj is None or id(obj) in self._wrapped:
+            return
+        # The declarative hook table lives on the instance's module.
+        module = sys.modules.get(type(obj).__module__)
+        hooks = getattr(module, "PROFILE_COMPONENTS", None)
+        if not hooks:
+            return
+        class_hooks = hooks.get(type(obj).__name__)
+        if not class_hooks:
+            return
+        for attr, component in class_hooks.items():
+            if hasattr(obj, attr):
+                self._wrap(obj, attr, component)
+        self._wrapped.add(id(obj))
+
+    def instrument(self, pipeline) -> None:
+        """Attach component timers to one :class:`AlphaPipeline`.
+
+        Walks the pipeline's hierarchy (caches, MAFs, TLB path, DRAM)
+        and predictors, wrapping every method their modules declare in
+        ``PROFILE_COMPONENTS``.  Wrapping is per *instance*, and a
+        fresh pipeline is built per run, so instrumentation never
+        leaks between runs.  Shared objects (one MAF serving three
+        caches) are wrapped once.
+        """
+        hier = getattr(pipeline, "hierarchy", None)
+        targets = [
+            hier,
+            getattr(hier, "dram", None),
+            getattr(hier, "maf_i", None),
+            getattr(hier, "maf_d", None),
+            getattr(hier, "maf_l2", None),
+            getattr(pipeline, "branch_predictor", None),
+            getattr(pipeline, "line_predictor", None),
+            getattr(pipeline, "way_predictor", None),
+            getattr(pipeline, "ras", None),
+            getattr(pipeline, "load_use", None),
+            getattr(pipeline, "store_wait", None),
+        ]
+        for target in targets:
+            self._instrument_object(target)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of measured run wall-time the phase table explains."""
+        return (
+            sum(self.phases.values()) / self.total_s if self.total_s else 0.0
+        )
+
+    def attribution(self) -> Dict:
+        """The full attribution as plain JSON-ready data."""
+        ordered = {
+            phase: self.phases[phase]
+            for phase in PHASES if phase in self.phases
+        }
+        for phase in sorted(self.phases):
+            ordered.setdefault(phase, self.phases[phase])
+        return {
+            "total_s": self.total_s,
+            "runs": self.runs,
+            "coverage": self.coverage,
+            "phases": ordered,
+            "components": {
+                name: {
+                    "self_s": self.components[name],
+                    "calls": self.component_calls.get(name, 0),
+                }
+                for name in sorted(self.components)
+            },
+        }
+
+    def render(self) -> str:
+        """The per-run attribution table (phases, then components)."""
+        data = self.attribution()
+        total = data["total_s"] or 1e-12
+        lines = [
+            f"hot-path attribution ({data['runs']} run(s), "
+            f"{data['total_s'] * 1e3:.1f} ms measured, "
+            f"coverage {data['coverage'] * 100:.1f}%)",
+            f"{'phase':<12} {'ms':>10} {'share':>7}",
+        ]
+        for phase, seconds in data["phases"].items():
+            lines.append(
+                f"{phase:<12} {seconds * 1e3:>10.2f} "
+                f"{seconds / total * 100:>6.1f}%"
+            )
+        if data["components"]:
+            lines.append("")
+            lines.append(
+                f"{'component':<22} {'self ms':>10} {'calls':>10} "
+                f"{'us/call':>8}"
+            )
+            for name, record in data["components"].items():
+                calls = record["calls"] or 1
+                lines.append(
+                    f"{name:<22} {record['self_s'] * 1e3:>10.2f} "
+                    f"{record['calls']:>10} "
+                    f"{record['self_s'] / calls * 1e6:>8.2f}"
+                )
+        return "\n".join(lines)
+
+    def collapsed_stacks(self) -> List[str]:
+        """Flamegraph-compatible collapsed-stack lines.
+
+        Phases become ``pipeline;<phase>`` frames; components become
+        ``pipeline;<parent-phase>;<leaf>`` children (a component names
+        its parent phase in its ``"parent/leaf"`` hook name).  Values
+        are integer microseconds of *self* time, so a flamegraph's
+        frame widths match the attribution table.  Component self-time
+        is subtracted from its parent phase so stacks never
+        double-count.
+        """
+        child_of: Dict[str, float] = {}
+        lines: List[str] = []
+        for name in sorted(self.components):
+            parent, _, leaf = name.partition("/")
+            seconds = self.components[name]
+            child_of[parent] = child_of.get(parent, 0.0) + seconds
+            micros = int(round(seconds * 1e6))
+            if micros > 0:
+                lines.append(f"pipeline;{parent};{leaf or name} {micros}")
+        phase_lines: List[str] = []
+        for phase, seconds in self.phases.items():
+            self_s = max(0.0, seconds - child_of.get(phase, 0.0))
+            micros = int(round(self_s * 1e6))
+            if micros > 0:
+                phase_lines.append(f"pipeline;{phase} {micros}")
+        return sorted(phase_lines) + lines
+
+    def write_collapsed(self, path: str) -> None:
+        """Write :meth:`collapsed_stacks` one line per stack."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.collapsed_stacks():
+                handle.write(line + "\n")

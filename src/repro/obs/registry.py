@@ -20,8 +20,9 @@ should look an instrument up once and keep the reference.
 from __future__ import annotations
 
 import json
+import re
 import time
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 __all__ = [
     "Counter",
@@ -197,3 +198,59 @@ class MetricsRegistry:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+    # -- OpenMetrics / Prometheus textfile export -------------------------
+
+    def render_openmetrics(self, *, prefix: str = "repro") -> str:
+        """The registry as OpenMetrics text (Prometheus-scrapeable).
+
+        Counters become ``<prefix>_<name>_total``, gauges become
+        ``<prefix>_<name>``, and timers become a
+        ``_seconds_sum``/``_seconds_count`` pair (the summary subset
+        the textfile collector understands).  Metric names are
+        sanitised (dots to underscores), families are emitted in
+        sorted order, and nothing varying (timestamps, hosts) is
+        included, so two registries holding the same values render
+        byte-identically — the property the telemetry determinism
+        tests pin.
+        """
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            metric = _metric_name(prefix, name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric}_total {_format_value(counter.value)}")
+        for name, gauge in sorted(self._gauges.items()):
+            metric = _metric_name(prefix, name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(gauge.value)}")
+        for name, timer in sorted(self._timers.items()):
+            metric = _metric_name(prefix, name) + "_seconds"
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f"{metric}_sum {_format_value(timer.total)}")
+            lines.append(f"{metric}_count {timer.count}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    def write_openmetrics(self, path: str, *, prefix: str = "repro") -> None:
+        """Write :meth:`render_openmetrics` to ``path`` (a Prometheus
+        node-exporter textfile-collector drop, or anything that scrapes
+        OpenMetrics)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render_openmetrics(prefix=prefix))
+
+
+_METRIC_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    """A legal OpenMetrics metric name for a dotted instrument name."""
+    return _METRIC_SANITIZE.sub("_", f"{prefix}_{name}")
+
+
+def _format_value(value: float) -> str:
+    """Numbers formatted stably (integers without a trailing ``.0``)."""
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(value)

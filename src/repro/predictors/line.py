@@ -89,3 +89,14 @@ class LinePredictor:
                 settled_index, settled_next = self._pending.pop(0)
                 self._table[settled_index] = settled_next
         return prediction
+
+
+#: Declarative profiler hooks (see :mod:`repro.obs.profiler`).  The
+#: line predictor is also consulted from control resolution; its
+#: exclusive time is pooled under the fetch phase, where most calls
+#: originate.
+PROFILE_COMPONENTS = {
+    "LinePredictor": {
+        "predict_and_train": "fetch/line-pred",
+    },
+}

@@ -66,3 +66,11 @@ class LoadUsePredictor:
         else:
             self._counter.decrement(2)
         return prediction
+
+
+#: Declarative profiler hooks (see :mod:`repro.obs.profiler`).
+PROFILE_COMPONENTS = {
+    "LoadUsePredictor": {
+        "predict_and_train": "mem/load-use-pred",
+    },
+}

@@ -88,3 +88,12 @@ class ReturnAddressStack:
             self.stats.mispredictions += 1
         self._enqueue("pop")
         return correct
+
+
+#: Declarative profiler hooks (see :mod:`repro.obs.profiler`).
+PROFILE_COMPONENTS = {
+    "ReturnAddressStack": {
+        "push": "control/ras",
+        "predict_and_pop": "control/ras",
+    },
+}

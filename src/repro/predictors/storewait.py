@@ -67,3 +67,13 @@ class StoreWaitPredictor:
             self._since_clear = 0
             for i in range(len(self._bits)):
                 self._bits[i] = 0
+
+
+#: Declarative profiler hooks (see :mod:`repro.obs.profiler`).
+PROFILE_COMPONENTS = {
+    "StoreWaitPredictor": {
+        "should_wait": "issue/store-wait",
+        "record_trap": "mem/store-wait",
+        "tick": "retire/store-wait",
+    },
+}

@@ -168,3 +168,11 @@ class TournamentPredictor:
                     & self._ghist_mask
                 )
         return prediction
+
+
+#: Declarative profiler hooks (see :mod:`repro.obs.profiler`).
+PROFILE_COMPONENTS = {
+    "TournamentPredictor": {
+        "predict_and_train": "control/bpred",
+    },
+}

@@ -53,3 +53,11 @@ class WayPredictor:
             self.stats.mispredictions += 1
         self._table[self._index(octaword)] = actual_way
         return prediction
+
+
+#: Declarative profiler hooks (see :mod:`repro.obs.profiler`).
+PROFILE_COMPONENTS = {
+    "WayPredictor": {
+        "predict_and_train": "fetch/way-pred",
+    },
+}

@@ -13,6 +13,7 @@ from typing import Dict, Optional, Protocol, Sequence
 
 from repro.functional.trace import DynInstr
 from repro.obs.provenance import RunProvenance
+from repro.obs.telemetry import CellTelemetry
 
 __all__ = ["RunStats", "SimResult", "Simulator"]
 
@@ -81,6 +82,10 @@ class SimResult:
     cpi_stack: Optional[Dict[str, float]] = None
     #: Reproducibility fingerprint (see :mod:`repro.obs.provenance`).
     provenance: Optional[RunProvenance] = None
+    #: Resource cost of producing this result (wall/CPU/RSS/KIPS),
+    #: attached by the harness or a pool worker; volatile by nature and
+    #: blanked under ``ResultGrid.to_json(canonical=True)``.
+    telemetry: Optional[CellTelemetry] = None
 
     @property
     def ipc(self) -> float:
@@ -109,11 +114,15 @@ class SimResult:
             "provenance": (
                 self.provenance.to_dict() if self.provenance else None
             ),
+            "telemetry": (
+                self.telemetry.to_dict() if self.telemetry else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "SimResult":
         provenance = payload.get("provenance")
+        telemetry = payload.get("telemetry")
         return cls(
             simulator=payload["simulator"],
             workload=payload["workload"],
@@ -123,6 +132,9 @@ class SimResult:
             cpi_stack=payload.get("cpi_stack") or None,
             provenance=(
                 RunProvenance.from_dict(provenance) if provenance else None
+            ),
+            telemetry=(
+                CellTelemetry.from_dict(telemetry) if telemetry else None
             ),
         )
 

@@ -42,6 +42,24 @@ journal by entry age::
     repro-experiments integrity --sweep
     repro-experiments integrity --sweep --families dram,memory
     repro-experiments checkpoint-gc t3.ckpt --gc-max-age 604800
+
+Observability (see docs/OBSERVABILITY.md): ``profile`` attributes one
+run's wall time to pipeline phases and components and writes a
+flamegraph-compatible collapsed-stack file; ``bench`` runs the pinned
+performance suite, emits a schema-versioned ``BENCH_<label>.json``
+trajectory artifact, and with ``--compare OLD NEW`` diffs two
+artifacts, exiting 5 when a gated metric regressed past
+``--bench-threshold``; ``cache-gc`` prunes a result cache by age and
+LRU size budget.  Grid runs accept ``--ledger FILE`` (per-cell JSONL
+telemetry), ``--progress`` (live cells/s + ETA line), and
+``--openmetrics FILE`` (Prometheus-textfile registry export)::
+
+    repro-experiments profile M-D
+    repro-experiments profile gzip --simulator sim-initial
+    repro-experiments bench --label pr6
+    repro-experiments bench --compare BENCH_pr6.json BENCH_pr9.json
+    repro-experiments cache-gc .repro-cache --gc-max-age 604800
+    repro-experiments table2 --jobs 4 --ledger t2.ledger.jsonl --progress
 """
 
 from __future__ import annotations
@@ -275,6 +293,59 @@ def run_trace_command(
     return "\n".join(parts)
 
 
+def run_profile_command(
+    workload: str,
+    *,
+    simulator: str = "sim-alpha",
+    out_dir: str = ".",
+    metrics_out: str = "",
+) -> str:
+    """Profile one run: attribution table to stdout, collapsed stacks
+    (flamegraph.pl-compatible) to disk."""
+    from repro.obs import Instrumentation
+
+    factories = _trace_simulators()
+    try:
+        factory = factories[simulator]
+    except KeyError:
+        raise SystemExit(
+            f"unknown simulator {simulator!r}; choose from "
+            f"{sorted(factories)}"
+        ) from None
+
+    instrumentation = Instrumentation(profile=True)
+    harness = Harness(metrics=instrumentation.registry)
+    try:
+        result = harness.run_one(
+            factory, workload, instrumentation=instrumentation
+        )
+    except KeyError as error:
+        raise SystemExit(str(error.args[0])) from None
+
+    profiler = instrumentation.last_profiler()
+    if profiler is None:
+        # Simulators without the observer hook (e.g. native) never
+        # enter the profiled pipeline; say so instead of a blank table.
+        raise SystemExit(
+            f"simulator {simulator!r} does not support the observer "
+            f"hook, so there is no hot path to profile"
+        )
+    os.makedirs(out_dir, exist_ok=True)
+    collapsed_path = os.path.join(out_dir, f"{workload}.collapsed.txt")
+    profiler.write_collapsed(collapsed_path)
+    if metrics_out:
+        instrumentation.registry.write_json(
+            metrics_out, extra={"command": "profile", "workload": workload}
+        )
+    return "\n".join([
+        str(result),
+        "",
+        profiler.render(),
+        "",
+        f"collapsed stacks (flamegraph.pl): {collapsed_path}",
+    ])
+
+
 #: Runners take (quick, engine) where ``engine`` holds the shared
 #: ``harness=`` plus the ``jobs=`` / ``cache=`` kwargs for drivers that
 #: run (simulator x workload) grids; runners whose experiment has no
@@ -308,15 +379,18 @@ def main(argv=None) -> int:
         "experiment",
         choices=sorted(_EXPERIMENTS) + [
             "all", "trace", "integrity", "checkpoint-gc",
+            "profile", "bench", "cache-gc",
         ],
         help="which experiment to run, 'trace' to instrument one run, "
-             "'integrity' to run the fault-injection matrix, or "
-             "'checkpoint-gc' to prune a grid journal",
+             "'profile' for hot-path wall-time attribution, 'bench' "
+             "for the pinned performance suite, 'integrity' to run "
+             "the fault-injection matrix, 'checkpoint-gc' to prune a "
+             "grid journal, or 'cache-gc' to prune a result cache",
     )
     parser.add_argument(
         "workload", nargs="?", default=None,
-        help="workload to trace (trace/integrity subcommands, e.g. "
-             "M-D or gzip) or journal path (checkpoint-gc)",
+        help="workload to trace/profile (e.g. M-D or gzip), journal "
+             "path (checkpoint-gc), or cache directory (cache-gc)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -395,8 +469,53 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--gc-max-age", type=float, default=None, metavar="S",
-        help="checkpoint-gc subcommand: prune journal entries "
-             "recorded more than S seconds ago",
+        help="checkpoint-gc/cache-gc subcommands: prune entries "
+             "untouched for more than S seconds",
+    )
+    parser.add_argument(
+        "--gc-max-bytes", type=int, default=None, metavar="N",
+        help="cache-gc subcommand: evict least-recently-used entries "
+             "until the cache fits in N bytes",
+    )
+    parser.add_argument(
+        "--ledger", metavar="FILE", default="",
+        help="append one JSONL record per settled grid cell (status + "
+             "resource telemetry) to FILE",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render a live 'cells done/total, cells/s, ETA' line on "
+             "stderr while a grid runs",
+    )
+    parser.add_argument(
+        "--openmetrics", metavar="FILE", default="",
+        help="write the metrics registry as an OpenMetrics/Prometheus "
+             "text file after the run",
+    )
+    parser.add_argument(
+        "--label", default="local", metavar="NAME",
+        help="bench subcommand: label for the emitted artifact "
+             "(default: local)",
+    )
+    parser.add_argument(
+        "--bench-out", metavar="FILE", default="",
+        help="bench subcommand: artifact path "
+             "(default: BENCH_<label>.json)",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="bench subcommand: compare two artifacts instead of "
+             "running the suite; exit 5 on a gated regression",
+    )
+    parser.add_argument(
+        "--bench-threshold", type=float, default=0.15, metavar="FRAC",
+        help="bench --compare: relative change in a gated metric's bad "
+             "direction that counts as a regression (default: 0.15)",
+    )
+    parser.add_argument(
+        "--bench-rounds", type=int, default=2, metavar="N",
+        help="bench subcommand: best-of-N rounds for wall-time-"
+             "sensitive probes (default: 2)",
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -407,6 +526,96 @@ def main(argv=None) -> int:
         parser.error(
             f"--stuck-after must be positive (got {args.stuck_after})"
         )
+
+    if args.bench_threshold < 0:
+        parser.error(
+            f"--bench-threshold must be >= 0 (got {args.bench_threshold})"
+        )
+    if args.bench_rounds < 1:
+        parser.error(
+            f"--bench-rounds must be >= 1 (got {args.bench_rounds})"
+        )
+
+    if args.experiment == "bench":
+        from repro.validation.bench import (
+            compare_artifacts,
+            load_artifact,
+            render_comparison,
+            run_bench,
+            write_artifact,
+        )
+
+        if args.compare:
+            old_path, new_path = args.compare
+            try:
+                old = load_artifact(old_path)
+                new = load_artifact(new_path)
+            except (OSError, ValueError) as error:
+                print(error, file=sys.stderr)
+                return 2
+            rows, regressions = compare_artifacts(
+                old, new, threshold=args.bench_threshold
+            )
+            print(f"{old.get('label')} ({old.get('created')}) -> "
+                  f"{new.get('label')} ({new.get('created')})")
+            print(render_comparison(
+                rows, regressions, threshold=args.bench_threshold
+            ))
+            return 5 if regressions else 0
+        artifact = run_bench(
+            label=args.label,
+            rounds=args.bench_rounds,
+            progress=lambda message: print(
+                f"bench: {message}", file=sys.stderr
+            ),
+        )
+        out = args.bench_out or f"BENCH_{args.label}.json"
+        write_artifact(artifact, out)
+        gated = sum(
+            1 for metric in artifact["metrics"].values() if metric["gate"]
+        )
+        print(f"wrote {out}: {len(artifact['metrics'])} metrics "
+              f"({gated} gated)")
+        for name in sorted(artifact["metrics"]):
+            metric = artifact["metrics"][name]
+            kind = "gated" if metric["gate"] else "info"
+            print(f"  {name:<34} {metric['value']:>12.3f} "
+                  f"{metric['unit']:<8} ({kind})")
+        return 0
+
+    if args.experiment == "cache-gc":
+        from repro.exec.cache import ResultCache
+
+        root = args.workload or args.cache_dir
+        if not root:
+            parser.error(
+                "cache-gc requires a cache directory (positional or "
+                "--cache-dir DIR)"
+            )
+        if not os.path.isdir(root):
+            print(f"{root}: not a directory", file=sys.stderr)
+            return 2
+        summary = ResultCache(root).gc(
+            max_age_s=args.gc_max_age, max_bytes=args.gc_max_bytes
+        )
+        print(
+            f"{root}: removed {len(summary['removed'])} entries, "
+            f"reclaimed {summary['reclaimed_bytes']} bytes, "
+            f"{summary['kept']} kept"
+        )
+        return 0
+
+    if args.experiment == "profile":
+        if not args.workload:
+            parser.error("profile requires a workload name, e.g. "
+                         "'repro-experiments profile M-D'")
+        print(run_profile_command(
+            args.workload,
+            simulator=args.simulator,
+            out_dir=args.emit_trace,
+            metrics_out=args.metrics_out,
+        ))
+        return 0
 
     if args.experiment == "checkpoint-gc":
         from repro.integrity.checkpoint import GridCheckpoint
@@ -485,7 +694,9 @@ def main(argv=None) -> int:
     from repro.integrity.sanitizers import IntegrityError, Sanitizers
     from repro.obs.registry import MetricsRegistry
 
-    registry = MetricsRegistry(enabled=bool(args.metrics_out))
+    registry = MetricsRegistry(
+        enabled=bool(args.metrics_out or args.openmetrics)
+    )
     sanitizers = (
         Sanitizers(strict=args.strict)
         if args.sanitize or args.strict else None
@@ -496,6 +707,8 @@ def main(argv=None) -> int:
         watchdog_s=args.stuck_after,
         checkpoint=args.checkpoint or None,
         resume=args.resume,
+        ledger=args.ledger or None,
+        live_progress=args.progress,
     )
     engine = {
         # One harness across experiments: traces are built once, and
@@ -531,6 +744,8 @@ def main(argv=None) -> int:
                    "jobs": args.jobs,
                    "cache_dir": engine["cache"] or ""},
         )
+    if args.openmetrics:
+        registry.write_openmetrics(args.openmetrics)
     if harness.failed_cells:
         print(
             f"{len(harness.failed_cells)} cell(s) failed or were "

@@ -6,6 +6,7 @@ from __future__ import annotations
 import dataclasses
 import inspect
 import json
+import os
 import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
@@ -19,6 +20,12 @@ from repro.integrity.watchdog import SimulationStuck, Watchdog
 from repro.obs.observer import Instrumentation, RunObserver
 from repro.obs.provenance import capture_provenance
 from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import (
+    GridProgress,
+    RunLedger,
+    TelemetryProbe,
+    mirror_to_metrics,
+)
 from repro.result import SimResult
 from repro.workloads.suite import WorkloadSet
 
@@ -169,6 +176,11 @@ class ResultGrid:
                         k: ("" if k in _VOLATILE_PROVENANCE_FIELDS else v)
                         for k, v in entry["provenance"].items()
                     }
+                if canonical:
+                    # Resource telemetry is volatile by nature (wall
+                    # time, RSS, pids): identical measurements must
+                    # still serialise byte-identically.
+                    entry["telemetry"] = None
                 entries.append(entry)
         payload = {
             "format": "repro-result-grid/1",
@@ -277,6 +289,8 @@ class Harness:
         watchdog_s: Optional[float] = None,
         checkpoint=None,
         resume: bool = False,
+        ledger=None,
+        live_progress: bool = False,
     ):
         self.workloads = workloads or WorkloadSet()
         self.metrics = metrics if metrics is not None else (
@@ -291,6 +305,10 @@ class Harness:
         #: journal through drivers that only pass jobs/cache).
         self.checkpoint = checkpoint
         self.resume = resume
+        #: Same grid-level-default pattern for the telemetry ledger and
+        #: the live progress line (``--ledger`` / ``--progress``).
+        self.ledger = ledger
+        self.live_progress = live_progress
         #: Violations found by the most recent cell (empty when the
         #: sanitizers are disabled or the cell was clean).
         self.last_violations: List[InvariantViolation] = []
@@ -335,8 +353,14 @@ class Harness:
         if self.watchdog_s is not None and "watchdog" in params:
             kwargs["watchdog"] = Watchdog(self.watchdog_s)
         timer = self.metrics.timer(f"harness.cell.{simulator.name}.{workload}")
+        probe = TelemetryProbe()
         with timer.time():
             result = run_trace(trace, workload, **kwargs)
+        if result.telemetry is None:
+            result.telemetry = probe.finish(result.instructions)
+        mirror_to_metrics(
+            self.metrics, simulator.name, workload, result.telemetry
+        )
         self.metrics.counter("harness.runs").inc()
         if result.provenance is None:
             result.provenance = capture_provenance(
@@ -378,6 +402,8 @@ class Harness:
         retries: int = 0,
         checkpoint=None,
         resume: bool = False,
+        ledger=None,
+        live_progress: bool = False,
     ) -> ResultGrid:
         """Run every factory over every workload.
 
@@ -398,11 +424,20 @@ class Harness:
         cache, no checkpoint) is the in-process serial path, where a
         failing cell raises — except for integrity quarantines and
         detected livelocks, which are isolated per cell in every mode.
+
+        ``ledger`` (a :class:`~repro.obs.telemetry.RunLedger` or JSONL
+        path) appends one per-cell telemetry record per settled cell;
+        ``live_progress=True`` renders a live
+        ``cells done/total, cells/s, ETA`` line on stderr.  Both work
+        in every execution mode.
         """
         names = list(workload_names)
         if checkpoint is None and self.checkpoint is not None:
             checkpoint = self.checkpoint
             resume = resume or self.resume
+        if ledger is None and self.ledger is not None:
+            ledger = self.ledger
+        live_progress = live_progress or self.live_progress
         if jobs > 1 or cache is not None or checkpoint is not None:
             from repro.exec.engine import ExperimentEngine
 
@@ -421,48 +456,82 @@ class Harness:
             grid = engine.run_grid(
                 factories, names,
                 instrumentation=instrumentation, progress=progress,
+                ledger=ledger, live_progress=live_progress,
             )
             self.failed_cells.extend(grid.failures)
             return grid
+        owns_ledger = isinstance(ledger, (str, os.PathLike))
+        if owns_ledger:
+            ledger = RunLedger(ledger)
+        progress_line = (
+            GridProgress(len(names) * len(factories))
+            if live_progress else None
+        )
+
+        def note(simulator: str, workload: str, status: str,
+                 telemetry=None) -> None:
+            if ledger is not None:
+                ledger.record(
+                    simulator=simulator, workload=workload,
+                    status=status, telemetry=telemetry,
+                )
+            if progress_line is not None:
+                progress_line.update()
+
         grid = ResultGrid()
-        for name in names:
-            trace = self.workloads.trace(name)
-            for factory in factories:
-                simulator = factory()
-                if progress is not None:
-                    progress(simulator.name, name)
-                try:
-                    result = self._run_cell(
-                        simulator, trace, name, instrumentation
-                    )
-                except IntegrityError as exc:
-                    # Fatal violation mid-run: quarantine the cell
-                    # (strict bundles never get here — the sanitizer's
-                    # raise propagates before the result exists).
-                    if self.sanitizers.strict:
-                        raise
-                    grid.failures.append(quarantine_failure(
-                        [exc.violation],
-                        simulator=simulator.name, workload=name,
-                    ))
-                except SimulationStuck as exc:
-                    grid.failures.append(CellFailure(
-                        simulator=simulator.name,
-                        workload=name,
-                        kind="stuck",
-                        message=str(exc),
-                        snapshot={
-                            "instructions": exc.instructions,
-                            "retire": exc.retire,
-                        },
-                    ))
-                else:
-                    if self.last_violations:
+        try:
+            for name in names:
+                trace = self.workloads.trace(name)
+                for factory in factories:
+                    simulator = factory()
+                    if progress is not None:
+                        progress(simulator.name, name)
+                    try:
+                        result = self._run_cell(
+                            simulator, trace, name, instrumentation
+                        )
+                    except IntegrityError as exc:
+                        # Fatal violation mid-run: quarantine the cell
+                        # (strict bundles never get here — the
+                        # sanitizer's raise propagates before the
+                        # result exists).
+                        if self.sanitizers.strict:
+                            raise
                         grid.failures.append(quarantine_failure(
-                            self.last_violations,
+                            [exc.violation],
                             simulator=simulator.name, workload=name,
                         ))
+                        note(simulator.name, name, "invariant")
+                    except SimulationStuck as exc:
+                        grid.failures.append(CellFailure(
+                            simulator=simulator.name,
+                            workload=name,
+                            kind="stuck",
+                            message=str(exc),
+                            snapshot={
+                                "instructions": exc.instructions,
+                                "retire": exc.retire,
+                                "state": exc.state,
+                            },
+                        ))
+                        note(simulator.name, name, "stuck")
                     else:
-                        grid.add(result)
+                        if self.last_violations:
+                            grid.failures.append(quarantine_failure(
+                                self.last_violations,
+                                simulator=simulator.name, workload=name,
+                            ))
+                            note(simulator.name, name, "invariant")
+                        else:
+                            grid.add(result)
+                            note(
+                                simulator.name, name, "ok",
+                                telemetry=result.telemetry,
+                            )
+        finally:
+            if progress_line is not None:
+                progress_line.close()
+            if owns_ledger:
+                ledger.close()
         self.failed_cells.extend(grid.failures)
         return grid

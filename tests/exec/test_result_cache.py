@@ -182,5 +182,102 @@ class TestEngineCaching:
         after = engine.refresh_cell(grid, factory, "C-R")
         assert grid.get("fake-a", "C-R") is after
         assert after is not before
-        assert after.to_dict() == before.to_dict()
+        # Telemetry is volatile (wall time, KIPS): the refreshed cell
+        # must measure the same thing, not cost the same.
+        measured = {k: v for k, v in after.to_dict().items()
+                    if k != "telemetry"}
+        assert measured == {k: v for k, v in before.to_dict().items()
+                            if k != "telemetry"}
         assert engine.cache.stores == 2
+
+
+class TestGc:
+    def put_at(self, cache, key, mtime):
+        """Store an entry and pin its mtime (the recency gc reads)."""
+        cache.put(key, make_result())
+        path = os.path.join(cache.root, key.digest() + ".json")
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_age_pass_removes_only_stale_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stale = make_key(workload="C-R")
+        fresh = make_key(workload="M-D")
+        self.put_at(cache, stale, mtime=0.0)
+        self.put_at(cache, fresh, mtime=900.0)
+        summary = cache.gc(max_age_s=500.0, now=1000.0)
+        assert summary["removed"] == [stale.digest()]
+        assert summary["kept"] == 1
+        assert summary["reclaimed_bytes"] > 0
+        assert cache.get(fresh) is not None
+
+    def test_live_set_is_exempt_from_every_criterion(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        live = make_key(workload="C-R")
+        dead = make_key(workload="M-D")
+        self.put_at(cache, live, mtime=0.0)
+        self.put_at(cache, dead, mtime=0.0)
+        summary = cache.gc(max_age_s=1.0, live=[live], max_bytes=0,
+                           now=1000.0)
+        assert summary["removed"] == [dead.digest()]
+        assert cache.get(live) is not None
+
+    def test_live_accepts_raw_digest_strings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key()
+        self.put_at(cache, key, mtime=0.0)
+        cache.gc(max_age_s=1.0, live=[key.digest()], now=1000.0)
+        assert len(cache) == 1
+
+    def test_size_budget_evicts_least_recently_used_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        oldest = make_key(workload="C-R")
+        middle = make_key(workload="M-D")
+        newest = make_key(workload="E-I")
+        self.put_at(cache, oldest, mtime=100.0)
+        self.put_at(cache, middle, mtime=200.0)
+        path = self.put_at(cache, newest, mtime=300.0)
+        entry_size = os.path.getsize(path)
+        summary = cache.gc(max_bytes=entry_size * 2, now=1000.0)
+        assert summary["removed"] == [oldest.digest()]
+        assert cache.get(newest) is not None
+        assert cache.get(middle) is not None
+
+    def test_a_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        touched = make_key(workload="C-R")
+        untouched = make_key(workload="M-D")
+        path = self.put_at(cache, touched, mtime=100.0)
+        self.put_at(cache, untouched, mtime=200.0)
+        assert cache.get(touched) is not None  # refreshes mtime to now
+        entry_size = os.path.getsize(path)
+        summary = cache.gc(max_bytes=entry_size, now=1000.0)
+        assert summary["removed"] == [untouched.digest()]
+
+    def test_orphaned_tmp_files_age_out(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        orphan = os.path.join(cache.root, "deadbeef.tmp")
+        with open(orphan, "w") as handle:
+            handle.write("interrupted write")
+        os.utime(orphan, (0.0, 0.0))
+        summary = cache.gc(max_age_s=1.0, now=1000.0)
+        assert not os.path.exists(orphan)
+        assert summary["reclaimed_bytes"] > 0
+
+    def test_gc_does_not_count_as_invalidation(self, tmp_path):
+        """GC removals are capacity management, not distrust: the
+        invalidations counter (untrustworthy entries) must not move."""
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=registry)
+        self.put_at(cache, make_key(), mtime=0.0)
+        cache.gc(max_age_s=1.0, now=1000.0)
+        counters = registry.snapshot()["counters"]
+        assert counters.get("exec.cache.invalidations", 0) == 0
+        assert counters["exec.cache.gc_removed"] == 1
+        assert counters["exec.cache.gc_bytes_reclaimed"] > 0
+
+    def test_no_criteria_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.put_at(cache, make_key(), mtime=0.0)
+        summary = cache.gc(now=1000.0)
+        assert summary == {"removed": [], "reclaimed_bytes": 0, "kept": 1}

@@ -1,0 +1,162 @@
+"""Grid-level telemetry: determinism under canonical JSON, the run
+ledger across execution modes, and OpenMetrics export stability."""
+
+import json
+import os
+
+from exec_fakes import fake_factory
+from repro.obs.registry import MetricsRegistry
+from repro.validation.harness import Harness, ResultGrid
+
+NAMES = ["C-R", "E-I", "M-D"]
+
+
+def factories():
+    return [fake_factory("fake-a"), fake_factory("fake-b", cpi=3.0)]
+
+
+class TestCanonicalDeterminism:
+    def test_telemetry_is_always_captured(self, harness):
+        grid = harness.run_grid(factories(), NAMES)
+        for simulator in grid.simulators():
+            for workload in NAMES:
+                telemetry = grid.get(simulator, workload).telemetry
+                assert telemetry is not None
+                assert telemetry.instructions > 0
+                assert telemetry.pid == os.getpid()
+
+    def test_worker_telemetry_names_the_worker_process(self, harness):
+        grid = harness.run_grid(factories(), NAMES, jobs=2)
+        pids = {
+            grid.get(simulator, workload).telemetry.pid
+            for simulator in grid.simulators()
+            for workload in NAMES
+        }
+        assert os.getpid() not in pids
+
+    def test_parallel_and_serial_serialise_byte_identically(self, harness):
+        """The acceptance bar: telemetry enabled (it always is), a
+        jobs=2 grid and a serial grid produce byte-identical canonical
+        JSON — canonical blanks the volatile telemetry."""
+        serial = harness.run_grid(factories(), NAMES)
+        parallel = harness.run_grid(factories(), NAMES, jobs=2)
+        assert parallel.to_json(canonical=True) == \
+            serial.to_json(canonical=True)
+
+    def test_canonical_blanks_telemetry_but_full_json_keeps_it(
+            self, harness):
+        grid = harness.run_grid(factories(), ["C-R"])
+        canonical = json.loads(grid.to_json(canonical=True))
+        assert all(
+            entry["telemetry"] is None for entry in canonical["results"]
+        )
+        full = json.loads(grid.to_json())
+        assert all(
+            entry["telemetry"]["wall_s"] >= 0.0
+            for entry in full["results"]
+        )
+
+    def test_telemetry_survives_a_json_round_trip(self, harness):
+        grid = harness.run_grid(factories(), ["C-R"])
+        clone = ResultGrid.from_json(grid.to_json())
+        original = grid.get("fake-a", "C-R").telemetry
+        assert clone.get("fake-a", "C-R").telemetry == original
+
+
+class TestRunLedger:
+    def read(self, path):
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "header"
+        return lines[1:]
+
+    def test_serial_grid_writes_one_line_per_cell(self, harness,
+                                                  tmp_path):
+        path = tmp_path / "serial.jsonl"
+        harness.run_grid(factories(), NAMES, ledger=path)
+        cells = self.read(path)
+        assert len(cells) == len(NAMES) * 2
+        assert all(cell["status"] == "ok" for cell in cells)
+        assert all(cell["source"] == "run" for cell in cells)
+        assert all(cell["telemetry"]["instructions"] > 0
+                   for cell in cells)
+
+    def test_parallel_grid_ledger_covers_every_cell(self, harness,
+                                                    tmp_path):
+        path = tmp_path / "parallel.jsonl"
+        harness.run_grid(factories(), NAMES, jobs=2, ledger=path)
+        cells = self.read(path)
+        assert len(cells) == len(NAMES) * 2
+        settled = {(c["simulator"], c["workload"]) for c in cells}
+        assert len(settled) == len(NAMES) * 2
+
+    def test_cache_hits_are_attributed_to_the_cache(self, harness,
+                                                    tmp_path):
+        cache_dir = tmp_path / "cache"
+        harness.run_grid(factories(), ["C-R"], cache=str(cache_dir))
+        path = tmp_path / "warm.jsonl"
+        harness.run_grid(factories(), ["C-R"], cache=str(cache_dir),
+                         ledger=path)
+        cells = self.read(path)
+        assert all(cell["source"] == "cache" for cell in cells)
+        assert all(cell["telemetry"] is not None for cell in cells)
+
+    def test_failures_are_ledgered_with_their_kind(self, harness,
+                                                   tmp_path):
+        path = tmp_path / "failing.jsonl"
+        harness.run_grid(
+            [fake_factory("fake-bad", "raise")], ["C-R", "E-I"],
+            jobs=2, ledger=path,
+        )
+        by_workload = {c["workload"]: c for c in self.read(path)}
+        assert by_workload["C-R"]["status"] == "ok"
+        assert by_workload["E-I"]["status"] == "exception"
+
+
+class TestOpenMetricsStability:
+    def run_registry(self, jobs=1):
+        registry = MetricsRegistry()
+        harness = Harness(metrics=registry)
+        harness.run_grid(factories(), NAMES, jobs=jobs)
+        return registry
+
+    def test_render_is_deterministic_for_one_registry(self):
+        registry = self.run_registry()
+        assert registry.render_openmetrics() == \
+            registry.render_openmetrics()
+
+    def test_metric_families_are_stable_across_runs(self):
+        """Two identical runs expose the same metric names (values are
+        wall-clock and may differ; the *schema* must not)."""
+        def families(registry):
+            return [
+                line for line in
+                registry.render_openmetrics().splitlines()
+                if line.startswith("# TYPE")
+            ]
+
+        assert families(self.run_registry()) == \
+            families(self.run_registry())
+
+    def test_parallel_run_exposes_the_same_telemetry_families(self):
+        """Worker registries die with their processes; the parent
+        mirrors pool telemetry, so serial and parallel runs publish
+        the same telemetry.* families."""
+        def telemetry_families(registry):
+            return sorted(
+                name for name in registry
+                if name.startswith("telemetry.")
+            )
+
+        assert telemetry_families(self.run_registry(jobs=2)) == \
+            telemetry_families(self.run_registry())
+
+    def test_export_is_wellformed(self, tmp_path):
+        registry = self.run_registry()
+        path = tmp_path / "metrics.om"
+        registry.write_openmetrics(path)
+        text = path.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_telemetry_cells_total" in text

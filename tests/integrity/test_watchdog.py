@@ -104,3 +104,69 @@ class TestPortScanBound:
         with pytest.raises(SimulationStuck) as excinfo:
             simulator.run_trace(trace, "C-R")
         assert "retire" in str(excinfo.value)
+
+
+class TestEscalationState:
+    """Pipeline stage/port state riding the heartbeat into SIGUSR1
+    escalation snapshots."""
+
+    @pytest.fixture(autouse=True)
+    def restore_beat(self):
+        beat = dict(watchdog_module._last_beat)
+        yield
+        watchdog_module._last_beat.clear()
+        watchdog_module._last_beat.update(beat)
+
+    def test_record_heartbeat_keeps_the_latest_state(self):
+        from repro.integrity.watchdog import record_heartbeat
+
+        record_heartbeat(8192, 10.0, {"stage": "retire", "rob": 3})
+        assert watchdog_module._last_beat["state"] == {
+            "stage": "retire", "rob": 3,
+        }
+        # A stateless beat must not erase the last known state.
+        record_heartbeat(16384, 20.0)
+        assert watchdog_module._last_beat["instructions"] == 16384
+        assert watchdog_module._last_beat["state"]["stage"] == "retire"
+
+    def test_watchdog_raise_carries_the_state(self):
+        clock = FakeClock()
+        watchdog = Watchdog(stall_s=5.0, clock=clock)
+        watchdog.beat(1, 100.0)
+        clock.now = 6.0
+        state = {"stage": "retire", "rob": 64, "intq": 20}
+        with pytest.raises(SimulationStuck) as excinfo:
+            watchdog.beat(2, 100.0, state)
+        assert excinfo.value.state == state
+
+    def test_escalation_reports_the_heartbeat_state(self):
+        from repro.integrity.watchdog import (
+            install_escalation_handler,
+            record_heartbeat,
+        )
+
+        previous = signal.getsignal(signal.SIGUSR1)
+        assert install_escalation_handler()
+        try:
+            record_heartbeat(8192, 42.0, {"stage": "issue-port-scan"})
+            with pytest.raises(SimulationStuck) as excinfo:
+                os.kill(os.getpid(), signal.SIGUSR1)
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+        assert excinfo.value.instructions == 8192
+        assert excinfo.value.state == {"stage": "issue-port-scan"}
+
+    def test_pipeline_heartbeat_publishes_stage_state(self):
+        """A real run past the heartbeat stride leaves a pipeline
+        snapshot behind even with no Watchdog armed."""
+        from repro.core.simalpha import SimAlpha
+        from repro.validation.harness import Harness
+
+        watchdog_module._last_beat["state"] = None
+        Harness().run_one(SimAlpha, "M-D")  # 48k instructions > stride
+        state = watchdog_module._last_beat["state"]
+        assert state is not None
+        assert state["stage"] == "retire"
+        for key in ("pc", "rob", "intq", "fpq", "storeq",
+                    "issue_cycles_live", "retire_cycles_live"):
+            assert key in state

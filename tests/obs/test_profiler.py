@@ -1,0 +1,196 @@
+"""Hot-path profiler: lap partition, component nesting, coverage."""
+
+import pytest
+
+from repro.core.simalpha import SimAlpha
+from repro.obs.observer import Instrumentation
+from repro.obs.profiler import PHASES, HotPathProfiler
+from repro.validation.harness import Harness
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestLapTimeline:
+    def test_laps_partition_the_run_exactly(self):
+        clock = FakeClock()
+        prof = HotPathProfiler(clock=clock)
+        prof.run_begin()
+        clock.advance(1.0)
+        prof.lap("fetch")
+        clock.advance(2.0)
+        prof.lap("issue")
+        clock.advance(0.5)
+        prof.lap("retire")
+        clock.advance(0.25)
+        prof.run_end()  # tail -> finalize
+        assert prof.phases == {
+            "fetch": 1.0, "issue": 2.0, "retire": 0.5, "finalize": 0.25,
+        }
+        assert prof.total_s == pytest.approx(3.75)
+        assert prof.coverage == pytest.approx(1.0)
+        assert prof.runs == 1
+
+    def test_multiple_runs_accumulate(self):
+        clock = FakeClock()
+        prof = HotPathProfiler(clock=clock)
+        for _ in range(3):
+            prof.run_begin()
+            clock.advance(1.0)
+            prof.lap("fetch")
+            prof.run_end()
+        assert prof.runs == 3
+        assert prof.phases["fetch"] == pytest.approx(3.0)
+        assert prof.total_s == pytest.approx(3.0)
+
+    def test_repeated_phase_laps_accumulate(self):
+        clock = FakeClock()
+        prof = HotPathProfiler(clock=clock)
+        prof.run_begin()
+        for _ in range(4):
+            clock.advance(0.5)
+            prof.lap("mem")
+        prof.run_end()
+        assert prof.phases["mem"] == pytest.approx(2.0)
+
+    def test_run_end_without_begin_is_a_noop(self):
+        prof = HotPathProfiler()
+        prof.run_end()
+        assert prof.runs == 0
+        assert prof.total_s == 0.0
+
+
+class TestComponentNesting:
+    def test_nested_component_time_is_exclusive(self):
+        clock = FakeClock()
+        prof = HotPathProfiler(clock=clock)
+        outer = prof.cstart()          # e.g. L2 access
+        clock.advance(1.0)
+        inner = prof.cstart()          # DRAM inside it
+        clock.advance(3.0)
+        prof.cstop("mem/dram", inner)
+        clock.advance(0.5)
+        prof.cstop("mem/l2", outer)
+        assert prof.components["mem/dram"] == pytest.approx(3.0)
+        # L2's self time excludes the DRAM interval it contained.
+        assert prof.components["mem/l2"] == pytest.approx(1.5)
+        assert prof.component_calls == {"mem/dram": 1, "mem/l2": 1}
+
+    def test_sibling_calls_both_report_to_parent(self):
+        clock = FakeClock()
+        prof = HotPathProfiler(clock=clock)
+        outer = prof.cstart()
+        for _ in range(2):
+            inner = prof.cstart()
+            clock.advance(1.0)
+            prof.cstop("mem/dram", inner)
+        prof.cstop("mem/l2", outer)
+        assert prof.components["mem/dram"] == pytest.approx(2.0)
+        assert prof.components["mem/l2"] == pytest.approx(0.0)
+        assert prof.component_calls["mem/dram"] == 2
+
+    def test_wrap_is_idempotent(self):
+        class Leaf:
+            def hit(self):
+                return 42
+
+        prof = HotPathProfiler()
+        leaf = Leaf()
+        prof._wrap(leaf, "hit", "mem/leaf")
+        prof._wrap(leaf, "hit", "mem/leaf")  # second wrap must not stack
+        assert leaf.hit() == 42
+        assert prof.component_calls["mem/leaf"] == 1
+
+
+class TestCollapsedStacks:
+    def test_component_self_time_subtracted_from_parent_phase(self):
+        clock = FakeClock()
+        prof = HotPathProfiler(clock=clock)
+        prof.run_begin()
+        token = prof.cstart()
+        clock.advance(1.0)
+        prof.cstop("mem/dcache", token)
+        clock.advance(1.0)
+        prof.lap("mem")  # phase mem = 2.0s, of which dcache self = 1.0s
+        prof.run_end()
+        lines = prof.collapsed_stacks()
+        assert "pipeline;mem 1000000" in lines
+        assert "pipeline;mem;dcache 1000000" in lines
+
+    def test_write_collapsed_round_trips(self, tmp_path):
+        clock = FakeClock()
+        prof = HotPathProfiler(clock=clock)
+        prof.run_begin()
+        clock.advance(0.5)
+        prof.lap("fetch")
+        prof.run_end()
+        path = tmp_path / "out.collapsed.txt"
+        prof.write_collapsed(path)
+        assert path.read_text().splitlines() == prof.collapsed_stacks()
+
+    def test_zero_width_frames_are_dropped(self):
+        prof = HotPathProfiler(clock=FakeClock())
+        prof.run_begin()
+        prof.lap("fetch")  # zero elapsed
+        prof.run_end()
+        assert prof.collapsed_stacks() == []
+
+
+class TestRealPipeline:
+    @pytest.fixture(scope="class")
+    def profiled(self):
+        inst = Instrumentation(profile=True)
+        harness = Harness()
+        result = harness.run_one(SimAlpha, "C-R", instrumentation=inst)
+        return result, inst.last_profiler()
+
+    def test_coverage_meets_the_contract(self, profiled):
+        _, prof = profiled
+        assert prof is not None
+        # The acceptance bar: the phase table explains >=95% of the
+        # measured run wall-time (laps deliver ~100%).
+        assert prof.coverage >= 0.95
+
+    def test_phases_are_the_declared_set(self, profiled):
+        _, prof = profiled
+        assert set(prof.phases) <= set(PHASES)
+        for hot in ("fetch", "issue", "retire"):
+            assert prof.phases[hot] > 0.0
+
+    def test_components_were_wrapped(self, profiled):
+        _, prof = profiled
+        assert prof.components, "no PROFILE_COMPONENTS hooks fired"
+        assert "fetch/icache" in prof.components
+        calls = prof.component_calls["fetch/icache"]
+        assert calls > 0
+
+    def test_profiling_does_not_change_the_measurement(self, profiled):
+        result, _ = profiled
+        bare = Harness().run_one(SimAlpha, "C-R")
+        assert result.cycles == bare.cycles
+        assert result.instructions == bare.instructions
+
+    def test_attribution_and_render_agree(self, profiled):
+        _, prof = profiled
+        data = prof.attribution()
+        assert data["runs"] == 1
+        assert data["coverage"] == pytest.approx(prof.coverage)
+        table = prof.render()
+        assert "hot-path attribution" in table
+        for phase in data["phases"]:
+            assert phase in table
+
+    def test_disabled_instrumentation_wraps_nothing(self):
+        inst = Instrumentation.disabled()
+        harness = Harness()
+        harness.run_one(SimAlpha, "C-R", instrumentation=inst)
+        assert inst.last_profiler() is None

@@ -1,0 +1,159 @@
+"""Per-cell telemetry: probe, ledger, progress line, metrics mirror."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import (
+    CellTelemetry,
+    GridProgress,
+    RunLedger,
+    TelemetryProbe,
+    mirror_to_metrics,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTelemetryProbe:
+    def test_probe_measures_a_sleepless_interval(self):
+        probe = TelemetryProbe()
+        telemetry = probe.finish(1000)
+        assert telemetry.wall_s >= 0.0
+        assert telemetry.instructions == 1000
+        assert telemetry.kips > 0.0
+        assert telemetry.max_rss_kb > 0
+        assert telemetry.pid > 0
+
+    def test_kips_is_instructions_per_wall_ms(self):
+        probe = TelemetryProbe()
+        telemetry = probe.finish(5000)
+        assert telemetry.kips == pytest.approx(
+            telemetry.instructions / telemetry.wall_s / 1e3
+        )
+
+    def test_round_trip_through_dict(self):
+        telemetry = CellTelemetry(
+            wall_s=1.5, user_s=1.0, sys_s=0.25, max_rss_kb=4096,
+            instructions=48000, kips=32.0, pid=99,
+        )
+        assert CellTelemetry.from_dict(telemetry.to_dict()) == telemetry
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = CellTelemetry(wall_s=1.0).to_dict()
+        payload["future_field"] = "whatever"
+        assert CellTelemetry.from_dict(payload).wall_s == 1.0
+
+
+class TestRunLedger:
+    def test_header_then_one_line_per_record(self, tmp_path):
+        path = tmp_path / "run.ledger.jsonl"
+        with RunLedger(path, clock=lambda: 123.0) as ledger:
+            ledger.record(simulator="sim-alpha", workload="C-R",
+                          status="ok",
+                          telemetry=CellTelemetry(wall_s=0.5, kips=10.0))
+            ledger.record(simulator="sim-alpha", workload="M-D",
+                          status="stuck")
+            assert ledger.records == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"type": "header",
+                            "format": RunLedger.FORMAT}
+        assert lines[1]["status"] == "ok"
+        assert lines[1]["ts"] == 123.0
+        assert lines[1]["telemetry"]["wall_s"] == 0.5
+        assert lines[2]["workload"] == "M-D"
+        assert "telemetry" not in lines[2]
+
+    def test_reopening_appends_without_second_header(self, tmp_path):
+        path = tmp_path / "run.ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.record(simulator="a", workload="w", status="ok")
+        with RunLedger(path) as ledger:
+            ledger.record(simulator="b", workload="w", status="ok")
+        lines = path.read_text().splitlines()
+        headers = [line for line in lines if "header" in line]
+        assert len(headers) == 1
+        assert len(lines) == 3
+
+    def test_source_and_attempts_are_recorded(self, tmp_path):
+        path = tmp_path / "run.ledger.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.record(simulator="a", workload="w", status="ok",
+                          source="cache", attempts=3)
+        cell = json.loads(path.read_text().splitlines()[1])
+        assert cell["source"] == "cache"
+        assert cell["attempts"] == 3
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        with RunLedger(path):
+            pass
+        assert path.exists()
+
+
+class TestGridProgress:
+    def test_line_reports_done_rate_and_eta(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = GridProgress(10, stream=stream, clock=clock)
+        clock.now = 2.0
+        progress.update(4)
+        assert "cells 4/10" in progress.line()
+        assert "2.0 cells/s" in progress.line()
+        assert "ETA 3s" in progress.line()
+
+    def test_unknown_eta_before_first_cell(self):
+        progress = GridProgress(5, stream=io.StringIO(), clock=FakeClock())
+        assert "ETA ?" in progress.line()
+
+    def test_updates_are_throttled_but_final_always_prints(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = GridProgress(
+            100, stream=stream, clock=clock, min_interval_s=10.0
+        )
+        clock.now = 1.0
+        for _ in range(99):
+            progress.update()  # all inside one throttle window
+        assert stream.getvalue().count("\r") == 1
+        progress.update()  # the 100th is final: always rendered
+        assert stream.getvalue().count("\r") == 2
+        progress.close()
+        assert stream.getvalue().endswith("\n")
+
+    def test_close_without_output_writes_nothing(self):
+        stream = io.StringIO()
+        GridProgress(5, stream=stream, clock=FakeClock()).close()
+        assert stream.getvalue() == ""
+
+
+class TestMirrorToMetrics:
+    def test_telemetry_lands_under_the_telemetry_prefix(self):
+        registry = MetricsRegistry()
+        telemetry = CellTelemetry(
+            wall_s=2.0, user_s=1.5, sys_s=0.5, max_rss_kb=1024,
+            instructions=4000, kips=2.0, pid=1,
+        )
+        mirror_to_metrics(registry, "sim-alpha", "C-R", telemetry)
+        key = "sim-alpha.C-R"
+        assert registry.timer(f"telemetry.cell_wall.{key}").total == 2.0
+        assert registry.timer(f"telemetry.cell_cpu.{key}").total == 2.0
+        assert registry.gauge(f"telemetry.kips.{key}").value == 2.0
+        assert registry.gauge(f"telemetry.max_rss_kb.{key}").value == 1024
+        assert (
+            registry.counter(f"telemetry.instructions.{key}").value == 4000
+        )
+        assert registry.counter("telemetry.cells").value == 1
+
+    def test_none_telemetry_is_a_noop(self):
+        registry = MetricsRegistry()
+        mirror_to_metrics(registry, "sim-alpha", "C-R", None)
+        assert registry.counter("telemetry.cells").value == 0

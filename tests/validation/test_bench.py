@@ -1,0 +1,149 @@
+"""The benchmark-trajectory harness: artifact schema, comparison
+semantics, and the regression gate's directionality."""
+
+import json
+
+import pytest
+
+from repro.validation.bench import (
+    BENCH_FORMAT,
+    compare_artifacts,
+    load_artifact,
+    render_comparison,
+    run_bench,
+    write_artifact,
+)
+
+
+def metric(value, *, gate=True, higher_is_better=True, unit="x"):
+    return {
+        "value": value,
+        "unit": unit,
+        "gate": gate,
+        "higher_is_better": higher_is_better,
+    }
+
+
+def artifact(metrics, label="test"):
+    return {
+        "format": BENCH_FORMAT,
+        "label": label,
+        "created": "2026-01-01T00:00:00Z",
+        "package_version": "0",
+        "metrics": metrics,
+    }
+
+
+class TestCompare:
+    def test_gated_drop_past_threshold_regresses(self):
+        old = artifact({"m": metric(1.0)})
+        new = artifact({"m": metric(0.8)})
+        rows, regressions = compare_artifacts(old, new, threshold=0.15)
+        assert [row["name"] for row in regressions] == ["m"]
+        assert rows[0]["change"] == pytest.approx(-0.2)
+
+    def test_drop_within_threshold_passes(self):
+        old = artifact({"m": metric(1.0)})
+        new = artifact({"m": metric(0.9)})
+        _, regressions = compare_artifacts(old, new, threshold=0.15)
+        assert regressions == []
+
+    def test_improvement_never_regresses(self):
+        old = artifact({"m": metric(1.0)})
+        new = artifact({"m": metric(5.0)})
+        _, regressions = compare_artifacts(old, new, threshold=0.15)
+        assert regressions == []
+
+    def test_lower_is_better_flips_the_bad_direction(self):
+        """An overhead ratio going *up* is the regression."""
+        old = artifact({"ovh": metric(1.0, higher_is_better=False)})
+        worse = artifact({"ovh": metric(1.5, higher_is_better=False)})
+        better = artifact({"ovh": metric(0.5, higher_is_better=False)})
+        _, regressions = compare_artifacts(old, worse, threshold=0.15)
+        assert len(regressions) == 1
+        _, regressions = compare_artifacts(old, better, threshold=0.15)
+        assert regressions == []
+
+    def test_info_metrics_never_gate(self):
+        """Raw KIPS is machine-dependent: a 90% drop is still not a
+        regression, because CI hardware is not your hardware."""
+        old = artifact({"kips": metric(100.0, gate=False)})
+        new = artifact({"kips": metric(10.0, gate=False)})
+        rows, regressions = compare_artifacts(old, new, threshold=0.15)
+        assert regressions == []
+        assert rows[0]["change"] == pytest.approx(-0.9)
+
+    def test_metrics_missing_from_either_side_are_skipped(self):
+        old = artifact({"only_old": metric(1.0)})
+        new = artifact({"only_new": metric(1.0)})
+        rows, regressions = compare_artifacts(old, new)
+        assert rows == [] and regressions == []
+
+    def test_render_flags_regressions_and_info(self):
+        old = artifact({"m": metric(1.0), "k": metric(9.0, gate=False)})
+        new = artifact({"m": metric(0.5), "k": metric(1.0, gate=False)})
+        rows, regressions = compare_artifacts(old, new, threshold=0.15)
+        text = render_comparison(rows, regressions, threshold=0.15)
+        assert "REGRESSION" in text
+        assert "(info)" in text
+        assert "1 gated metric(s) regressed past 15%" in text
+
+    def test_render_clean_verdict(self):
+        rows, regressions = compare_artifacts(
+            artifact({"m": metric(1.0)}), artifact({"m": metric(1.0)})
+        )
+        text = render_comparison(rows, regressions, threshold=0.15)
+        assert "no gated regressions" in text
+
+
+class TestArtifactIO:
+    def test_write_load_round_trip(self, tmp_path):
+        payload = artifact({"m": metric(1.5)})
+        path = tmp_path / "nested" / "BENCH_test.json"
+        write_artifact(payload, str(path))
+        assert load_artifact(str(path)) == payload
+
+    def test_load_rejects_foreign_formats(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else/1"}))
+        with pytest.raises(ValueError, match="not a bench artifact"):
+            load_artifact(str(path))
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        scratch = tmp_path_factory.mktemp("bench-cache")
+        return run_bench(
+            label="unit", kips_workloads=("C-S1",), rounds=1,
+            cache_root=str(scratch),
+        )
+
+    def test_artifact_shape(self, result):
+        assert result["format"] == BENCH_FORMAT
+        assert result["label"] == "unit"
+        assert result["created"].endswith("Z")
+        for record in result["metrics"].values():
+            assert set(record) == {
+                "value", "unit", "gate", "higher_is_better",
+            }
+
+    def test_pinned_suite_is_present(self, result):
+        names = set(result["metrics"])
+        assert "kips.sim-alpha.C-S1" in names
+        assert "engine.parallel_speedup_j2" in names
+        assert "cache.warm_hit_rate" in names
+        assert "obs.disabled_overhead_ratio" in names
+        assert "profiler.coverage" in names
+
+    def test_gated_metrics_hold_their_contracts(self, result):
+        metrics = result["metrics"]
+        # A just-populated cache answers every probe.
+        assert metrics["cache.warm_hit_rate"]["value"] == 1.0
+        # The phase table explains (essentially all of) the run.
+        assert metrics["profiler.coverage"]["value"] >= 0.95
+        assert metrics["kips.sim-alpha.C-S1"]["gate"] is False
+
+    def test_self_comparison_is_clean(self, result):
+        _, regressions = compare_artifacts(result, result)
+        assert regressions == []
