@@ -24,12 +24,15 @@ def test_table2_micro(benchmark, harness):
     )
     print()
     print(result.render())
+    # The DRAM-layer kernels (M-ROW, M-BANK) are this reproduction's
+    # additions; the paper publishes numbers for the original 21 only.
     comparison = [
         (row.benchmark,
          TABLE2_NATIVE_IPC[row.benchmark], row.native_ipc,
          TABLE2_INITIAL_ERROR[row.benchmark], row.initial_error,
          TABLE2_VALIDATED_ERROR[row.benchmark], row.alpha_error)
         for row in result.rows
+        if row.benchmark in TABLE2_NATIVE_IPC
     ]
     print()
     print(render_table(

@@ -23,6 +23,22 @@ Wrong-path work is charged as redirect bubbles computed from the
 mispredicting instruction's resolution time, which is how trace-driven
 timing models conventionally account for speculation.
 
+**Float exactness.**  Event times are ``float``, but the arithmetic is
+exact, not approximate: every quantity ever added to a time is a dyadic
+rational with denominator dividing 4 — integer latencies and penalties,
+the aggressive scheduler's 0.25-cycle cluster bias, and the bus-cycle
+ratios (2.5 and 4.0 CPU cycles per bus cycle).  Sums and maxima of such
+values are themselves multiples of 1/4, and an IEEE-754 double holds
+``k/4`` exactly for ``|k| < 2**53`` — i.e. for all times below ``2**51``
+cycles (~2.3e15, about five orders of magnitude past the longest
+conceivable run; a 10M-instruction trace retires around 1e7 cycles).
+There is therefore **no accumulation drift**: replaying a trace twice
+produces bit-identical times, the blockcache's memoized deltas replay
+exactly, and cross-platform results differ only if the platform's
+double arithmetic is non-conformant.  ``tests/core/
+test_float_determinism.py`` holds the regression tests for this
+argument.
+
 Every sim-initial bug (:mod:`repro.core.bugs`) and native-machine
 effect (:class:`repro.core.config.NativeEffects`) hooks into a specific
 mechanism here, so one engine serves sim-alpha, sim-initial,
@@ -32,8 +48,10 @@ sim-stripped, and the NativeMachine.
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.blockcache import BlockCache, resolve_blockcache
 from repro.core.config import MachineConfig
 from repro.functional.trace import DynInstr
 from repro.integrity.watchdog import (
@@ -159,6 +177,7 @@ class AlphaPipeline:
         window_size: Optional[int] = None,
         observer=None,
         watchdog=None,
+        blockcache=None,
     ) -> SimResult:
         """Time ``trace``.
 
@@ -179,6 +198,14 @@ class AlphaPipeline:
         ``None``): beaten every few thousand instructions with the
         retire frontier, it raises :class:`SimulationStuck` when
         retirement stops advancing instead of spinning silently.
+
+        ``blockcache`` controls the trace-compilation fast path
+        (:mod:`repro.core.blockcache`): ``None``/``True`` enable it
+        with defaults, ``False`` preserves the pure detailed loop, and
+        a :class:`repro.core.blockcache.BlockCacheConfig` tunes it.
+        The fast path engages only for random-access traces run
+        without windowing, and is stat- and artefact-equivalent to the
+        detailed path by construction (verified by sampling).
         """
         cfg = self.config
         features = cfg.features
@@ -300,8 +327,72 @@ class AlphaPipeline:
             lap = prof.lap
             lap("setup")
 
-        for dyn in trace:
+        # Trace-compilation fast path: engages only for random-access,
+        # unwindowed traces long enough to plausibly contain hot loops.
+        bc = None
+        bc_cfg = resolve_blockcache(blockcache)
+        if (
+            bc_cfg is not None
+            and window_size is None
+            and hasattr(trace, "__getitem__")
+            and hasattr(trace, "__len__")
+            and len(trace) >= bc_cfg.min_trace_len
+        ):
+            bc = BlockCache(bc_cfg, self, workload)
+            bc.attach(
+                trace, stats, observer,
+                int_ports, fp_ports, retire_ports,
+                pending_stores, last_loads,
+            )
+        bc_head = -1
+        bc_recording = False
+
+        it = iter(trace)
+        for dyn in it:
             instructions += 1
+            if bc is not None and dyn.pc == bc_head:
+                plan = bc.boundary(
+                    bc_head,
+                    instructions - 1,
+                    (fetch_free, pending_fetch_at, current_octaword,
+                     group_ready, force_new_fetch, prev_octaword,
+                     maps_low, last_retire, store_frontier,
+                     unit_rotate, final_retire),
+                    (rob_ring, int_rename, fp_rename, storeq_ring,
+                     intq_ring, fpq_ring),
+                    reg_ready,
+                )
+                bc_recording = bc.recording
+                if plan is not None:
+                    (consumed, fetch_free, pending_fetch_at,
+                     group_ready, store_frontier, last_retire,
+                     final_retire, current_octaword, force_new_fetch,
+                     prev_octaword, maps_low, unit_rotate,
+                     rings_new) = plan
+                    rob_ring = deque(rings_new[0])
+                    int_rename = deque(rings_new[1])
+                    fp_rename = deque(rings_new[2])
+                    storeq_ring = deque(rings_new[3])
+                    intq_ring = deque(rings_new[4])
+                    fpq_ring = deque(rings_new[5])
+                    instructions += consumed - 1
+                    deque(islice(it, consumed - 1), maxlen=0)
+                    beat_state = {
+                        "stage": "blockcache",
+                        "pc": dyn.pc,
+                        "batch": consumed,
+                    }
+                    if watchdog is not None:
+                        watchdog.beat(
+                            instructions, last_retire, beat_state
+                        )
+                    else:
+                        record_heartbeat(
+                            instructions, last_retire, beat_state
+                        )
+                    if lap is not None:
+                        lap("blockcache")
+                    continue
             if observer is not None:
                 observer.begin(stats)
             if window_size is not None and not instructions % window_size:
@@ -369,6 +460,9 @@ class AlphaPipeline:
                 final_retire = retire if retire > final_retire else final_retire
                 if observer is not None:
                     observer.commit_short(dyn, fetch_time, retire, stats)
+                if bc_recording:
+                    bc.rec_short(1, dyn, fetch_time, retire)
+                    bc_recording = bc.recording
                 if lap is not None:
                     lap("retire")
                 continue
@@ -378,6 +472,9 @@ class AlphaPipeline:
                 final_retire = retire if retire > final_retire else final_retire
                 if observer is not None:
                     observer.commit_short(dyn, fetch_time, retire, stats)
+                if bc_recording:
+                    bc.rec_short(2, dyn, fetch_time, retire)
+                    bc_recording = bc.recording
                 if lap is not None:
                     lap("retire")
                 continue
@@ -476,7 +573,11 @@ class AlphaPipeline:
                     # sim-initial's too-smart scheduler: prefers the
                     # producer's cluster, dodging the bypass penalty.
                     if src_cluster >= 0 and unit[2] != src_cluster:
-                        t += 0.25  # mild bias away, rarely binding
+                        # Mild bias away, rarely binding.  0.25 keeps
+                        # every time a multiple of 1/4, which doubles
+                        # represent exactly below 2**51 cycles — see
+                        # the module docstring's float-exactness note.
+                        t += 0.25
                 # With `slot` off there are no slotting restrictions and
                 # no cluster penalty: an abstract centralized core.
                 if best_time is None or t < best_time:
@@ -707,6 +808,10 @@ class AlphaPipeline:
                         )
                     if klass is InstrClass.CALL:
                         ras.push(dyn.fallthrough_pc)
+                if bc is not None and dyn.taken and dyn.next_pc <= pc:
+                    # A taken backward branch nominates its target as
+                    # the current hot-block head.
+                    bc_head = dyn.next_pc
 
             if trap_redirect:
                 pending_fetch_at = max(pending_fetch_at, trap_redirect)
@@ -760,6 +865,12 @@ class AlphaPipeline:
                     dyn, fetch_time, map_time, issue_time, complete,
                     retire, stats,
                 )
+            if bc_recording:
+                bc.rec_commit(
+                    dyn, fetch_time, map_time, issue_time, complete,
+                    retire, my_cluster, consumer_ready, best,
+                )
+                bc_recording = bc.recording
 
             # Periodic pruning of unbounded maps (and the livelock
             # heartbeat, which rides the same stride for zero cost on
@@ -785,31 +896,46 @@ class AlphaPipeline:
                     watchdog.beat(instructions, last_retire, beat_state)
                 else:
                     record_heartbeat(instructions, last_retire, beat_state)
+                # Pruning mutates the dicts in place (rather than
+                # rebinding the locals) so the blockcache's references
+                # to them stay live.
                 now = issue_time
                 if len(pending_stores) > 4096:
-                    pending_stores = {
+                    kept = {
                         k: v for k, v in pending_stores.items() if v[1] > now
                     }
+                    pending_stores.clear()
+                    pending_stores.update(kept)
                 if len(last_loads) > 8192:
-                    last_loads = {
+                    kept = {
                         k: v
                         for k, v in last_loads.items()
                         if v[1] > now - 64
                     }
+                    last_loads.clear()
+                    last_loads.update(kept)
                 if len(int_ports) > 65536:
                     horizon = int(now) - 128
-                    int_ports = {
+                    kept = {
                         c: n for c, n in int_ports.items() if c > horizon
                     }
-                    fp_ports = {
+                    int_ports.clear()
+                    int_ports.update(kept)
+                    kept = {
                         c: n for c, n in fp_ports.items() if c > horizon
                     }
-                    retire_ports = {
+                    fp_ports.clear()
+                    fp_ports.update(kept)
+                    kept = {
                         c: n for c, n in retire_ports.items() if c > horizon
                     }
+                    retire_ports.clear()
+                    retire_ports.update(kept)
             if lap is not None:
                 lap("retire")
 
+        if bc is not None:
+            bc.finish(observer, instructions)
         stats.itlb_misses = hier.itlb.stats.misses
         if window_size is not None:
             stats.extra["window_size"] = window_size

@@ -47,6 +47,7 @@ class SimAlpha:
         window_size: Optional[int] = None,
         observer=None,
         watchdog=None,
+        blockcache=None,
     ) -> SimResult:
         """Time a pre-computed dynamic trace (fresh pipeline state).
 
@@ -54,12 +55,15 @@ class SimAlpha:
         warm-up analysis (see :mod:`repro.validation.warmup`);
         ``observer`` (a :class:`repro.obs.RunObserver`) enables the
         instrumentation layer for this run; ``watchdog`` (a
-        :class:`repro.integrity.Watchdog`) arms livelock detection.
+        :class:`repro.integrity.Watchdog`) arms livelock detection;
+        ``blockcache`` controls the trace-compiled fast path
+        (``None``/``True`` = on with defaults, ``False`` = pure
+        detailed loop, or a ``BlockCacheConfig``).
         """
         pipeline = AlphaPipeline(self.config)
         result = pipeline.run_trace(
             trace, workload, window_size=window_size, observer=observer,
-            watchdog=watchdog,
+            watchdog=watchdog, blockcache=blockcache,
         )
         result.provenance = capture_provenance(self.config)
         return result

@@ -22,7 +22,12 @@ unchanged inputs is pure cache hits and serialises byte-identically to
 the run that populated the cache.
 """
 
-from repro.exec.cache import CacheKey, ResultCache, fingerprint_trace
+from repro.exec.cache import (
+    CacheKey,
+    ResultCache,
+    fingerprint_trace,
+    instr_signature,
+)
 from repro.exec.engine import CellFailure, ExperimentEngine
 
 __all__ = [
@@ -31,4 +36,5 @@ __all__ = [
     "ExperimentEngine",
     "ResultCache",
     "fingerprint_trace",
+    "instr_signature",
 ]

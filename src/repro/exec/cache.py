@@ -35,26 +35,53 @@ from typing import Dict, Iterable, Optional, Sequence
 from repro.obs.registry import MetricsRegistry
 from repro.result import SimResult
 
-__all__ = ["CacheKey", "ResultCache", "fingerprint_trace"]
+__all__ = [
+    "CacheKey", "ResultCache", "fingerprint_trace", "instr_signature",
+]
+
+
+def instr_signature(dyn) -> tuple:
+    """The timing-relevant identity of one dynamic instruction.
+
+    Exactly the :class:`~repro.functional.trace.DynInstr` content the
+    timing models consume, and nothing else:
+
+    * ``pc``/``opcode``/``dest``/``srcs``/``slot`` drive fetch, map,
+      issue and functional-unit selection (``klass``, ``latency`` and
+      the ``is_*`` flags are derived from ``opcode`` and so carry no
+      extra information);
+    * ``taken``/``next_pc`` train the predictors and charge redirects;
+    * ``eaddr`` drives the cache hierarchy and store forwarding.
+
+    ``seq``/``index`` are the instruction's *position*, already fixed
+    by where it sits in the trace, and ``size`` is never read by any
+    timing model — including any of them would split traces that every
+    simulator times identically.  This is the same judgement as the
+    blockcache's per-record comparison key
+    (``repro.core.blockcache._DYN_KEY``), applied here at whole-trace
+    granularity.
+    """
+    return (
+        dyn.pc, dyn.opcode.name, dyn.dest, dyn.srcs, dyn.taken,
+        dyn.next_pc, dyn.eaddr, dyn.slot,
+    )
 
 
 def fingerprint_trace(trace: Sequence) -> str:
     """A stable digest of a dynamic trace's replayed content.
 
-    Hashes the fields the timing models actually consume (PCs, opcodes,
-    operands, branch outcomes, effective addresses), so two traces
-    fingerprint equal iff every simulator times them identically.
+    Hashes :func:`instr_signature` for every record (plus the length),
+    so two traces fingerprint equal **iff** every simulator times them
+    identically: content the models never read (``size``, and the
+    position fields that restate the record index) cannot split the
+    fingerprint, and every consumed field is separated unambiguously
+    so no two distinct signatures can collide by concatenation.
     """
     digest = hashlib.blake2b(digest_size=16)
     digest.update(str(len(trace)).encode())
     for dyn in trace:
-        digest.update(
-            (
-                f"{dyn.pc:x}|{dyn.opcode.name}|{dyn.dest}|{dyn.srcs}|"
-                f"{int(dyn.taken)}|{dyn.next_pc:x}|{dyn.eaddr}|"
-                f"{dyn.size}|{dyn.slot}\n"
-            ).encode()
-        )
+        digest.update(repr(instr_signature(dyn)).encode())
+        digest.update(b"\n")
     return digest.hexdigest()
 
 
@@ -176,6 +203,28 @@ class ResultCache:
             return False
         return True
 
+    def _unlink_if_unchanged(self, path: str, seen) -> bool:
+        """Unlink ``path`` only if it is still the file the gc scan
+        decided to evict.
+
+        A concurrent writer lands entries with ``os.replace``; if the
+        file has been replaced since the scan ``stat`` (fresh
+        ``mtime_ns`` or size), evicting it would destroy a *new*
+        result that was never examined — skip it instead.  The
+        re-stat narrows the race to the instant between stat and
+        unlink; the cache is single-host, so a same-nanosecond
+        identical-size replacement is not a practical concern.
+        """
+        try:
+            current = os.stat(path)
+        except OSError:
+            return False
+        if (current.st_mtime_ns, current.st_size) != (
+            seen.st_mtime_ns, seen.st_size
+        ):
+            return False
+        return self._unlink(path)
+
     def _drop(self, path: str) -> bool:
         if not self._unlink(path):
             return False
@@ -197,18 +246,24 @@ class ResultCache:
 
         * ``live`` — an iterable of :class:`CacheKey` (or digest
           strings) that are *never* evicted, whatever their age or the
-          size budget (the current experiment's working set);
+          size budget (the current experiment's working set); their
+          bytes still count toward ``max_bytes`` — exactly once each,
+          however many times (and in however many spellings) a member
+          appears in ``live``;
         * ``max_age_s`` — entries not touched (stored or hit) within
           that many seconds of ``now`` are removed;
-        * ``max_bytes`` — if the surviving entries still exceed this
-          byte budget, least-recently-used entries (oldest mtime
-          first) are evicted until the cache fits.
+        * ``max_bytes`` — if the cache (live entries included) still
+          exceeds this byte budget, least-recently-used evictable
+          entries (oldest mtime first) are evicted until it fits.
 
         Orphaned ``.tmp`` files from interrupted writes are removed by
-        the age pass as well.  ``now`` is injectable for tests.  The
-        summary — removed digests (sorted), bytes reclaimed, entries
-        kept — is also mirrored into the attached metrics registry
-        (``exec.cache.gc_removed`` / ``exec.cache.gc_bytes_reclaimed``).
+        the age pass as well.  Eviction re-stats each victim first, so
+        gc racing a concurrent writer can never unlink an entry that
+        was replaced after the scan.  ``now`` is injectable for tests.
+        The summary — removed digests (sorted), bytes reclaimed,
+        entries kept — is also mirrored into the attached metrics
+        registry (``exec.cache.gc_removed`` /
+        ``exec.cache.gc_bytes_reclaimed``).
         """
         if now is None:
             now = time.time()
@@ -216,9 +271,10 @@ class ResultCache:
         for item in (live or ()):
             keep.add(item.digest() if isinstance(item, CacheKey) else item)
 
-        entries = []   # (mtime, size, digest, path)
+        entries = []   # (mtime, size, digest, path, stat)
         removed = []
         reclaimed = 0
+        live_bytes = 0
         for name in sorted(os.listdir(self.root)):
             path = os.path.join(self.root, name)
             try:
@@ -228,28 +284,36 @@ class ResultCache:
             if name.endswith(".tmp"):
                 # Interrupted-write leftovers age out like entries.
                 if max_age_s is not None and now - stat.st_mtime > max_age_s:
-                    if self._unlink(path):
+                    if self._unlink_if_unchanged(path, stat):
                         reclaimed += stat.st_size
                 continue
             if not name.endswith(".json"):
                 continue
             digest = name[:-len(".json")]
             if digest in keep:
+                # Exempt from eviction, but the bytes are real: count
+                # them toward the budget.  The ``keep`` *set* already
+                # collapses a member passed both as a CacheKey and as
+                # its raw digest, so each file is counted once.
+                live_bytes += stat.st_size
                 continue
             if max_age_s is not None and now - stat.st_mtime > max_age_s:
-                if self._unlink(path):
+                if self._unlink_if_unchanged(path, stat):
                     removed.append(digest)
                     reclaimed += stat.st_size
                 continue
-            entries.append((stat.st_mtime, stat.st_size, digest, path))
+            entries.append((stat.st_mtime, stat.st_size, digest, path, stat))
 
         if max_bytes is not None:
-            total = sum(size for _, size, _, _ in entries)
-            entries.sort()  # oldest mtime first = least recently used
-            for _, size, digest, path in entries:
+            total = live_bytes + sum(size for _, size, _, _, _ in entries)
+            # Oldest mtime first = least recently used.  Only non-live
+            # entries are evictable; a live set larger than the budget
+            # empties everything else but is itself untouchable.
+            entries.sort(key=lambda entry: entry[:3])
+            for _, size, digest, path, stat in entries:
                 if total <= max_bytes:
                     break
-                if self._unlink(path):
+                if self._unlink_if_unchanged(path, stat):
                     removed.append(digest)
                     reclaimed += size
                     total -= size

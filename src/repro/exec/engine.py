@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.blockcache import BLOCKCACHE_VERSION
 from repro.exec.cache import CacheKey, ResultCache, fingerprint_trace
 from repro.integrity.checkpoint import GridCheckpoint
 from repro.integrity.sanitizers import (
@@ -123,7 +124,7 @@ class _Attempt:
 
 
 def _worker_main(conn, factory, workload, workload_set, instrumentation,
-                 sanitizers=None, watchdog_s=None):
+                 sanitizers=None, watchdog_s=None, blockcache=None):
     """Body of one forked worker: time one cell, ship the result back.
 
     Runs through the same :class:`Harness` cell path as serial
@@ -145,7 +146,8 @@ def _worker_main(conn, factory, workload, workload_set, instrumentation,
     install_escalation_handler()
     try:
         harness = Harness(
-            workload_set, sanitizers=sanitizers, watchdog_s=watchdog_s
+            workload_set, sanitizers=sanitizers, watchdog_s=watchdog_s,
+            blockcache=blockcache,
         )
         try:
             result = harness.run_one(
@@ -250,8 +252,14 @@ class ExperimentEngine:
         resume: bool = False,
         backoff: Optional[RetryBackoff] = None,
         escalation_grace_s: float = 1.0,
+        blockcache=None,
     ):
         self.workloads = workloads or WorkloadSet()
+        #: Trace-compilation control threaded to every cell's harness
+        #: (``None`` = simulator default, ``False`` = detailed loop
+        #: only).  Mixed into cache keys whenever the fast path may
+        #: engage, so cached results never span blockcache versions.
+        self.blockcache = blockcache
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.escalation_grace_s = max(0.0, float(escalation_grace_s))
@@ -289,12 +297,18 @@ class ExperimentEngine:
     def _cell_key(
         self, sim_name: str, cfg_hash: str, workload: str, trace_fp: str
     ) -> CacheKey:
+        version = _package_version()
+        if self.blockcache is not False:
+            # The fast path may engage for this cell: bind the entry
+            # to the blockcache semantics version so a memoization
+            # change can never serve stale cached results.
+            version = f"{version}+bc{BLOCKCACHE_VERSION}"
         return CacheKey(
             simulator=sim_name,
             config_hash=cfg_hash,
             workload=workload,
             trace_fingerprint=trace_fp,
-            package_version=_package_version(),
+            package_version=version,
         )
 
     # -- the grid ----------------------------------------------------------
@@ -439,7 +453,10 @@ class ExperimentEngine:
         """Recompute one cell, overwrite its cache entry, and replace
         it in ``grid`` (the ``ResultGrid.add(..., replace=True)``
         escape hatch)."""
-        harness = Harness(self.workloads, metrics=self.metrics)
+        harness = Harness(
+            self.workloads, metrics=self.metrics,
+            blockcache=self.blockcache,
+        )
         result = harness.run_one(
             factory, workload, instrumentation=instrumentation
         )
@@ -530,6 +547,7 @@ class ExperimentEngine:
         harness = Harness(
             self.workloads, metrics=self.metrics,
             sanitizers=self.sanitizers, watchdog_s=self.watchdog_s,
+            blockcache=self.blockcache,
         )
         for cell in to_run:
             attempts = 1 + self.retries
@@ -639,7 +657,7 @@ class ExperimentEngine:
                 target=_worker_main,
                 args=(send_end, cell.factory, cell.workload,
                       self.workloads, instrumentation,
-                      self.sanitizers, self.watchdog_s),
+                      self.sanitizers, self.watchdog_s, self.blockcache),
                 daemon=True,
             )
             process.start()

@@ -190,11 +190,23 @@ class GridCheckpoint:
         age pass cannot destroy work that predates timestamps);
         ``live`` drops entries whose digest is not in the given set —
         pass the digests of the grid you still care about to shed
-        every stale reconfiguration at once.  Passing neither is a
-        no-op beyond a (possibly upgrading) rewrite of the journal.
+        every stale reconfiguration at once (an explicitly *empty*
+        live set prunes every entry).  Passing neither is a no-op
+        beyond a (possibly upgrading) rewrite of the journal.
         """
-        if not self._loaded:
+        # Re-merge from disk *before* pruning: another run may have
+        # extended the journal since our last read, and the rewrite
+        # below must not clobber its cells.  (Flushing the stale
+        # in-memory view here used to drop concurrent work silently.)
+        # The prune criteria then apply uniformly to merged and
+        # in-memory entries, so pruned digests still leave the file —
+        # they are judged dead, not merely skipped during the merge.
+        self._loaded = False
+        try:
             self.load()
+        except ValueError:
+            # A corrupt journal must not block writing a good one.
+            self._loaded = True
         cutoff = None
         if max_age_s is not None:
             cutoff = (time.time() if now is None else now) - max_age_s
@@ -209,8 +221,5 @@ class GridCheckpoint:
                 del self._entries[digest]
                 self._recorded.pop(digest, None)
                 pruned.append(digest)
-        # Rewrite without re-merging the pruned entries back in: the
-        # whole point is that they leave the file.
-        self._loaded = True
         self.flush()
         return sorted(pruned)

@@ -18,6 +18,9 @@ fault class                     expected detection channel
 ``ipc_overflow``                ``invariant:ipc_bound``
 ``cpi_stack_leak``              ``invariant:cpi_stack_sum``
 ``event_count_corruption``      ``invariant:cache_conservation``
+``blockcache_corruption``       ``invariant:blockcache_divergence`` (the
+                                fast path's verify sampler re-times a
+                                replayed block in the detailed loop)
 ``dram_row_overcount``          ``invariant:dram_row_accounting``
 ``dram_conflict_overflow``      ``invariant:dram_bank_conservation``
 ``dram_phantom_row_hit``        ``invariant:dram_page_policy``
@@ -90,6 +93,12 @@ class FaultSpec:
     #: stress the faulted subsystem; the sweep runs the fault on every
     #: member of every listed family and requires detection on each.
     families: Tuple[str, ...] = ("memory",)
+    #: Pinned workloads: when non-empty, the matrix and the sweep run
+    #: this fault on exactly these workloads instead of the default /
+    #: family members.  For faults that only manifest on a particular
+    #: execution shape (the blockcache corruption needs a kernel whose
+    #: steady loop actually gets memoized and replayed).
+    workloads: Tuple[str, ...] = ()
     #: Fault only manifests under the process pool (crash/hang).
     needs_pool: bool = False
 
@@ -152,6 +161,19 @@ FAULTS: Dict[str, FaultSpec] = {
             "the cache itself recorded",
             ("invariant:cache_conservation",),
             families=("memory",),
+        ),
+        FaultSpec(
+            "blockcache_corruption",
+            "corrupt one memoized comparison record of every steady "
+            "block as it is captured, so the trace-compiled fast path "
+            "replays from a stale template",
+            ("invariant:blockcache_divergence",),
+            families=("execute",),
+            # Needs a kernel the blockcache actually compiles: E-I's
+            # all-hit independent-op loop goes steady within a few
+            # occurrences; miss-dominated kernels never memoize (the
+            # fault would be vacuously "undetected" on them).
+            workloads=("E-I",),
         ),
         FaultSpec(
             "dram_row_overcount",
@@ -302,6 +324,30 @@ class FaultedAlpha:
                 trace, "crash" if fault == "worker_crash" else "hang"
             )
         pipeline = AlphaPipeline(self.config)
+        blockcache = None
+        if fault == "blockcache_corruption":
+            from repro.core.blockcache import BlockCacheConfig
+
+            def _corrupt_memo(memo):
+                # Nudge one float field of the block's first memoized
+                # comparison record by a cycle.  Replay proceeds from
+                # the stale template; the next *strict* verify probe
+                # re-times the block through the detailed loop and
+                # must see the record mismatch.
+                cmps = list(memo.cmps)
+                record = list(cmps[0])
+                for i in range(len(record) - 1, -1, -1):
+                    if isinstance(record[i], float):
+                        record[i] += 1.0
+                        break
+                cmps[0] = tuple(record)
+                memo.cmps = tuple(cmps)
+
+            # A tight verify interval so the sampler fires within the
+            # short fault-injection traces.
+            blockcache = BlockCacheConfig(
+                verify_interval=2, debug_corrupt=_corrupt_memo
+            )
         if fault in ("maf_oversubscribe", "shared_maf_oversubscribe"):
             # Re-introduce the PR 2 present_miss bug: the file admits
             # every miss immediately, never stalling when full, so
@@ -356,7 +402,8 @@ class FaultedAlpha:
         elif fault == "cycle_skew" and observer is not None:
             observer = _SkewObserver(observer)
         result = pipeline.run_trace(
-            trace, workload, observer=observer, watchdog=watchdog
+            trace, workload, observer=observer, watchdog=watchdog,
+            blockcache=blockcache,
         )
         if fault == "ipc_overflow":
             result.cycles = result.cycles / 1000.0
@@ -595,13 +642,19 @@ def run_detection_matrix(
     skipped (not failed) where fork is unavailable.
     """
     names = list(faults) if faults is not None else list(FAULTS)
-    fault_cells = {
-        name: [(workload, FAULTS[name].families[0])] for name in names
-    }
+    fault_cells: Dict[str, List[Tuple[str, str]]] = {}
+    control_workloads = [workload]
+    for name in names:
+        spec = FAULTS[name]
+        pinned = spec.workloads or (workload,)
+        fault_cells[name] = [(w, spec.families[0]) for w in pinned]
+        for w in pinned:
+            if w not in control_workloads:
+                control_workloads.append(w)
     return _run_cells(
         DetectionMatrix(workload=workload),
         fault_cells,
-        [workload],
+        control_workloads,
         workloads=workloads or WorkloadSet(),
         include_pool_faults=include_pool_faults,
         pool_timeout_s=pool_timeout_s,
@@ -651,12 +704,21 @@ def run_detection_sweep(
     for name in names:
         spec = FAULTS[name]
         cells: List[Tuple[str, str]] = []
-        for family in spec.families:
-            if family not in selected:
-                continue
-            for workload in members[family]:
-                if all(workload != seen for seen, _ in cells):
-                    cells.append((workload, family))
+        if spec.workloads:
+            # Pinned faults sweep their pinned workloads (if any of
+            # their stressing families is selected at all).
+            if any(family in selected for family in spec.families):
+                cells = [
+                    (workload, spec.families[0])
+                    for workload in spec.workloads
+                ]
+        else:
+            for family in spec.families:
+                if family not in selected:
+                    continue
+                for workload in members[family]:
+                    if all(workload != seen for seen, _ in cells):
+                        cells.append((workload, family))
         if not cells:
             continue  # fault's subsystem is outside the selected sweep
         fault_cells[name] = cells

@@ -84,6 +84,7 @@ INVARIANTS: Tuple[str, ...] = (
     "dram_row_accounting",
     "dram_bank_conservation",
     "dram_page_policy",
+    "blockcache_divergence",
 )
 
 #: IPC ceiling used when no machine configuration was attached (the

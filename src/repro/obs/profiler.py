@@ -56,6 +56,7 @@ PHASES: Tuple[str, ...] = (
     "execute",
     "control",
     "retire",
+    "blockcache",
     "finalize",
 )
 

@@ -17,9 +17,12 @@ Two kinds of metric, distinguished by their ``gate`` flag:
   but never gated, because CI hardware is not your hardware.
 * **gated** (``gate=True``) — machine-portable *ratios*: engine
   parallel speedup on sleep-bound cells, warm-cache hit rate,
-  disabled-instrumentation overhead, and profiler coverage.  These
-  compare meaningfully across hosts, so a regression past the
-  threshold is a real defect, not noise.
+  disabled-instrumentation overhead, profiler coverage, and the
+  blockcache warm-replay speedup on M-LOOP (detailed wall / fast-path
+  wall on the same trace — both sides run on the same host, so the
+  ratio is hardware-independent).  These compare meaningfully across
+  hosts, so a regression past the threshold is a real defect, not
+  noise.
 """
 
 from __future__ import annotations
@@ -40,7 +43,9 @@ from repro.workloads.suite import WorkloadSet
 __all__ = [
     "BENCH_FORMAT",
     "DEFAULT_KIPS_WORKLOADS",
+    "BLOCKCACHE_CHECK_WORKLOADS",
     "run_bench",
+    "run_blockcache_check",
     "write_artifact",
     "load_artifact",
     "compare_artifacts",
@@ -193,6 +198,98 @@ def _bench_profiler_coverage(workloads: WorkloadSet,
     }
 
 
+def _bench_blockcache(workloads: WorkloadSet, rounds: int) -> Dict[str, Dict]:
+    """Blockcache off / on wall-time ratio on the M-LOOP kernel.
+
+    M-LOOP is a steady all-hit loop, so the fast path replays nearly
+    all of it; the detailed run and the fast run execute on the same
+    host back to back, making the ratio machine-portable.  Gated: a
+    drop means the trace-compilation layer stopped engaging (a
+    steadiness or pre-scan regression), not that the host got slower.
+    """
+    from repro.workloads.micro import memory_loop
+
+    workloads.register(memory_loop())
+    trace = workloads.trace("M-LOOP")
+    detailed = float("inf")
+    fast = float("inf")
+    for _ in range(max(2, rounds)):
+        t0 = time.perf_counter()
+        SimAlpha().run_trace(trace, "M-LOOP", blockcache=False)
+        detailed = min(detailed, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        SimAlpha().run_trace(trace, "M-LOOP")
+        fast = min(fast, time.perf_counter() - t0)
+    speedup = detailed / fast if fast > 0 else 0.0
+    return {
+        "blockcache.warm_replay_speedup": _metric(
+            speedup, "x", gate=True, higher_is_better=True
+        ),
+    }
+
+
+#: The blockcache-check kernels: one replay-dominated loop (M-LOOP),
+#: one moderately steady kernel (E-I), and three that must *fall back*
+#: (branchy C-Ca, missing M-D, DRAM-bound M-ROW) — equivalence must
+#: hold whether the fast path engages or not.
+BLOCKCACHE_CHECK_WORKLOADS: Tuple[str, ...] = (
+    "M-LOOP", "M-I", "E-I", "C-Ca", "M-D", "M-ROW",
+)
+
+
+def run_blockcache_check(
+    *,
+    workload_names=BLOCKCACHE_CHECK_WORKLOADS,
+    workloads: Optional[WorkloadSet] = None,
+) -> Tuple[str, bool]:
+    """Byte-equivalence audit of the trace-compiled fast path.
+
+    Runs every kernel twice — detailed loop only, then with the
+    blockcache enabled — and compares the canonical serialisations
+    (``ResultGrid.to_json(canonical=True)``), which cover every stat,
+    CPI-relevant count, and provenance-stable field.  Returns the
+    report and whether every pair was byte-identical.
+    """
+    from repro.validation.harness import ResultGrid
+    from repro.workloads.micro import memory_loop
+
+    workloads = workloads or WorkloadSet()
+    if "M-LOOP" in workload_names:
+        workloads.register(memory_loop())
+    lines = []
+    ok = True
+    for name in workload_names:
+        trace = workloads.trace(name)
+        t0 = time.perf_counter()
+        detailed = SimAlpha().run_trace(trace, name, blockcache=False)
+        t_detailed = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fast = SimAlpha().run_trace(trace, name)
+        t_fast = time.perf_counter() - t0
+        grid_a = ResultGrid()
+        grid_a.add(detailed)
+        grid_b = ResultGrid()
+        grid_b.add(fast)
+        same = (
+            grid_a.to_json(canonical=True) == grid_b.to_json(canonical=True)
+        )
+        ok = ok and same
+        ratio = t_detailed / t_fast if t_fast > 0 else 0.0
+        lines.append(
+            f"{name:<8} {len(trace):>8} instrs  "
+            f"{'identical' if same else 'DIVERGED':<10} "
+            f"detailed {t_detailed:6.3f}s  fast {t_fast:6.3f}s  "
+            f"({ratio:4.1f}x)"
+        )
+    verdict = (
+        "blockcache equivalence: every kernel byte-identical"
+        if ok else
+        "blockcache equivalence FAILED: fast path diverged from the "
+        "detailed loop"
+    )
+    return "\n".join(lines + [verdict]), ok
+
+
 def run_bench(
     *,
     label: str = "local",
@@ -233,6 +330,8 @@ def run_bench(
     metrics.update(_bench_disabled_overhead(workloads, names[0], rounds))
     say(f"profiler coverage on {names[0]}")
     metrics.update(_bench_profiler_coverage(workloads, names[0]))
+    say("blockcache warm-replay speedup on M-LOOP")
+    metrics.update(_bench_blockcache(workloads, rounds))
 
     return {
         "format": BENCH_FORMAT,

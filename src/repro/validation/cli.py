@@ -379,11 +379,13 @@ def main(argv=None) -> int:
         "experiment",
         choices=sorted(_EXPERIMENTS) + [
             "all", "trace", "integrity", "checkpoint-gc",
-            "profile", "bench", "cache-gc",
+            "profile", "bench", "blockcache-check", "cache-gc",
         ],
         help="which experiment to run, 'trace' to instrument one run, "
              "'profile' for hot-path wall-time attribution, 'bench' "
-             "for the pinned performance suite, 'integrity' to run "
+             "for the pinned performance suite, 'blockcache-check' to "
+             "audit fast-path/detailed byte equivalence (exit 5 on "
+             "divergence), 'integrity' to run "
              "the fault-injection matrix, 'checkpoint-gc' to prune a "
              "grid journal, or 'cache-gc' to prune a result cache",
     )
@@ -517,6 +519,17 @@ def main(argv=None) -> int:
         help="bench subcommand: best-of-N rounds for wall-time-"
              "sensitive probes (default: 2)",
     )
+    parser.add_argument(
+        "--no-blockcache", action="store_true",
+        help="disable the trace-compiled fast path: run every cell "
+             "through the pure detailed timing loop",
+    )
+    parser.add_argument(
+        "--blockcache-verify", type=int, default=None, metavar="N",
+        help="re-execute every Nth fast-path batch through the "
+             "detailed loop and quarantine the run on divergence "
+             "(default: 32; 1 = verify everything, replay nothing)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1 (got {args.jobs})")
@@ -535,6 +548,28 @@ def main(argv=None) -> int:
         parser.error(
             f"--bench-rounds must be >= 1 (got {args.bench_rounds})"
         )
+    if args.blockcache_verify is not None and args.blockcache_verify < 0:
+        parser.error(
+            f"--blockcache-verify must be >= 0 "
+            f"(got {args.blockcache_verify})"
+        )
+    if args.no_blockcache:
+        blockcache = False
+    elif args.blockcache_verify is not None:
+        from repro.core.blockcache import BlockCacheConfig
+
+        blockcache = BlockCacheConfig(
+            verify_interval=args.blockcache_verify
+        )
+    else:
+        blockcache = None
+
+    if args.experiment == "blockcache-check":
+        from repro.validation.bench import run_blockcache_check
+
+        report, ok = run_blockcache_check()
+        print(report)
+        return 0 if ok else 5
 
     if args.experiment == "bench":
         from repro.validation.bench import (
@@ -709,6 +744,7 @@ def main(argv=None) -> int:
         resume=args.resume,
         ledger=args.ledger or None,
         live_progress=args.progress,
+        blockcache=blockcache,
     )
     engine = {
         # One harness across experiments: traces are built once, and

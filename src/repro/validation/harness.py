@@ -291,8 +291,15 @@ class Harness:
         resume: bool = False,
         ledger=None,
         live_progress: bool = False,
+        blockcache=None,
     ):
         self.workloads = workloads or WorkloadSet()
+        #: Trace-compilation control forwarded to simulators whose
+        #: ``run_trace`` accepts it: ``None`` leaves each simulator's
+        #: own default (enabled), ``False`` forces the pure detailed
+        #: loop (the CLI's ``--no-blockcache``), ``True`` or a
+        #: :class:`repro.core.blockcache.BlockCacheConfig` forces it on.
+        self.blockcache = blockcache
         self.metrics = metrics if metrics is not None else (
             MetricsRegistry.disabled()
         )
@@ -352,6 +359,8 @@ class Harness:
             kwargs["observer"] = observer
         if self.watchdog_s is not None and "watchdog" in params:
             kwargs["watchdog"] = Watchdog(self.watchdog_s)
+        if self.blockcache is not None and "blockcache" in params:
+            kwargs["blockcache"] = self.blockcache
         timer = self.metrics.timer(f"harness.cell.{simulator.name}.{workload}")
         probe = TelemetryProbe()
         with timer.time():
@@ -452,6 +461,7 @@ class Harness:
                 watchdog_s=self.watchdog_s,
                 checkpoint=checkpoint,
                 resume=resume,
+                blockcache=self.blockcache,
             )
             grid = engine.run_grid(
                 factories, names,

@@ -22,6 +22,7 @@ from repro.isa.program import Program, ProgramBuilder
 
 __all__ = [
     "memory_independent",
+    "memory_loop",
     "memory_dependent",
     "memory_l2",
     "memory_memory",
@@ -54,9 +55,11 @@ def build_chain(
     return base
 
 
-def memory_independent(*, iterations: int = 800, unroll: int = 16) -> Program:
+def memory_independent(
+    *, iterations: int = 800, unroll: int = 16, name: str = "M-I"
+) -> Program:
     """M-I: independent L1-resident loads plus accumulating adds."""
-    b = ProgramBuilder("M-I")
+    b = ProgramBuilder(name)
     values = b.alloc_words(list(range(unroll)))
     b.load_imm("r1", 0)
     b.load_imm("r2", iterations)
@@ -74,6 +77,20 @@ def memory_independent(*, iterations: int = 800, unroll: int = 16) -> Program:
     b.branch(Opcode.BNE, "r4", "loop")
     b.halt()
     return b.build()
+
+
+def memory_loop(*, iterations: int = 6000, unroll: int = 16) -> Program:
+    """M-LOOP: the M-I body scaled up to a replay-dominated run.
+
+    Same all-hit independent-load loop as M-I, but long enough
+    (~216k dynamic instructions) that a steady-state fast path — not
+    warm-up or capture — dominates wall time.  This is the blockcache
+    benchmark kernel: its timing is identical per iteration after
+    warm-up, so any speedup measured on it is pure replay leverage.
+    """
+    return memory_independent(
+        iterations=iterations, unroll=unroll, name="M-LOOP"
+    )
 
 
 def _pointer_chase(

@@ -6,9 +6,27 @@ import os
 import pytest
 
 from exec_fakes import fake_factory
-from repro.exec.cache import CacheKey, ResultCache, fingerprint_trace
+from repro.exec.cache import (
+    CacheKey,
+    ResultCache,
+    fingerprint_trace,
+    instr_signature,
+)
+from repro.functional.trace import DynInstr
 from repro.obs.registry import MetricsRegistry
 from repro.result import RunStats, SimResult
+
+
+def clone_instr(dyn, **overrides) -> DynInstr:
+    """A copy of one DynInstr with selected constructor fields changed."""
+    fields = dict(
+        seq=dyn.seq, index=dyn.index, pc=dyn.pc, opcode=dyn.opcode,
+        dest=dyn.dest, srcs=dyn.srcs, taken=dyn.taken,
+        next_pc=dyn.next_pc, eaddr=dyn.eaddr, size=dyn.size,
+        slot=dyn.slot,
+    )
+    fields.update(overrides)
+    return DynInstr(**fields)
 
 
 def make_key(**overrides) -> CacheKey:
@@ -55,6 +73,44 @@ class TestFingerprint:
     def test_prefix_trace_differs(self, harness):
         trace = harness.workloads.trace("C-R")
         assert fingerprint_trace(trace) != fingerprint_trace(trace[:-1])
+
+    def test_unconsumed_content_cannot_split_the_fingerprint(
+        self, harness
+    ):
+        """Two traces every simulator times identically must hash
+        identically: ``size`` is never read by a timing model, and
+        ``seq``/``index`` restate trace position."""
+        trace = harness.workloads.trace("C-R")
+        resized = [clone_instr(d, size=d.size + 4) for d in trace]
+        assert fingerprint_trace(resized) == fingerprint_trace(trace)
+
+    @pytest.mark.parametrize("field,value", [
+        ("pc", 0x7777_0000),
+        ("taken", True),
+        ("next_pc", 0x7777_0004),
+        ("eaddr", 0x1_0000),
+        ("slot", 3),
+        ("dest", "r31"),
+        ("srcs", ("r30", "r29")),
+    ])
+    def test_every_consumed_field_splits_the_fingerprint(
+        self, harness, field, value
+    ):
+        trace = list(harness.workloads.trace("C-R"))
+        middle = len(trace) // 2
+        target = trace[middle]
+        if getattr(target, field) == value:
+            target = trace[middle + 1]
+            middle += 1
+        assert getattr(target, field) != value, "pick a changing value"
+        mutated = list(trace)
+        mutated[middle] = clone_instr(target, **{field: value})
+        assert fingerprint_trace(mutated) != fingerprint_trace(trace)
+
+    def test_signature_ignores_position_and_size(self, harness):
+        dyn = harness.workloads.trace("C-R")[0]
+        twin = clone_instr(dyn, seq=9_999, index=9_999, size=dyn.size + 8)
+        assert instr_signature(twin) == instr_signature(dyn)
 
 
 class TestResultCache:
@@ -281,3 +337,62 @@ class TestGc:
         self.put_at(cache, make_key(), mtime=0.0)
         summary = cache.gc(now=1000.0)
         assert summary == {"removed": [], "reclaimed_bytes": 0, "kept": 1}
+
+    def test_empty_live_set_means_nothing_is_exempt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key()
+        self.put_at(cache, key, mtime=500.0)
+        summary = cache.gc(live=[], max_bytes=0, now=1000.0)
+        assert summary["removed"] == [key.digest()]
+        assert summary["kept"] == 0
+
+    def test_live_bytes_count_once_toward_budget(self, tmp_path):
+        """Live entries consume budget (they are real bytes on disk)
+        but exactly once each, even when a member is passed both as a
+        CacheKey and as its raw digest."""
+        cache = ResultCache(tmp_path)
+        live = make_key(workload="C-R")
+        oldest = make_key(workload="M-D")
+        newest = make_key(workload="E-I")
+        live_path = self.put_at(cache, live, mtime=50.0)
+        self.put_at(cache, oldest, mtime=100.0)
+        newest_path = self.put_at(cache, newest, mtime=200.0)
+        budget = os.path.getsize(live_path) + os.path.getsize(newest_path)
+        summary = cache.gc(
+            max_bytes=budget, live=[live, live.digest()], now=1000.0
+        )
+        # Counted once, the live entry plus the newest evictable one
+        # fit the budget after dropping the oldest; counted twice, the
+        # budget would (wrongly) force the newest out as well.
+        assert summary["removed"] == [oldest.digest()]
+        assert cache.get(live) is not None
+        assert cache.get(newest) is not None
+
+    def test_gc_racing_writer_does_not_evict_fresh_entry(
+        self, tmp_path, monkeypatch
+    ):
+        """A concurrent put that replaces a stale entry between the gc
+        scan and the unlink must win: the fresh result survives."""
+        cache = ResultCache(tmp_path)
+        key = make_key()
+        path = self.put_at(cache, key, mtime=0.0)
+        real = cache._unlink_if_unchanged
+
+        def racing(victim, seen):
+            if victim == path:
+                cache.put(key, make_result())  # the writer lands first
+            return real(victim, seen)
+
+        monkeypatch.setattr(cache, "_unlink_if_unchanged", racing)
+        summary = cache.gc(max_age_s=1.0, now=1000.0)
+        assert summary["removed"] == []
+        assert cache.get(key) is not None
+
+    def test_replaced_entry_is_not_unlinked(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key()
+        path = self.put_at(cache, key, mtime=0.0)
+        seen = os.stat(path)
+        cache.put(key, make_result())  # replaced after the scan stat
+        assert cache._unlink_if_unchanged(path, seen) is False
+        assert os.path.exists(path)

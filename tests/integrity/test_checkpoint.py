@@ -122,6 +122,30 @@ class TestGC:
         fresh.gc(live={"a"})
         assert set(GridCheckpoint(path).load()) == {"a"}
 
+    def test_gc_preserves_concurrent_journal_entries(self, tmp_path):
+        """gc's rewrite must merge cells another run journalled after
+        our last read instead of clobbering them (flushing the stale
+        in-memory view used to drop the concurrent cell silently)."""
+        path = tmp_path / "grid.ckpt"
+        mine = GridCheckpoint(path)
+        mine.record("a", make_result())
+        mine.load()
+        other = GridCheckpoint(path)
+        other.record("b", make_result())
+        pruned = mine.gc(max_age_s=3600.0)
+        assert pruned == []
+        assert set(GridCheckpoint(path).load()) == {"a", "b"}
+
+    def test_empty_live_set_prunes_every_entry(self, tmp_path):
+        """An explicitly empty live set means nothing is live."""
+        path = tmp_path / "grid.ckpt"
+        checkpoint = GridCheckpoint(path)
+        checkpoint.record("a", make_result())
+        checkpoint.record("b", make_result())
+        pruned = GridCheckpoint(path).gc(live=set())
+        assert pruned == ["a", "b"]
+        assert GridCheckpoint(path).load() == {}
+
     def test_v1_journal_loads_and_upgrades(self, tmp_path):
         path = tmp_path / "grid.ckpt"
         payload = {
