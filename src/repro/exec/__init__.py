@@ -20,6 +20,12 @@ Cells are content-addressed by :class:`CacheKey` — configuration hash,
 workload, trace fingerprint, package version — so a second run over
 unchanged inputs is pure cache hits and serialises byte-identically to
 the run that populated the cache.
+
+For crash-safe distribution one level up, :class:`ShardCoordinator`
+(``shards=`` on ``run_grid``) partitions the grid into work-stealing
+leases over :class:`ShardRunner` subprocesses, each journaling to its
+own fsynced :class:`~repro.integrity.GridCheckpoint`, so runner loss —
+or coordinator loss, with a checkpoint — never loses completed cells.
 """
 
 from repro.exec.cache import (
@@ -28,13 +34,29 @@ from repro.exec.cache import (
     fingerprint_trace,
     instr_signature,
 )
-from repro.exec.engine import CellFailure, ExperimentEngine
+from repro.exec.coordinator import ShardCoordinator, shard_status
+from repro.exec.engine import CellFailure, ExperimentEngine, grid_cells
+from repro.exec.shard import (
+    Lease,
+    PipeTransport,
+    ShardRunner,
+    Transport,
+    shard_journal_path,
+)
 
 __all__ = [
     "CacheKey",
     "CellFailure",
     "ExperimentEngine",
+    "Lease",
+    "PipeTransport",
     "ResultCache",
+    "ShardCoordinator",
+    "ShardRunner",
+    "Transport",
     "fingerprint_trace",
+    "grid_cells",
     "instr_signature",
+    "shard_journal_path",
+    "shard_status",
 ]

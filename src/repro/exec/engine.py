@@ -62,7 +62,7 @@ from repro.validation.harness import (
 )
 from repro.workloads.suite import WorkloadSet
 
-__all__ = ["ExperimentEngine", "CellFailure", "RetryBackoff"]
+__all__ = ["ExperimentEngine", "CellFailure", "RetryBackoff", "grid_cells"]
 
 
 class RetryBackoff:
@@ -75,22 +75,37 @@ class RetryBackoff:
     and attempt number rather than from a random source, so a given
     grid run schedules identically every time (determinism is a
     project invariant).
+
+    ``max_delay_s`` is an explicit hard ceiling on any single returned
+    delay, independent of how ``cap_s`` was (mis)configured: the retry
+    budget caps the *number* of attempts, but a re-leased shard
+    chaining backoffs through a pathological ``cap_s`` could otherwise
+    sleep for minutes while its lease expires under it.
     """
+
+    #: Hard ceiling on any single delay (seconds) unless overridden.
+    MAX_DELAY_S = 30.0
 
     def __init__(
         self,
         base_s: float = 0.05,
         cap_s: float = 2.0,
         jitter: float = 0.25,
+        max_delay_s: float = MAX_DELAY_S,
     ):
         if base_s < 0 or cap_s < 0 or not 0 <= jitter <= 1:
             raise ValueError(
                 f"invalid backoff (base_s={base_s}, cap_s={cap_s}, "
                 f"jitter={jitter})"
             )
+        if max_delay_s < 0:
+            raise ValueError(
+                f"invalid backoff ceiling (max_delay_s={max_delay_s})"
+            )
         self.base_s = base_s
         self.cap_s = cap_s
         self.jitter = jitter
+        self.max_delay_s = max_delay_s
 
     def delay(self, key: str, attempt: int) -> float:
         """Seconds to wait before retry number ``attempt`` (1-based)
@@ -98,7 +113,7 @@ class RetryBackoff:
         raw = min(self.cap_s, self.base_s * (2.0 ** max(0, attempt - 1)))
         digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
         fraction = int.from_bytes(digest[:8], "big") / 2.0 ** 64
-        return raw * (1.0 - self.jitter * fraction)
+        return min(raw * (1.0 - self.jitter * fraction), self.max_delay_s)
 
 
 @dataclass
@@ -123,6 +138,67 @@ class _Attempt:
     attempt: int
 
 
+def _grid_cell_key(
+    sim_name: str, cfg_hash: str, workload: str, trace_fp: str, blockcache
+) -> CacheKey:
+    version = _package_version()
+    if blockcache is not False:
+        # The fast path may engage for this cell: bind the entry to
+        # the blockcache semantics version so a memoization change can
+        # never serve stale cached results.
+        version = f"{version}+bc{BLOCKCACHE_VERSION}"
+    return CacheKey(
+        simulator=sim_name,
+        config_hash=cfg_hash,
+        workload=workload,
+        trace_fingerprint=trace_fp,
+        package_version=version,
+    )
+
+
+def grid_cells(
+    workloads: WorkloadSet,
+    factories: Sequence[SimulatorFactory],
+    workload_names: Sequence[str],
+    *,
+    blockcache=None,
+    keyed: bool = True,
+) -> List[_Cell]:
+    """Build the (simulator x workload) cell list in serial grid order.
+
+    Probes each factory once for its identity, builds every trace (the
+    :class:`WorkloadSet` caches them for inheriting workers), and
+    content-addresses each cell when ``keyed``.  Shared by the engine
+    and the shard coordinator/runners: both sides derive their cell
+    lists — and therefore their cache-key digests — from this one
+    function, so a lease index refers to the same cell everywhere.
+    """
+    probes = []
+    for factory in factories:
+        simulator = factory()
+        probes.append((
+            simulator.name,
+            config_hash(getattr(simulator, "config", None)),
+        ))
+    fingerprints: Dict[str, str] = {}
+    for name in workload_names:
+        trace = workloads.trace(name)
+        if keyed:
+            fingerprints[name] = fingerprint_trace(trace)
+    cells: List[_Cell] = []
+    for name in workload_names:
+        for (sim_name, cfg_hash), factory in zip(probes, factories):
+            key = (
+                _grid_cell_key(
+                    sim_name, cfg_hash, name, fingerprints[name],
+                    blockcache,
+                )
+                if keyed else None
+            )
+            cells.append(_Cell(len(cells), sim_name, factory, name, key))
+    return cells
+
+
 def _worker_main(conn, factory, workload, workload_set, instrumentation,
                  sanitizers=None, watchdog_s=None, blockcache=None):
     """Body of one forked worker: time one cell, ship the result back.
@@ -143,6 +219,12 @@ def _worker_main(conn, factory, workload, workload_set, instrumentation,
       SIGUSR1); message + state snapshot follow;
     * ``"error"`` — any other exception; formatted traceback follows.
     """
+    # A Ctrl-C in the parent delivers SIGINT to the whole foreground
+    # process group.  The parent owns shutdown (it terminates and joins
+    # the pool); workers ignoring SIGINT turn that into one clean
+    # coordinator-side teardown instead of a KeyboardInterrupt
+    # traceback stampede from every pool worker.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     install_escalation_handler()
     try:
         harness = Harness(
@@ -297,18 +379,8 @@ class ExperimentEngine:
     def _cell_key(
         self, sim_name: str, cfg_hash: str, workload: str, trace_fp: str
     ) -> CacheKey:
-        version = _package_version()
-        if self.blockcache is not False:
-            # The fast path may engage for this cell: bind the entry
-            # to the blockcache semantics version so a memoization
-            # change can never serve stale cached results.
-            version = f"{version}+bc{BLOCKCACHE_VERSION}"
-        return CacheKey(
-            simulator=sim_name,
-            config_hash=cfg_hash,
-            workload=workload,
-            trace_fingerprint=trace_fp,
-            package_version=version,
+        return _grid_cell_key(
+            sim_name, cfg_hash, workload, trace_fp, self.blockcache
         )
 
     # -- the grid ----------------------------------------------------------
@@ -337,37 +409,15 @@ class ExperimentEngine:
         names = list(workload_names)
         self.metrics.gauge("exec.jobs").set(self.jobs)
 
-        # Probe each factory once for its identity (the worker builds
-        # its own fresh instance; this one only yields name + config).
-        probes = []
-        for factory in factories:
-            simulator = factory()
-            probes.append((
-                simulator.name,
-                config_hash(getattr(simulator, "config", None)),
-            ))
-
         # Build every trace in the parent: cached in the WorkloadSet,
         # inherited by workers via fork, fingerprinted once each.
         # Content-addressed keys serve both the result cache and the
         # checkpoint journal.
         keyed = self.cache is not None or self.checkpoint is not None
-        fingerprints: Dict[str, str] = {}
-        for name in names:
-            trace = self.workloads.trace(name)
-            if keyed:
-                fingerprints[name] = fingerprint_trace(trace)
-
-        cells: List[_Cell] = []
-        for name in names:
-            for (sim_name, cfg_hash), factory in zip(probes, factories):
-                key = (
-                    self._cell_key(
-                        sim_name, cfg_hash, name, fingerprints[name]
-                    )
-                    if keyed else None
-                )
-                cells.append(_Cell(len(cells), sim_name, factory, name, key))
+        cells = grid_cells(
+            self.workloads, factories, names,
+            blockcache=self.blockcache, keyed=keyed,
+        )
 
         owns_ledger = isinstance(ledger, (str, os.PathLike))
         if owns_ledger:
@@ -537,6 +587,122 @@ class ExperimentEngine:
             cell.sim_name, cell.workload, "stuck", attempts=attempts
         )
 
+    def _cell_harness(self) -> Harness:
+        """A fresh in-process harness wired with this engine's
+        sanitizer/watchdog/blockcache settings."""
+        return Harness(
+            self.workloads, metrics=self.metrics,
+            sanitizers=self.sanitizers, watchdog_s=self.watchdog_s,
+            blockcache=self.blockcache,
+        )
+
+    def _execute_cell(self, harness, cell, instrumentation,
+                      failures, progress=None) -> Optional[SimResult]:
+        """Run one cell in-process through its full retry budget.
+
+        Returns the result on success (recorded into cache/checkpoint/
+        ledger); on failure records a :class:`CellFailure` under
+        ``failures[cell.index]`` and returns ``None``.  Strict
+        sanitizer violations raise :class:`IntegrityError`, exactly as
+        the serial backend always has.
+        """
+        attempts = 1 + self.retries
+        for attempt in range(1, attempts + 1):
+            if progress is not None:
+                progress(cell.sim_name, cell.workload)
+            started = time.perf_counter()
+            try:
+                result = harness.run_one(
+                    cell.factory, cell.workload,
+                    instrumentation=instrumentation,
+                )
+            except IntegrityError as exc:
+                if self.sanitizers.strict:
+                    raise
+                self._quarantine(
+                    cell, [exc.violation], failures, attempt,
+                    time.perf_counter() - started,
+                )
+                return None
+            except SimulationStuck as exc:
+                self._stuck_failure(
+                    cell, str(exc),
+                    {"instructions": exc.instructions,
+                     "retire": exc.retire,
+                     "state": exc.state},
+                    failures, attempt, time.perf_counter() - started,
+                )
+                return None
+            except Exception:
+                elapsed = time.perf_counter() - started
+                if attempt < attempts:
+                    self.metrics.counter("exec.cells.retried").inc()
+                    time.sleep(self.backoff.delay(
+                        f"{cell.sim_name}:{cell.workload}", attempt
+                    ))
+                    continue
+                failures[cell.index] = CellFailure(
+                    simulator=cell.sim_name,
+                    workload=cell.workload,
+                    kind="exception",
+                    message=traceback.format_exc(limit=20),
+                    attempts=attempt,
+                    elapsed_s=elapsed,
+                )
+                self.metrics.counter("exec.cells.failed").inc()
+                self._note_cell(
+                    cell.sim_name, cell.workload, "exception",
+                    attempts=attempt,
+                )
+                return None
+            else:
+                if harness.last_violations:
+                    self._quarantine(
+                        cell, harness.last_violations, failures,
+                        attempt, time.perf_counter() - started,
+                    )
+                    return None
+                self._record_success(
+                    cell, result, time.perf_counter() - started, attempt,
+                )
+                return result
+        return None  # pragma: no cover - loop always settles
+
+    def run_cell(self, cell: _Cell, *, harness=None, instrumentation=None):
+        """Execute one prepared cell in-process and settle it.
+
+        The shard runner's per-lease entry point (cells come from
+        :func:`grid_cells`).  Checkpoint and cache hits are served
+        without recompute — a re-granted lease over already-journaled
+        cells costs nothing — and fresh successes are recorded into
+        both before returning, so the caller may acknowledge the cell
+        as durable.
+
+        Returns ``(status, payload, source)`` where status is ``"ok"``
+        (payload is the :class:`SimResult`; source is ``"checkpoint"``,
+        ``"cache"`` or ``"run"``) or ``"failed"`` (payload is the
+        :class:`CellFailure`).
+        """
+        if cell.key is not None:
+            digest = cell.key.digest()
+            if self.checkpoint is not None:
+                hit = self.checkpoint.get(digest)
+                if hit is not None:
+                    self.metrics.counter("exec.checkpoint.resumed").inc()
+                    return ("ok", hit, "checkpoint")
+            if self.cache is not None and not self.refresh:
+                hit = self.cache.get(cell.key)
+                if hit is not None:
+                    return ("ok", hit, "cache")
+        failures: Dict[int, CellFailure] = {}
+        result = self._execute_cell(
+            harness if harness is not None else self._cell_harness(),
+            cell, instrumentation, failures,
+        )
+        if result is not None:
+            return ("ok", result, "run")
+        return ("failed", failures[cell.index], "run")
+
     def _run_inprocess(self, to_run, results, failures,
                        instrumentation, progress) -> None:
         """Serial backend (``jobs=1``): same fault isolation, no fork.
@@ -544,73 +710,13 @@ class ExperimentEngine:
         Per-cell timeouts are not enforced here — there is no process
         to terminate — but the in-run watchdog still catches livelocks.
         """
-        harness = Harness(
-            self.workloads, metrics=self.metrics,
-            sanitizers=self.sanitizers, watchdog_s=self.watchdog_s,
-            blockcache=self.blockcache,
-        )
+        harness = self._cell_harness()
         for cell in to_run:
-            attempts = 1 + self.retries
-            for attempt in range(1, attempts + 1):
-                if progress is not None:
-                    progress(cell.sim_name, cell.workload)
-                started = time.perf_counter()
-                try:
-                    result = harness.run_one(
-                        cell.factory, cell.workload,
-                        instrumentation=instrumentation,
-                    )
-                except IntegrityError as exc:
-                    if self.sanitizers.strict:
-                        raise
-                    self._quarantine(
-                        cell, [exc.violation], failures, attempt,
-                        time.perf_counter() - started,
-                    )
-                    break
-                except SimulationStuck as exc:
-                    self._stuck_failure(
-                        cell, str(exc),
-                        {"instructions": exc.instructions,
-                         "retire": exc.retire,
-                         "state": exc.state},
-                        failures, attempt, time.perf_counter() - started,
-                    )
-                    break
-                except Exception:
-                    elapsed = time.perf_counter() - started
-                    if attempt < attempts:
-                        self.metrics.counter("exec.cells.retried").inc()
-                        time.sleep(self.backoff.delay(
-                            f"{cell.sim_name}:{cell.workload}", attempt
-                        ))
-                        continue
-                    failures[cell.index] = CellFailure(
-                        simulator=cell.sim_name,
-                        workload=cell.workload,
-                        kind="exception",
-                        message=traceback.format_exc(limit=20),
-                        attempts=attempt,
-                        elapsed_s=elapsed,
-                    )
-                    self.metrics.counter("exec.cells.failed").inc()
-                    self._note_cell(
-                        cell.sim_name, cell.workload, "exception",
-                        attempts=attempt,
-                    )
-                else:
-                    if harness.last_violations:
-                        self._quarantine(
-                            cell, harness.last_violations, failures,
-                            attempt, time.perf_counter() - started,
-                        )
-                    else:
-                        results[cell.index] = result
-                        self._record_success(
-                            cell, result, time.perf_counter() - started,
-                            attempt,
-                        )
-                    break
+            result = self._execute_cell(
+                harness, cell, instrumentation, failures, progress
+            )
+            if result is not None:
+                results[cell.index] = result
 
     def _escalate_timeout(
         self, attempt: _Attempt

@@ -17,10 +17,14 @@ layers:
   grids so interrupted runs resume instead of recomputing;
 * :mod:`repro.integrity.faultinject` — deliberate perturbations of
   running simulators that *prove* the layers above actually detect
-  each corruption class (the detection matrix).
+  each corruption class (the detection matrix);
+* :mod:`repro.integrity.chaos` — the same adversarial discipline one
+  level up: kill shard runners and coordinators, drop/duplicate/delay
+  their messages, corrupt their journals, and *prove* the sharded
+  execution fabric still produces byte-identical grids.
 """
 
-from repro.integrity.checkpoint import GridCheckpoint
+from repro.integrity.checkpoint import CheckpointConflict, GridCheckpoint
 from repro.integrity.sanitizers import (
     IntegrityError,
     InvariantViolation,
@@ -30,6 +34,7 @@ from repro.integrity.sanitizers import (
 from repro.integrity.watchdog import PORT_SCAN_LIMIT, SimulationStuck, Watchdog
 
 __all__ = [
+    "CheckpointConflict",
     "GridCheckpoint",
     "IntegrityError",
     "InvariantViolation",

@@ -40,7 +40,20 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.result import SimResult
 
-__all__ = ["GridCheckpoint"]
+__all__ = ["CheckpointConflict", "GridCheckpoint"]
+
+
+class CheckpointConflict(ValueError):
+    """Two journal entries under the same digest hold *different*
+    measurements.
+
+    The digest binds configuration hash, trace fingerprint and package
+    version, so any two honest recomputations of the same digest must
+    agree canonically (volatile provenance/telemetry aside).  A
+    mismatch means one of the journals is corrupt or the determinism
+    invariant broke — silently keeping either payload would launder the
+    corruption into downstream grids, so merges raise instead of
+    last-write-wins."""
 
 
 class GridCheckpoint:
@@ -100,15 +113,25 @@ class GridCheckpoint:
             )
         now = time.time()
         for digest, entry in payload.get("cells", {}).items():
-            # In-memory entries are newer than what was on disk.
-            if digest in self._entries:
-                continue
             if fmt == self.FORMAT_V1:
                 result, recorded = entry, now
             else:
                 result = entry["result"]
                 recorded = float(entry.get("recorded", now))
-            self._entries[digest] = SimResult.from_dict(result)
+            incoming = SimResult.from_dict(result)
+            # In-memory entries are newer than what was on disk — but
+            # a same-digest entry must *agree* with ours canonically;
+            # a disagreement is corruption, never a dedup.
+            existing = self._entries.get(digest)
+            if existing is not None:
+                if existing.canonical_dict() != incoming.canonical_dict():
+                    raise CheckpointConflict(
+                        f"checkpoint {self.path!r} holds a conflicting "
+                        f"result for digest {digest}: same cell digest, "
+                        f"different measurement (refusing to merge)"
+                    )
+                continue
+            self._entries[digest] = incoming
             self._recorded[digest] = recorded
         self._loaded = True
         return dict(self._entries)
@@ -124,24 +147,65 @@ class GridCheckpoint:
     # -- writing -----------------------------------------------------------
 
     def record(self, digest: str, result: SimResult) -> None:
-        """Journal one completed cell; flushes every ``every`` records."""
+        """Journal one completed cell; flushes every ``every`` records.
+
+        A flush is *durable* (fsync, not just atomic-rename) before
+        this returns, so acknowledging the cell to a coordinator that
+        then stops re-leasing it can never be rolled back by a host
+        power loss."""
         self._entries[digest] = result
         self._recorded[digest] = time.time()
         self._dirty += 1
         if self._dirty >= self.every:
             self.flush()
 
+    def merge_from(self, path) -> int:
+        """Merge another journal's entries into this one (the shard-
+        journal merge) and return how many were new.
+
+        Entries whose digest we already hold are deduplicated when the
+        payloads agree canonically (byte-identical measurement; the
+        volatile provenance/telemetry fields are ignored) and raise
+        :class:`CheckpointConflict` when they do not — a silent
+        last-write-wins would launder a corrupted shard into the merged
+        grid.  The merge only updates memory; call :meth:`flush` to
+        persist it."""
+        other = GridCheckpoint(path)
+        loaded = other.load()
+        added = 0
+        for digest, incoming in loaded.items():
+            existing = self._entries.get(digest)
+            if existing is None:
+                self._entries[digest] = incoming
+                self._recorded[digest] = other._recorded.get(
+                    digest, time.time()
+                )
+                self._dirty += 1
+                added += 1
+            elif existing.canonical_dict() != incoming.canonical_dict():
+                raise CheckpointConflict(
+                    f"shard journal {other.path!r} conflicts with "
+                    f"{self.path!r} on digest {digest}: same cell "
+                    f"digest, different measurement (refusing to merge)"
+                )
+        return added
+
     def flush(self) -> None:
-        """Atomically rewrite the journal with every known entry.
+        """Atomically and durably rewrite the journal with every known
+        entry.
 
         Merges with whatever is on disk first (another run may have
         extended the journal since we last read it), then writes to a
-        temp file in the same directory and ``os.replace``s it over
-        the journal, so readers never observe a torn file.
+        temp file in the same directory, fsyncs it, and
+        ``os.replace``s it over the journal (followed by a directory
+        fsync where the platform allows), so readers never observe a
+        torn file and a completed flush survives power loss.
         """
         if not self._loaded:
             try:
                 self.load()
+            except CheckpointConflict:
+                raise
             except ValueError:
                 # A corrupt journal must not block writing a good one.
                 self._loaded = True
@@ -163,6 +227,8 @@ class GridCheckpoint:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_path, self.path)
         except BaseException:
             try:
@@ -170,6 +236,18 @@ class GridCheckpoint:
             except OSError:
                 pass
             raise
+        try:
+            # Persist the rename itself: without the directory fsync a
+            # power loss can roll the journal back to its previous
+            # (complete but stale) snapshot even though record()
+            # already acknowledged the newest cells.
+            dir_fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - platform without dir fsync
+            pass
 
         self._dirty = 0
 
@@ -204,6 +282,8 @@ class GridCheckpoint:
         self._loaded = False
         try:
             self.load()
+        except CheckpointConflict:
+            raise
         except ValueError:
             # A corrupt journal must not block writing a good one.
             self._loaded = True

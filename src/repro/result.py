@@ -15,7 +15,17 @@ from repro.functional.trace import DynInstr
 from repro.obs.provenance import RunProvenance
 from repro.obs.telemetry import CellTelemetry
 
-__all__ = ["RunStats", "SimResult", "Simulator"]
+__all__ = [
+    "RunStats",
+    "SimResult",
+    "Simulator",
+    "VOLATILE_PROVENANCE_FIELDS",
+]
+
+#: Provenance fields that vary run-to-run on identical measurements
+#: (blanked by :meth:`SimResult.canonical_dict` and
+#: ``ResultGrid.to_json(canonical=True)``).
+VOLATILE_PROVENANCE_FIELDS = ("created", "host", "platform", "python")
 
 
 @dataclass
@@ -118,6 +128,22 @@ class SimResult:
                 self.telemetry.to_dict() if self.telemetry else None
             ),
         }
+
+    def canonical_dict(self) -> Dict:
+        """:meth:`to_dict` with the run-to-run volatile fields blanked
+        (wall-clock provenance, resource telemetry), so two results
+        compare equal iff they measured the same thing.  This is the
+        payload form ``ResultGrid.to_json(canonical=True)`` serialises
+        and the one checkpoint merges compare when deciding whether two
+        entries under the same digest agree or conflict."""
+        entry = self.to_dict()
+        if entry.get("provenance"):
+            entry["provenance"] = {
+                k: ("" if k in VOLATILE_PROVENANCE_FIELDS else v)
+                for k, v in entry["provenance"].items()
+            }
+        entry["telemetry"] = None
+        return entry
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "SimResult":

@@ -380,19 +380,24 @@ def main(argv=None) -> int:
         choices=sorted(_EXPERIMENTS) + [
             "all", "trace", "integrity", "checkpoint-gc",
             "profile", "bench", "blockcache-check", "cache-gc",
+            "chaos", "shard-status",
         ],
         help="which experiment to run, 'trace' to instrument one run, "
              "'profile' for hot-path wall-time attribution, 'bench' "
              "for the pinned performance suite, 'blockcache-check' to "
              "audit fast-path/detailed byte equivalence (exit 5 on "
              "divergence), 'integrity' to run "
-             "the fault-injection matrix, 'checkpoint-gc' to prune a "
+             "the fault-injection matrix, 'chaos' to run the sharded-"
+             "execution chaos scenarios (exit 1 on any violation), "
+             "'shard-status' to inspect a sharded run's journals, "
+             "'checkpoint-gc' to prune a "
              "grid journal, or 'cache-gc' to prune a result cache",
     )
     parser.add_argument(
         "workload", nargs="?", default=None,
         help="workload to trace/profile (e.g. M-D or gzip), journal "
-             "path (checkpoint-gc), or cache directory (cache-gc)",
+             "path (checkpoint-gc, shard-status), cache directory "
+             "(cache-gc), or scenario name (chaos; omit to run all)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -422,6 +427,13 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="fan grid cells out over N worker processes "
              "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run grids over N crash-safe work-stealing shard runner "
+             "processes (worker loss is recovered from fsynced shard "
+             "journals; combine with --checkpoint for coordinator-"
+             "crash resume; default: 1, no sharding)",
     )
     parser.add_argument(
         "--cache-dir", metavar="DIR", default="",
@@ -533,6 +545,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1 (got {args.jobs})")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1 (got {args.shards})")
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint FILE")
     if args.stuck_after is not None and args.stuck_after <= 0:
@@ -616,6 +630,57 @@ def main(argv=None) -> int:
             kind = "gated" if metric["gate"] else "info"
             print(f"  {name:<34} {metric['value']:>12.3f} "
                   f"{metric['unit']:<8} ({kind})")
+        return 0
+
+    if args.experiment == "chaos":
+        from repro.integrity.chaos import (
+            CHAOS_SCENARIOS,
+            run_chaos_scenario,
+            run_chaos_suite,
+        )
+
+        if args.workload and args.workload not in CHAOS_SCENARIOS:
+            parser.error(
+                f"unknown chaos scenario {args.workload!r}; known: "
+                + ", ".join(sorted(CHAOS_SCENARIOS))
+            )
+        if args.workload:
+            report_outcomes = [run_chaos_scenario(args.workload)]
+            from repro.integrity.chaos import ChaosReport
+
+            report = ChaosReport(outcomes=report_outcomes)
+        else:
+            report = run_chaos_suite()
+        print(report.render())
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as out:
+                out.write(report.to_json())
+        if report.all_passed:
+            print("all chaos scenarios passed; grids byte-identical")
+            return 0
+        failed = [o.scenario for o in report.outcomes if not o.passed]
+        print("CHAOS VIOLATIONS: " + ", ".join(failed), file=sys.stderr)
+        return 1
+
+    if args.experiment == "shard-status":
+        from repro.exec.coordinator import shard_status
+
+        base = args.workload or args.checkpoint
+        if not base:
+            parser.error(
+                "shard-status requires a journal base path "
+                "(positional or --checkpoint FILE)"
+            )
+        status = shard_status(base)
+        if not status["journals"]:
+            print(f"{base}: no journals found")
+            return 2
+        for record in status["journals"]:
+            print(
+                f"{record['path']}: {record['entries']} entries "
+                f"[{record['state']}]"
+            )
+        print(f"{status['distinct_digests']} distinct cells journaled")
         return 0
 
     if args.experiment == "cache-gc":
@@ -745,6 +810,7 @@ def main(argv=None) -> int:
         ledger=args.ledger or None,
         live_progress=args.progress,
         blockcache=blockcache,
+        shards=args.shards,
     )
     engine = {
         # One harness across experiments: traces are built once, and

@@ -26,7 +26,7 @@ from repro.obs.telemetry import (
     TelemetryProbe,
     mirror_to_metrics,
 )
-from repro.result import SimResult
+from repro.result import SimResult, VOLATILE_PROVENANCE_FIELDS
 from repro.workloads.suite import WorkloadSet
 
 __all__ = [
@@ -41,9 +41,9 @@ __all__ = [
 #: state must not leak between workloads).
 SimulatorFactory = Callable[[], object]
 
-#: Provenance fields that vary run-to-run on identical measurements
-#: (dropped by ``ResultGrid.to_json(canonical=True)``).
-_VOLATILE_PROVENANCE_FIELDS = ("created", "host", "platform", "python")
+#: Backwards-compatible alias; the canonical list lives in
+#: :mod:`repro.result` so checkpoint merges share it.
+_VOLATILE_PROVENANCE_FIELDS = VOLATILE_PROVENANCE_FIELDS
 
 
 @dataclass(frozen=True)
@@ -170,18 +170,13 @@ class ResultGrid:
         entries = []
         for per_sim in self.results.values():
             for result in per_sim.values():
-                entry = result.to_dict()
-                if canonical and entry.get("provenance"):
-                    entry["provenance"] = {
-                        k: ("" if k in _VOLATILE_PROVENANCE_FIELDS else v)
-                        for k, v in entry["provenance"].items()
-                    }
-                if canonical:
-                    # Resource telemetry is volatile by nature (wall
-                    # time, RSS, pids): identical measurements must
-                    # still serialise byte-identically.
-                    entry["telemetry"] = None
-                entries.append(entry)
+                # canonical_dict blanks volatile provenance and the
+                # resource telemetry (wall time, RSS, pids): identical
+                # measurements must serialise byte-identically.
+                entries.append(
+                    result.canonical_dict() if canonical
+                    else result.to_dict()
+                )
         payload = {
             "format": "repro-result-grid/1",
             "results": entries,
@@ -292,6 +287,7 @@ class Harness:
         ledger=None,
         live_progress: bool = False,
         blockcache=None,
+        shards: int = 1,
     ):
         self.workloads = workloads or WorkloadSet()
         #: Trace-compilation control forwarded to simulators whose
@@ -316,6 +312,10 @@ class Harness:
         #: the live progress line (``--ledger`` / ``--progress``).
         self.ledger = ledger
         self.live_progress = live_progress
+        #: Grid-level default shard count (the CLI's ``--shards``):
+        #: ``> 1`` routes grids through the crash-safe work-stealing
+        #: :class:`~repro.exec.coordinator.ShardCoordinator`.
+        self.shards = max(1, int(shards))
         #: Violations found by the most recent cell (empty when the
         #: sanitizers are disabled or the cell was clean).
         self.last_violations: List[InvariantViolation] = []
@@ -413,6 +413,7 @@ class Harness:
         resume: bool = False,
         ledger=None,
         live_progress: bool = False,
+        shards: Optional[int] = None,
     ) -> ResultGrid:
         """Run every factory over every workload.
 
@@ -439,6 +440,14 @@ class Harness:
         ``live_progress=True`` renders a live
         ``cells done/total, cells/s, ETA`` line on stderr.  Both work
         in every execution mode.
+
+        ``shards > 1`` (the CLI's ``--shards``) routes the grid
+        through the crash-safe work-stealing
+        :class:`~repro.exec.coordinator.ShardCoordinator`: runner loss
+        is recovered from fsynced shard journals, and a ``checkpoint``
+        journal makes the whole run resumable across coordinator
+        crashes.  Results are byte-identical (canonical serialisation)
+        to the serial path.
         """
         names = list(workload_names)
         if checkpoint is None and self.checkpoint is not None:
@@ -447,6 +456,30 @@ class Harness:
         if ledger is None and self.ledger is not None:
             ledger = self.ledger
         live_progress = live_progress or self.live_progress
+        if shards is None:
+            shards = self.shards
+        if shards > 1:
+            from repro.exec.coordinator import ShardCoordinator
+
+            coordinator = ShardCoordinator(
+                self.workloads,
+                shards=shards,
+                cache=cache,
+                metrics=self.metrics,
+                sanitizers=self.sanitizers,
+                watchdog_s=self.watchdog_s,
+                retries=retries,
+                checkpoint=checkpoint,
+                resume=resume,
+                blockcache=self.blockcache,
+            )
+            grid = coordinator.run_grid(
+                factories, names,
+                instrumentation=instrumentation, progress=progress,
+                ledger=ledger, live_progress=live_progress,
+            )
+            self.failed_cells.extend(grid.failures)
+            return grid
         if jobs > 1 or cache is not None or checkpoint is not None:
             from repro.exec.engine import ExperimentEngine
 

@@ -257,3 +257,122 @@ class TestResume:
         harness = Harness(checkpoint=str(path), resume=True)
         harness.run_grid([SimAlpha], ["C-Ca"])
         assert len(GridCheckpoint(path).load()) == 1
+
+
+class TestShardJournalMerge:
+    """merge_from: shard journals combine by digest — identical
+    payloads dedup, conflicting payloads must raise."""
+
+    def _journal(self, path, entries):
+        checkpoint = GridCheckpoint(path)
+        for digest, result in entries:
+            checkpoint.record(digest, result)
+        checkpoint.flush()
+        return checkpoint
+
+    def test_merge_disjoint_journals_unions_entries(self, tmp_path):
+        main = self._journal(
+            tmp_path / "a.ckpt", [("d1", make_result(workload="C-R"))]
+        )
+        self._journal(
+            tmp_path / "b.ckpt", [("d2", make_result(workload="E-I"))]
+        )
+        added = main.merge_from(tmp_path / "b.ckpt")
+        assert added == 1
+        main.flush()
+        assert set(GridCheckpoint(tmp_path / "a.ckpt").load()) == \
+            {"d1", "d2"}
+
+    def test_same_digest_identical_payload_dedups(self, tmp_path):
+        """Two shards that both computed a cell (a stolen lease whose
+        first owner survived) merge without complaint or duplication."""
+        result = make_result()
+        main = self._journal(tmp_path / "a.ckpt", [("d1", result)])
+        self._journal(tmp_path / "b.ckpt", [("d1", make_result())])
+        assert main.merge_from(tmp_path / "b.ckpt") == 0
+        assert len(main) == 1
+
+    def test_same_digest_volatile_fields_still_dedup(self, tmp_path):
+        """Honest recomputes differ in volatile provenance (created,
+        host) and telemetry; the merge compares canonically and must
+        treat them as the same measurement."""
+        from repro.obs.provenance import RunProvenance
+        from repro.obs.telemetry import CellTelemetry
+
+        first = make_result()
+        first.provenance = RunProvenance(
+            config_hash="c1", created="2026-01-01T00:00:00Z",
+            host="host-a",
+        )
+        first.telemetry = CellTelemetry(wall_s=1.0)
+        second = make_result()
+        second.provenance = RunProvenance(
+            config_hash="c1", created="2026-02-02T02:02:02Z",
+            host="host-b",
+        )
+        second.telemetry = CellTelemetry(wall_s=9.0)
+        main = self._journal(tmp_path / "a.ckpt", [("d1", first)])
+        self._journal(tmp_path / "b.ckpt", [("d1", second)])
+        assert main.merge_from(tmp_path / "b.ckpt") == 0
+        assert len(main) == 1
+
+    def test_same_digest_conflicting_payload_raises(self, tmp_path):
+        """A digest collision with different measurements is corruption
+        or broken determinism: the merge must raise, never
+        last-write-win."""
+        from repro.integrity.checkpoint import CheckpointConflict
+
+        main = self._journal(tmp_path / "a.ckpt", [("d1", make_result())])
+        conflicting = SimResult(
+            "sim-alpha", "C-R", cycles=999.0, instructions=50
+        )
+        self._journal(tmp_path / "b.ckpt", [("d1", conflicting)])
+        with pytest.raises(CheckpointConflict):
+            main.merge_from(tmp_path / "b.ckpt")
+        # And the surviving entry is the original, untouched.
+        assert main.load()["d1"].cycles == 100.0
+
+    def test_load_detects_on_disk_conflict(self, tmp_path):
+        """The same refusal applies when the conflict is between
+        memory and disk (a concurrent writer went insane)."""
+        from repro.integrity.checkpoint import CheckpointConflict
+
+        path = tmp_path / "grid.ckpt"
+        self._journal(path, [("d1", make_result())])
+        mine = GridCheckpoint(path, every=10)  # defer the flush
+        mine.record("d1", SimResult(
+            "sim-alpha", "C-R", cycles=777.0, instructions=50
+        ))
+        with pytest.raises(CheckpointConflict):
+            mine.load()
+
+
+class TestDurability:
+    def test_record_fsyncs_before_returning(self, tmp_path, monkeypatch):
+        """A recorded cell must be durable (file fsync + rename +
+        directory fsync) before record() returns — the shard runner
+        acknowledges the cell to the coordinator immediately after,
+        and an acknowledged cell must survive power loss."""
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        path = tmp_path / "grid.ckpt"
+        GridCheckpoint(path).record("d1", make_result())
+        # One fsync for the journal temp file, one for the directory.
+        assert len(synced) >= 2
+        assert len(GridCheckpoint(path).load()) == 1
+
+    def test_record_with_batching_defers_fsync(self, tmp_path,
+                                               monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        checkpoint = GridCheckpoint(tmp_path / "grid.ckpt", every=2)
+        checkpoint.record("d1", make_result())
+        assert synced == []  # below threshold: nothing durable yet
+        checkpoint.record("d2", make_result(workload="E-I"))
+        assert len(synced) >= 2
