@@ -19,6 +19,7 @@ from repro.core.simalpha import SimAlpha
 from repro.core.simstripped import make_sim_stripped
 from repro.exec.cache import ResultCache
 from repro.exec.engine import ExperimentEngine
+from repro.exec.spec import RunOptions
 from repro.result import RunStats, SimResult
 from repro.simulators.refmachine import make_native_machine
 
@@ -70,7 +71,7 @@ def test_pool_speedup_at_jobs_4(harness):
     serial_s = time.perf_counter() - started
 
     started = time.perf_counter()
-    parallel = ExperimentEngine(harness.workloads, jobs=4).run_grid(
+    parallel = ExperimentEngine(harness.workloads, RunOptions(jobs=4)).run_grid(
         factories, MICROS
     )
     parallel_s = time.perf_counter() - started
@@ -95,7 +96,9 @@ def test_warm_cache_replays_byte_identically(harness, tmp_path):
     cells = len(factories) * len(MICROS)
 
     started = time.perf_counter()
-    cold = ExperimentEngine(harness.workloads, cache=cache).run_grid(
+    cold = ExperimentEngine(
+        harness.workloads, RunOptions(cache=cache)
+    ).run_grid(
         factories, MICROS
     )
     cold_s = time.perf_counter() - started
@@ -103,7 +106,9 @@ def test_warm_cache_replays_byte_identically(harness, tmp_path):
 
     hits_before = cache.hits
     started = time.perf_counter()
-    warm = ExperimentEngine(harness.workloads, jobs=4, cache=cache).run_grid(
+    warm = ExperimentEngine(
+        harness.workloads, RunOptions(jobs=4, cache=cache)
+    ).run_grid(
         factories, MICROS
     )
     warm_s = time.perf_counter() - started

@@ -28,35 +28,47 @@ own fsynced :class:`~repro.integrity.GridCheckpoint`, so runner loss —
 or coordinator loss, with a checkpoint — never loses completed cells.
 """
 
-from repro.exec.cache import (
-    CacheKey,
-    ResultCache,
-    fingerprint_trace,
-    instr_signature,
-)
-from repro.exec.coordinator import ShardCoordinator, shard_status
-from repro.exec.engine import CellFailure, ExperimentEngine, grid_cells
-from repro.exec.shard import (
-    Lease,
-    PipeTransport,
-    ShardRunner,
-    Transport,
-    shard_journal_path,
-)
+# Exports resolve lazily (PEP 562): the spec module must be importable
+# from repro.validation.harness without this package init dragging in
+# engine/coordinator, which import harness right back.
+_EXPORTS = {
+    "CacheKey": "repro.exec.cache",
+    "ResultCache": "repro.exec.cache",
+    "fingerprint_trace": "repro.exec.cache",
+    "instr_signature": "repro.exec.cache",
+    "ShardCoordinator": "repro.exec.coordinator",
+    "shard_status": "repro.exec.coordinator",
+    "CellFailure": "repro.exec.engine",
+    "ExperimentEngine": "repro.exec.engine",
+    "grid_cells": "repro.exec.engine",
+    "ExperimentSpec": "repro.exec.spec",
+    "RunOptions": "repro.exec.spec",
+    "SpecError": "repro.exec.spec",
+    "register_simulator": "repro.exec.spec",
+    "simulator_registry": "repro.exec.spec",
+    "Lease": "repro.exec.shard",
+    "PipeTransport": "repro.exec.shard",
+    "ShardRunner": "repro.exec.shard",
+    "Transport": "repro.exec.shard",
+    "shard_journal_path": "repro.exec.shard",
+}
 
-__all__ = [
-    "CacheKey",
-    "CellFailure",
-    "ExperimentEngine",
-    "Lease",
-    "PipeTransport",
-    "ResultCache",
-    "ShardCoordinator",
-    "ShardRunner",
-    "Transport",
-    "fingerprint_trace",
-    "grid_cells",
-    "instr_signature",
-    "shard_journal_path",
-    "shard_status",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

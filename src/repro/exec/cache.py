@@ -167,6 +167,32 @@ class ResultCache:
         self._count("misses")
         return None
 
+    def get_digest(self, digest: str) -> Optional[Dict]:
+        """The raw stored payload (key + result dicts) for an entry
+        addressed by its bare ``digest`` — the lookup the job service's
+        ``GET /v1/cells/{cache_key}`` serves.  Unlike :meth:`get` there
+        is no probe key to validate against, so the stored payload is
+        only checked for shape; unreadable entries return None without
+        being invalidated (the keyed path owns repair).  Not counted as
+        cache traffic."""
+        if not digest or not all(
+            c in "0123456789abcdef" for c in digest
+        ):
+            return None
+        path = os.path.join(self.root, digest + ".json")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != "repro-result-cache/1"
+            or "result" not in payload
+        ):
+            return None
+        return payload
+
     def put(self, key: CacheKey, result: SimResult) -> None:
         """Store ``result`` under ``key`` (atomically; overwrites)."""
         payload = {

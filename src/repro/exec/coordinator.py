@@ -47,6 +47,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.exec.cache import ResultCache
 from repro.exec.engine import RetryBackoff, grid_cells
+from repro.exec.spec import RunOptions, fold_legacy_kwargs
 from repro.exec.shard import PipeTransport, shard_journal_path, shard_runner_main
 from repro.integrity.checkpoint import CheckpointConflict, GridCheckpoint
 from repro.integrity.sanitizers import (
@@ -104,8 +105,15 @@ class ShardCoordinator:
     workloads:
         The shared :class:`WorkloadSet` (traces built once here, in
         the coordinator, inherited by runners through fork).
-    shards:
-        Runner subprocesses to keep alive (the lease pull pool).
+    options:
+        A :class:`repro.exec.spec.RunOptions` carrying the execution
+        envelope: ``shards`` (runner subprocesses to keep alive — the
+        lease pull pool), ``cache``, ``retries``,
+        ``checkpoint``/``resume``, ``watchdog_s``, ``blockcache``,
+        ``ledger``, ``live_progress``.  The historical keyword
+        arguments still fold in through a deprecation shim.  The
+        fabric-tuning knobs below stay first-class keywords — they
+        describe the coordinator, not the experiment.
     lease_size:
         Cells per lease.  Small leases steal better; large leases
         amortise message traffic.
@@ -145,31 +153,41 @@ class ShardCoordinator:
         Exceptions from the callback propagate (tests rely on it).
     """
 
+    #: The pre-RunOptions keyword surface, folded in with a warning.
+    _LEGACY_INIT = (
+        "shards", "cache", "retries", "checkpoint", "resume",
+        "watchdog_s", "blockcache",
+    )
+
     def __init__(
         self,
         workloads: Optional[WorkloadSet] = None,
+        options: Optional[RunOptions] = None,
         *,
-        shards: int = 2,
         lease_size: int = 1,
         lease_timeout_s: float = 30.0,
         max_renewals: Optional[int] = None,
         max_respawns: Optional[int] = None,
         heartbeat_poll_s: float = 0.2,
         ready_resend_s: float = 1.0,
-        cache=None,
         metrics: Optional[MetricsRegistry] = None,
         sanitizers: Optional[Sanitizers] = None,
-        watchdog_s: Optional[float] = None,
-        retries: int = 0,
         backoff: Optional[RetryBackoff] = None,
-        checkpoint=None,
-        resume: bool = False,
-        blockcache=None,
         transport_wrapper: Optional[Callable] = None,
         on_event: Optional[Callable[[str, Dict], None]] = None,
+        **legacy,
     ):
+        opts = fold_legacy_kwargs(
+            options, legacy, allowed=self._LEGACY_INIT,
+            owner="ShardCoordinator()",
+        )
+        if options is None and "shards" not in legacy:
+            # The coordinator's historical default fleet is two
+            # runners; RunOptions defaults to the serial shards=1.
+            opts = opts.replace(shards=2)
+        self.options = opts
         self.workloads = workloads or WorkloadSet()
-        self.shards = max(1, int(shards))
+        self.shards = max(1, int(opts.shards))
         self.lease_size = max(1, int(lease_size))
         self.lease_timeout_s = float(lease_timeout_s)
         if self.lease_timeout_s <= 0:
@@ -189,22 +207,24 @@ class ShardCoordinator:
         self.metrics = metrics if metrics is not None else (
             MetricsRegistry.disabled()
         )
+        cache = opts.cache
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache, metrics=self.metrics)
         self.cache: Optional[ResultCache] = cache
         self.sanitizers = sanitizers if sanitizers is not None else (
-            Sanitizers.disabled()
+            opts.sanitizer_bundle() or Sanitizers.disabled()
         )
-        self.watchdog_s = watchdog_s
-        self.retries = max(0, int(retries))
+        self.watchdog_s = opts.watchdog_s
+        self.retries = max(0, int(opts.retries))
         self.backoff = backoff if backoff is not None else RetryBackoff()
+        checkpoint = opts.checkpoint
         if isinstance(checkpoint, GridCheckpoint):
             checkpoint = checkpoint.path
         self.checkpoint_path = (
             os.fspath(checkpoint) if checkpoint is not None else None
         )
-        self.resume = resume
-        self.blockcache = blockcache
+        self.resume = opts.resume
+        self.blockcache = opts.blockcache
         self.transport_wrapper = transport_wrapper
         self.on_event = on_event
         self._ctx = (
@@ -243,6 +263,9 @@ class ShardCoordinator:
         fleet; same contract as :meth:`ExperimentEngine.run_grid` (a
         result or a :class:`CellFailure` for every cell, serial order,
         canonical serialisation byte-identical to a serial run)."""
+        if ledger is None:
+            ledger = self.options.ledger
+        live_progress = live_progress or self.options.live_progress
         names = list(workload_names)
         cells = grid_cells(
             self.workloads, factories, names, blockcache=self.blockcache,
@@ -359,6 +382,14 @@ class ShardCoordinator:
             self._counter("shard.cells.deduped").inc()
             return
         results[index] = result
+        if result.telemetry is not None:
+            # Operational provenance for ledgers and raw dumps; blanked
+            # (with the whole telemetry record) under canonical
+            # serialisation so sharded and serial grids stay
+            # byte-identical.
+            result.telemetry.source = (
+                source if runner_id is None else f"shard-{runner_id}"
+            )
         if source == "run":
             self._counter("shard.cells.computed").inc()
         else:
@@ -497,12 +528,9 @@ class ShardCoordinator:
             args=(child_end, runner_id, self.workloads, list(factories),
                   names, journal),
             kwargs=dict(
-                cache=self.cache,
+                options=self.options.replace(cache=self.cache),
                 sanitizers=self.sanitizers,
-                watchdog_s=self.watchdog_s,
-                retries=self.retries,
                 backoff=self.backoff,
-                blockcache=self.blockcache,
                 instrumentation=instrumentation,
                 ready_resend_s=self.ready_resend_s,
                 close_connections=stray_ends,

@@ -38,6 +38,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.blockcache import BLOCKCACHE_VERSION
 from repro.exec.cache import CacheKey, ResultCache, fingerprint_trace
+from repro.exec.spec import RunOptions, fold_legacy_kwargs
 from repro.integrity.checkpoint import GridCheckpoint
 from repro.integrity.sanitizers import (
     IntegrityError,
@@ -200,7 +201,7 @@ def grid_cells(
 
 
 def _worker_main(conn, factory, workload, workload_set, instrumentation,
-                 sanitizers=None, watchdog_s=None, blockcache=None):
+                 sanitizers=None, options=None):
     """Body of one forked worker: time one cell, ship the result back.
 
     Runs through the same :class:`Harness` cell path as serial
@@ -228,8 +229,8 @@ def _worker_main(conn, factory, workload, workload_set, instrumentation,
     install_escalation_handler()
     try:
         harness = Harness(
-            workload_set, sanitizers=sanitizers, watchdog_s=watchdog_s,
-            blockcache=blockcache,
+            workload_set, (options or RunOptions()).trimmed(),
+            sanitizers=sanitizers,
         )
         try:
             result = harness.run_one(
@@ -271,94 +272,79 @@ class ExperimentEngine:
     workloads:
         The shared :class:`WorkloadSet` (traces are built once here,
         in the parent, before any worker forks).
-    jobs:
-        Maximum concurrently running worker processes.  ``1`` times
-        cells in-process (no fork), still exercising the cache and
-        fault isolation.
-    cache:
-        A :class:`ResultCache`, a directory path to build one in, or
-        ``None`` to disable memoization.
-    timeout:
-        Per-cell wall-clock budget in seconds; a worker past it is
-        terminated (``kind="timeout"``).  Enforced only when cells run
-        in worker processes (``jobs > 1``).  Before terminating, the
-        parent escalates SIGUSR1 and grants ``escalation_grace_s`` for
-        the worker to dump a :class:`SimulationStuck` diagnosis, which
-        lands in the failure's ``snapshot``.
-    escalation_grace_s:
-        Seconds a wall-clock-expired worker gets, post-SIGUSR1, to ship
-        its stuck snapshot before being terminated anyway.
-    retries:
-        Extra attempts granted to a failing cell before it becomes a
-        :class:`CellFailure`.
+    options:
+        A :class:`repro.exec.spec.RunOptions` carrying the execution
+        envelope — ``jobs`` (pool width; ``1`` times cells in-process,
+        still exercising cache and fault isolation), ``cache`` (a
+        :class:`ResultCache` or directory path), ``timeout`` (per-cell
+        wall-clock budget, pool mode; an expired worker is escalated
+        over SIGUSR1 with ``escalation_grace_s`` to dump a
+        :class:`SimulationStuck` diagnosis, then terminated),
+        ``retries``, ``refresh`` (invalidate-and-recompute touched
+        cache entries), ``checkpoint``/``resume`` (a
+        :class:`repro.integrity.GridCheckpoint` or journal path;
+        resume satisfies already-journaled cells), ``watchdog_s``
+        (in-run livelock stall budget), and ``blockcache``
+        (trace-compilation control, mixed into cache keys whenever the
+        fast path may engage).  The historical keyword arguments still
+        fold in through a deprecation shim.
     metrics:
         A :class:`MetricsRegistry`; receives ``exec.cache.*`` traffic
         counters, per-cell ``exec.cell.*`` timers, and pool counters.
-    refresh:
-        Invalidate and recompute every cached cell this run touches
-        (the cache-refresh path).
     sanitizers:
-        A :class:`repro.integrity.Sanitizers` bundle (disabled by
+        A :class:`repro.integrity.Sanitizers` bundle (otherwise built
+        from the options' ``sanitize``/``strict`` flags; disabled by
         default).  Enabled, every cell is invariant-checked and a
         violating result is quarantined (``kind="invariant"``); a
         strict bundle aborts the grid with :class:`IntegrityError`.
-    watchdog_s:
-        Per-cell livelock stall budget (seconds) armed inside each
-        run; a diagnosed livelock becomes a ``kind="stuck"`` failure.
-    checkpoint:
-        A :class:`repro.integrity.GridCheckpoint` (or journal path):
-        completed cells are persisted atomically as the grid runs, so
-        an interrupted run loses almost nothing.
-    resume:
-        Satisfy cells already present in ``checkpoint`` instead of
-        recomputing them.
     backoff:
         A :class:`RetryBackoff` governing the delay between attempts
         of a failing cell (the default backs off from 50ms, doubling
         to a 2s cap, with deterministic jitter).
     """
 
+    #: The pre-RunOptions keyword surface, folded in with a warning.
+    _LEGACY_INIT = (
+        "jobs", "cache", "timeout", "retries", "refresh", "watchdog_s",
+        "checkpoint", "resume", "escalation_grace_s", "blockcache",
+    )
+
     def __init__(
         self,
         workloads: Optional[WorkloadSet] = None,
+        options: Optional[RunOptions] = None,
         *,
-        jobs: int = 1,
-        cache=None,
-        timeout: Optional[float] = None,
-        retries: int = 0,
         metrics: Optional[MetricsRegistry] = None,
-        refresh: bool = False,
         sanitizers: Optional[Sanitizers] = None,
-        watchdog_s: Optional[float] = None,
-        checkpoint=None,
-        resume: bool = False,
         backoff: Optional[RetryBackoff] = None,
-        escalation_grace_s: float = 1.0,
-        blockcache=None,
+        **legacy,
     ):
+        opts = fold_legacy_kwargs(
+            options, legacy, allowed=self._LEGACY_INIT,
+            owner="ExperimentEngine()",
+        )
+        self.options = opts
         self.workloads = workloads or WorkloadSet()
-        #: Trace-compilation control threaded to every cell's harness
-        #: (``None`` = simulator default, ``False`` = detailed loop
-        #: only).  Mixed into cache keys whenever the fast path may
-        #: engage, so cached results never span blockcache versions.
-        self.blockcache = blockcache
-        self.jobs = max(1, int(jobs))
-        self.timeout = timeout
-        self.escalation_grace_s = max(0.0, float(escalation_grace_s))
-        self.retries = max(0, int(retries))
+        self.blockcache = opts.blockcache
+        self.jobs = max(1, int(opts.jobs))
+        self.timeout = opts.timeout
+        self.escalation_grace_s = max(0.0, float(opts.escalation_grace_s))
+        self.retries = max(0, int(opts.retries))
         self.metrics = metrics if metrics is not None else (
             MetricsRegistry.disabled()
         )
-        self.refresh = refresh
+        self.refresh = opts.refresh
         self.sanitizers = sanitizers if sanitizers is not None else (
-            Sanitizers.disabled()
+            opts.sanitizer_bundle() or Sanitizers.disabled()
         )
-        self.watchdog_s = watchdog_s
+        self.watchdog_s = opts.watchdog_s
+        checkpoint = opts.checkpoint
         if isinstance(checkpoint, (str, os.PathLike)):
             checkpoint = GridCheckpoint(checkpoint)
         self.checkpoint: Optional[GridCheckpoint] = checkpoint
-        self.resume = resume
+        self.resume = opts.resume
         self.backoff = backoff if backoff is not None else RetryBackoff()
+        cache = opts.cache
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache, metrics=self.metrics)
         if cache is not None and cache.metrics is None:
@@ -404,8 +390,12 @@ class ExperimentEngine:
         ``ledger`` (a :class:`~repro.obs.telemetry.RunLedger` or a
         JSONL path) appends one telemetry record per settled cell;
         ``live_progress=True`` renders a live
-        ``cells done/total, cells/s, ETA`` line on stderr.
+        ``cells done/total, cells/s, ETA`` line on stderr.  Both
+        default from the engine's :class:`RunOptions`.
         """
+        if ledger is None:
+            ledger = self.options.ledger
+        live_progress = live_progress or self.options.live_progress
         names = list(workload_names)
         self.metrics.gauge("exec.jobs").set(self.jobs)
 
@@ -504,8 +494,8 @@ class ExperimentEngine:
         it in ``grid`` (the ``ResultGrid.add(..., replace=True)``
         escape hatch)."""
         harness = Harness(
-            self.workloads, metrics=self.metrics,
-            blockcache=self.blockcache,
+            self.workloads, RunOptions(blockcache=self.blockcache),
+            metrics=self.metrics,
         )
         result = harness.run_one(
             factory, workload, instrumentation=instrumentation
@@ -527,7 +517,10 @@ class ExperimentEngine:
     def _note_cell(self, simulator: str, workload: str, status: str,
                    *, source: str = "run", attempts: int = 1,
                    telemetry=None) -> None:
-        """Report one settled cell to the run ledger and progress line."""
+        """Report one settled cell to the run ledger and progress
+        line, stamping the settling source onto its telemetry."""
+        if telemetry is not None:
+            telemetry.source = source
         if self._ledger is not None:
             self._ledger.record(
                 simulator=simulator, workload=workload, status=status,
@@ -591,9 +584,8 @@ class ExperimentEngine:
         """A fresh in-process harness wired with this engine's
         sanitizer/watchdog/blockcache settings."""
         return Harness(
-            self.workloads, metrics=self.metrics,
-            sanitizers=self.sanitizers, watchdog_s=self.watchdog_s,
-            blockcache=self.blockcache,
+            self.workloads, self.options.trimmed(),
+            metrics=self.metrics, sanitizers=self.sanitizers,
         )
 
     def _execute_cell(self, harness, cell, instrumentation,
@@ -763,7 +755,7 @@ class ExperimentEngine:
                 target=_worker_main,
                 args=(send_end, cell.factory, cell.workload,
                       self.workloads, instrumentation,
-                      self.sanitizers, self.watchdog_s, self.blockcache),
+                      self.sanitizers, self.options),
                 daemon=True,
             )
             process.start()

@@ -58,6 +58,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.exec.engine import ExperimentEngine, grid_cells
+from repro.exec.spec import RunOptions
 from repro.integrity.watchdog import install_escalation_handler
 
 __all__ = ["Lease", "PipeTransport", "ShardRunner", "shard_journal_path"]
@@ -258,12 +259,9 @@ def shard_runner_main(
     workload_names,
     journal_path: str,
     *,
-    cache=None,
+    options=None,
     sanitizers=None,
-    watchdog_s=None,
-    retries: int = 0,
     backoff=None,
-    blockcache=None,
     instrumentation=None,
     ready_resend_s: float = 1.0,
     close_connections: Sequence = (),
@@ -291,21 +289,16 @@ def shard_runner_main(
             pass
     transport = PipeTransport(connection)
     try:
+        opts = (options if options is not None else RunOptions()).replace(
+            jobs=1, checkpoint=journal_path, resume=True,
+            ledger=None, live_progress=False, shards=1,
+        )
         engine = ExperimentEngine(
-            workloads,
-            jobs=1,
-            cache=cache,
-            retries=retries,
-            backoff=backoff,
-            sanitizers=sanitizers,
-            watchdog_s=watchdog_s,
-            checkpoint=journal_path,
-            resume=True,
-            blockcache=blockcache,
+            workloads, opts, sanitizers=sanitizers, backoff=backoff,
         )
         cells = grid_cells(
             workloads, factories, list(workload_names),
-            blockcache=blockcache,
+            blockcache=opts.blockcache,
         )
         ShardRunner(
             runner_id, transport, engine, cells,

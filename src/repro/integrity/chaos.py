@@ -61,6 +61,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exec.coordinator import ShardCoordinator, shard_status
 from repro.exec.shard import Transport, shard_journal_path
+from repro.exec.spec import RunOptions
 from repro.obs.registry import MetricsRegistry
 from repro.result import RunStats, SimResult
 from repro.validation.harness import Harness
@@ -313,7 +314,7 @@ def _run_scenario(
     started = time.perf_counter()
     coordinator = ShardCoordinator(
         workloads,
-        shards=3,
+        RunOptions(shards=3),
         lease_timeout_s=lease_timeout_s,
         max_respawns=max_respawns,
         metrics=metrics,
@@ -504,8 +505,8 @@ def _scenario_journal_corruption(workloads: WorkloadSet) -> ChaosOutcome:
     try:
         started = time.perf_counter()
         coordinator = ShardCoordinator(
-            workloads, shards=3, lease_timeout_s=6.0,
-            metrics=metrics, checkpoint=base, on_event=on_event,
+            workloads, RunOptions(shards=3, checkpoint=base),
+            lease_timeout_s=6.0, metrics=metrics, on_event=on_event,
             transport_wrapper=wrapper,
         )
         grid = coordinator.run_grid(_factories(0.1), names)
@@ -535,8 +536,8 @@ def _coordinator_child(base: str, names: Sequence[str]) -> None:
     """Body of the victim coordinator process (killed by the parent)."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     coordinator = ShardCoordinator(
-        WorkloadSet(), shards=2, lease_timeout_s=15.0,
-        checkpoint=base,
+        WorkloadSet(), RunOptions(shards=2, checkpoint=base),
+        lease_timeout_s=15.0,
     )
     coordinator.run_grid(_factories(0.25), list(names))
     os._exit(0)
@@ -587,8 +588,9 @@ def _scenario_coordinator_kill(workloads: WorkloadSet) -> ChaosOutcome:
 
         metrics = MetricsRegistry()
         coordinator = ShardCoordinator(
-            workloads, shards=2, lease_timeout_s=15.0,
-            metrics=metrics, checkpoint=base, resume=True,
+            workloads,
+            RunOptions(shards=2, checkpoint=base, resume=True),
+            lease_timeout_s=15.0, metrics=metrics,
         )
         # Same factories (and thus digests) as the killed coordinator.
         grid = coordinator.run_grid(_factories(0.25), names)

@@ -545,16 +545,19 @@ def _run_cells(
     cell through the production engine, appending matrix rows."""
     from repro.core.simalpha import SimAlpha
     from repro.exec.engine import ExperimentEngine, RetryBackoff
+    from repro.exec.spec import RunOptions
 
     def engine_for(pool: bool) -> ExperimentEngine:
         return ExperimentEngine(
             workloads,
-            jobs=2 if pool else 1,
-            timeout=pool_timeout_s if pool else None,
-            retries=0,
+            RunOptions(
+                jobs=2 if pool else 1,
+                timeout=pool_timeout_s if pool else None,
+                retries=0,
+                watchdog_s=watchdog_s,
+            ),
             backoff=RetryBackoff(base_s=0.0, cap_s=0.0, jitter=0.0),
             sanitizers=Sanitizers(window=window),
-            watchdog_s=watchdog_s,
         )
 
     # Controls: the unfaulted simulator through the identical path,

@@ -64,6 +64,12 @@ class CellTelemetry:
     kips: float = 0.0
     #: Process that produced the measurement (parent or worker).
     pid: int = 0
+    #: Execution path that settled the cell: ``run`` (computed here),
+    #: ``cache``, ``checkpoint``, or ``shard-<k>`` (committed by shard
+    #: runner ``k``).  Operational provenance, not a measurement —
+    #: blanked with the rest of the telemetry under
+    #: ``ResultGrid.to_json(canonical=True)``.
+    source: str = "run"
 
     def to_dict(self) -> Dict:
         return {
@@ -74,13 +80,14 @@ class CellTelemetry:
             "instructions": self.instructions,
             "kips": self.kips,
             "pid": self.pid,
+            "source": self.source,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "CellTelemetry":
         known = {
             "wall_s", "user_s", "sys_s", "max_rss_kb",
-            "instructions", "kips", "pid",
+            "instructions", "kips", "pid", "source",
         }
         return cls(**{k: v for k, v in payload.items() if k in known})
 

@@ -131,7 +131,9 @@ class SimResult:
 
     def canonical_dict(self) -> Dict:
         """:meth:`to_dict` with the run-to-run volatile fields blanked
-        (wall-clock provenance, resource telemetry), so two results
+        (wall-clock provenance, resource telemetry — including the
+        ``telemetry.source`` execution-path tag such as
+        ``"shard-<k>"``), so two results
         compare equal iff they measured the same thing.  This is the
         payload form ``ResultGrid.to_json(canonical=True)`` serialises
         and the one checkpoint merges compare when deciding whether two

@@ -1,0 +1,157 @@
+"""A small blocking client for the job service (stdlib ``http.client``).
+
+Used by the test suite and handy from scripts::
+
+    from repro.exec.spec import ExperimentSpec
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("127.0.0.1", 8321, tenant="alice")
+    job = client.submit(ExperimentSpec(("sim-outorder",), ("gcc",)))
+    final = client.wait(job["id"])
+    grid_json = client.result_text(job["id"])
+
+Every non-2xx response raises :class:`ServiceError` carrying the HTTP
+status and the decoded error payload, so quota rejections are a
+``try/except ServiceError as e: e.status == 429`` away.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import quote
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Dict):
+        message = (
+            payload.get("error") if isinstance(payload, dict) else None
+        )
+        super().__init__(message or f"HTTP {status}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """One tenant's view of a running ``repro-serve`` instance.
+
+    A fresh connection per request keeps the client trivially
+    thread-safe (the e2e tests hammer one server from several threads).
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 tenant: str = "anonymous", timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Tuple[int, str]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"X-Repro-Tenant": self.tenant}
+            encoded = None
+            if body is not None:
+                encoded = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read().decode()
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict] = None) -> Dict:
+        status, text = self._request(method, path, body)
+        try:
+            payload = json.loads(text) if text else {}
+        except ValueError:
+            payload = {"error": text}
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._json("GET", "/v1/healthz")
+
+    def submit(self, spec, *, reuse: bool = True) -> Dict:
+        """Submit an :class:`~repro.exec.spec.ExperimentSpec` (or an
+        equivalent dict); returns the job status (``deduped`` marks an
+        attach to an existing job)."""
+        payload = spec if isinstance(spec, dict) else spec.to_dict()
+        return self._json(
+            "POST", "/v1/jobs", {"spec": payload, "reuse": reuse}
+        )
+
+    def jobs(self) -> List[Dict]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict:
+        return self._json("GET", f"/v1/jobs/{quote(job_id)}")
+
+    def events(self, job_id: str, *, after: int = 0,
+               timeout: float = 0.0) -> Dict:
+        return self._json(
+            "GET",
+            f"/v1/jobs/{quote(job_id)}/events"
+            f"?after={after}&timeout={timeout}",
+        )
+
+    def wait(self, job_id: str, *, timeout: float = 120.0,
+             poll_s: float = 5.0) -> Dict:
+        """Block (via the long-poll event stream) until the job reaches
+        a terminal state; returns its final status."""
+        deadline = time.monotonic() + timeout
+        after = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still not done after {timeout}s"
+                )
+            page = self.events(
+                job_id, after=after,
+                timeout=min(poll_s, max(0.1, remaining)),
+            )
+            after = page["next"]
+            if page["state"] in ("done", "failed"):
+                return self.status(job_id)
+
+    def result_text(self, job_id: str) -> str:
+        """The job's canonical ResultGrid JSON, byte-for-byte as the
+        server stored it (409 -> ServiceError while still running)."""
+        status, text = self._request(
+            "GET", f"/v1/jobs/{quote(job_id)}/result"
+        )
+        if status >= 400:
+            try:
+                payload = json.loads(text)
+            except ValueError:
+                payload = {"error": text}
+            raise ServiceError(status, payload)
+        return text
+
+    def result(self, job_id: str) -> Dict:
+        return json.loads(self.result_text(job_id))
+
+    def cell(self, digest: str) -> Dict:
+        return self._json("GET", f"/v1/cells/{quote(digest)}")
+
+    def metrics_text(self) -> str:
+        status, text = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(status, {"error": text})
+        return text

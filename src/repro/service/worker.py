@@ -1,0 +1,132 @@
+"""The execution half of the service: one thread draining the queue.
+
+Each claimed job is rebuilt into an :class:`ExperimentSpec`, its
+options re-based onto the service's shared result cache and the job's
+private checkpoint journal, and run through the ordinary
+:class:`~repro.validation.harness.Harness` dispatch — the service adds
+no execution semantics of its own, so a job's result is byte-identical
+(canonically) to the same grid run from the CLI or the Python API.
+
+Two hooks thread the service through the engine:
+
+* the run-ledger seam (``options.ledger``) receives one record per
+  settled cell — forwarded to the job's event stream, which is what
+  the long-poll endpoint serves;
+* the ``progress`` callback fires before each computed cell — the
+  graceful-shutdown check raises :class:`ServiceShutdown` there, after
+  the last finished cell was already fsynced into the checkpoint
+  journal, so a drained job re-queues and later resumes with zero
+  recompute.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Optional
+
+from repro.exec.cache import ResultCache
+from repro.obs.registry import MetricsRegistry
+from repro.service.jobs import JobStore
+from repro.validation.harness import Harness
+
+__all__ = ["JobWorker", "ServiceShutdown"]
+
+
+class ServiceShutdown(Exception):
+    """Raised inside a grid to abandon it at a cell boundary."""
+
+
+class _EventLedger:
+    """Run-ledger adapter: engine cell records -> job event stream."""
+
+    def __init__(self, store: JobStore, job_id: str):
+        self.store = store
+        self.job_id = job_id
+
+    def record(self, *, simulator: str, workload: str, status: str,
+               source: str = "run", attempts: int = 1,
+               telemetry=None) -> None:
+        self.store.record_progress(
+            self.job_id, simulator=simulator, workload=workload,
+            status=status, source=source,
+        )
+
+    def close(self) -> None:  # pragma: no cover - engine never owns us
+        pass
+
+
+class JobWorker(threading.Thread):
+    """Drains the job queue until asked to stop."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        workloads,
+        cache: ResultCache,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        poll_s: float = 0.2,
+    ):
+        super().__init__(name="repro-service-worker", daemon=True)
+        self.store = store
+        self.workloads = workloads
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.poll_s = poll_s
+        self._stopping = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the worker to drain: the in-flight job checkpoints at
+        the next cell boundary and re-queues."""
+        self._stopping.set()
+
+    def run(self) -> None:
+        while not self._stopping.is_set():
+            job_id = self.store.claim(timeout=self.poll_s)
+            if job_id is None:
+                continue
+            if self._stopping.is_set():
+                self.store.requeue(job_id)
+                return
+            self._run_job(job_id)
+
+    def _run_job(self, job_id: str) -> None:
+        try:
+            spec = self.store.spec(job_id)
+            spec.validate(workload_set=self.workloads)
+            options = spec.options.replace(
+                cache=self.cache,
+                checkpoint=self.store.job_path(
+                    job_id, "checkpoint.journal"
+                ),
+                resume=True,
+                ledger=_EventLedger(self.store, job_id),
+                live_progress=False,
+            )
+            harness = Harness(
+                self.workloads, options, metrics=self.metrics
+            )
+
+            def progress(simulator: str, workload: str) -> None:
+                if self._stopping.is_set():
+                    raise ServiceShutdown(job_id)
+
+            self.metrics.counter("service.engine.runs").inc()
+            with self.metrics.timer("service.job").time():
+                grid = harness.run_grid(
+                    spec.factories(), list(spec.workloads),
+                    progress=progress,
+                )
+        except ServiceShutdown:
+            self.store.requeue(job_id)
+        except Exception:
+            self.metrics.counter("service.jobs.failed").inc()
+            self.store.fail(job_id, traceback.format_exc(limit=20))
+        else:
+            self.metrics.counter("service.jobs.completed").inc()
+            self.store.finish(
+                job_id,
+                grid.to_json(canonical=True),
+                failures=len(grid.failures),
+            )

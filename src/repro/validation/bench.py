@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.simalpha import SimAlpha
 from repro.exec.cache import ResultCache
+from repro.exec.spec import RunOptions
 from repro.obs.observer import Instrumentation
 from repro.obs.provenance import _package_version
 from repro.result import SimResult
@@ -133,7 +134,7 @@ def _bench_parallel_speedup(workloads: WorkloadSet, names) -> Dict[str, Dict]:
     Harness(workloads).run_grid(factories, names)
     serial = time.perf_counter() - t0
     t0 = time.perf_counter()
-    Harness(workloads).run_grid(factories, names, jobs=2)
+    Harness(workloads).run_grid(factories, names, RunOptions(jobs=2))
     parallel = time.perf_counter() - t0
     speedup = serial / parallel if parallel > 0 else 0.0
     return {
@@ -147,9 +148,9 @@ def _bench_warm_cache(workloads: WorkloadSet, names,
                       cache_root: str) -> Dict[str, Dict]:
     """Hit rate of a second grid run against a just-populated cache."""
     cold = ResultCache(cache_root)
-    Harness(workloads).run_grid([SimAlpha], names, cache=cold)
+    Harness(workloads).run_grid([SimAlpha], names, RunOptions(cache=cold))
     warm = ResultCache(cache_root)
-    Harness(workloads).run_grid([SimAlpha], names, cache=warm)
+    Harness(workloads).run_grid([SimAlpha], names, RunOptions(cache=warm))
     probes = warm.hits + warm.misses
     rate = warm.hits / probes if probes else 0.0
     return {

@@ -85,6 +85,8 @@ from repro.validation import (
     table5_stability,
     warmup_study,
 )
+from repro.exec.spec import RunOptions
+from repro.validation.exitcodes import ExitCode
 from repro.validation.harness import Harness
 from repro.workloads.suite import micro_names, spec2000_names, spec95_names
 
@@ -347,9 +349,10 @@ def run_profile_command(
 
 
 #: Runners take (quick, engine) where ``engine`` holds the shared
-#: ``harness=`` plus the ``jobs=`` / ``cache=`` kwargs for drivers that
-#: run (simulator x workload) grids; runners whose experiment has no
-#: grid simply ignore it.
+#: ``harness=`` (whose :class:`~repro.exec.spec.RunOptions` carry the
+#: jobs/cache/shards selection) for drivers that run
+#: (simulator x workload) grids; runners whose experiment has no grid
+#: simply ignore it.
 _EXPERIMENTS: Dict[str, Callable[[bool, Dict], str]] = {
     "table1": _run_table1,
     "table2": _run_table2,
@@ -583,7 +586,7 @@ def main(argv=None) -> int:
 
         report, ok = run_blockcache_check()
         print(report)
-        return 0 if ok else 5
+        return ExitCode.OK if ok else ExitCode.DIVERGENCE
 
     if args.experiment == "bench":
         from repro.validation.bench import (
@@ -601,7 +604,7 @@ def main(argv=None) -> int:
                 new = load_artifact(new_path)
             except (OSError, ValueError) as error:
                 print(error, file=sys.stderr)
-                return 2
+                return ExitCode.USAGE
             rows, regressions = compare_artifacts(
                 old, new, threshold=args.bench_threshold
             )
@@ -610,7 +613,7 @@ def main(argv=None) -> int:
             print(render_comparison(
                 rows, regressions, threshold=args.bench_threshold
             ))
-            return 5 if regressions else 0
+            return ExitCode.DIVERGENCE if regressions else ExitCode.OK
         artifact = run_bench(
             label=args.label,
             rounds=args.bench_rounds,
@@ -630,7 +633,7 @@ def main(argv=None) -> int:
             kind = "gated" if metric["gate"] else "info"
             print(f"  {name:<34} {metric['value']:>12.3f} "
                   f"{metric['unit']:<8} ({kind})")
-        return 0
+        return ExitCode.OK
 
     if args.experiment == "chaos":
         from repro.integrity.chaos import (
@@ -657,10 +660,10 @@ def main(argv=None) -> int:
                 out.write(report.to_json())
         if report.all_passed:
             print("all chaos scenarios passed; grids byte-identical")
-            return 0
+            return ExitCode.OK
         failed = [o.scenario for o in report.outcomes if not o.passed]
         print("CHAOS VIOLATIONS: " + ", ".join(failed), file=sys.stderr)
-        return 1
+        return ExitCode.FAILURE
 
     if args.experiment == "shard-status":
         from repro.exec.coordinator import shard_status
@@ -674,14 +677,14 @@ def main(argv=None) -> int:
         status = shard_status(base)
         if not status["journals"]:
             print(f"{base}: no journals found")
-            return 2
+            return ExitCode.USAGE
         for record in status["journals"]:
             print(
                 f"{record['path']}: {record['entries']} entries "
                 f"[{record['state']}]"
             )
         print(f"{status['distinct_digests']} distinct cells journaled")
-        return 0
+        return ExitCode.OK
 
     if args.experiment == "cache-gc":
         from repro.exec.cache import ResultCache
@@ -694,7 +697,7 @@ def main(argv=None) -> int:
             )
         if not os.path.isdir(root):
             print(f"{root}: not a directory", file=sys.stderr)
-            return 2
+            return ExitCode.USAGE
         summary = ResultCache(root).gc(
             max_age_s=args.gc_max_age, max_bytes=args.gc_max_bytes
         )
@@ -703,7 +706,7 @@ def main(argv=None) -> int:
             f"reclaimed {summary['reclaimed_bytes']} bytes, "
             f"{summary['kept']} kept"
         )
-        return 0
+        return ExitCode.OK
 
     if args.experiment == "profile":
         if not args.workload:
@@ -715,7 +718,7 @@ def main(argv=None) -> int:
             out_dir=args.emit_trace,
             metrics_out=args.metrics_out,
         ))
-        return 0
+        return ExitCode.OK
 
     if args.experiment == "checkpoint-gc":
         from repro.integrity.checkpoint import GridCheckpoint
@@ -731,13 +734,13 @@ def main(argv=None) -> int:
             before = len(checkpoint.load())
         except ValueError as error:
             print(error, file=sys.stderr)
-            return 2
+            return ExitCode.USAGE
         pruned = checkpoint.gc(max_age_s=args.gc_max_age)
         print(
             f"{path}: pruned {len(pruned)} of {before} entries, "
             f"{len(checkpoint)} kept"
         )
-        return 0
+        return ExitCode.OK
 
     if args.experiment == "integrity":
         from repro.integrity.faultinject import (
@@ -771,12 +774,12 @@ def main(argv=None) -> int:
             print(matrix.render())
         if matrix.all_caught:
             print("all faults detected; control clean")
-            return 0
+            return ExitCode.OK
         print(
             "SILENT CORRUPTIONS: "
             + ", ".join(matrix.silent_corruptions())
         )
-        return 1
+        return ExitCode.FAILURE
 
     if args.experiment == "trace":
         if not args.workload:
@@ -789,7 +792,7 @@ def main(argv=None) -> int:
             capacity=args.trace_limit,
             metrics_out=args.metrics_out,
         ))
-        return 0
+        return ExitCode.OK
 
     from repro.integrity.sanitizers import IntegrityError, Sanitizers
     from repro.obs.registry import MetricsRegistry
@@ -801,9 +804,12 @@ def main(argv=None) -> int:
         Sanitizers(strict=args.strict)
         if args.sanitize or args.strict else None
     )
-    harness = Harness(
-        metrics=registry,
-        sanitizers=sanitizers,
+    options = RunOptions(
+        jobs=args.jobs,
+        cache=(
+            None if args.no_cache or not args.cache_dir
+            else args.cache_dir
+        ),
         watchdog_s=args.stuck_after,
         checkpoint=args.checkpoint or None,
         resume=args.resume,
@@ -812,15 +818,14 @@ def main(argv=None) -> int:
         blockcache=blockcache,
         shards=args.shards,
     )
+    harness = Harness(
+        options=options, metrics=registry, sanitizers=sanitizers,
+    )
     engine = {
-        # One harness across experiments: traces are built once, and
-        # cache/cell counters land in the --metrics-out registry.
+        # One harness across experiments: traces are built once, every
+        # grid inherits ``options`` through it, and cache/cell counters
+        # land in the --metrics-out registry.
         "harness": harness,
-        "jobs": args.jobs,
-        "cache": (
-            None if args.no_cache or not args.cache_dir
-            else args.cache_dir
-        ),
     }
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
@@ -834,7 +839,7 @@ def main(argv=None) -> int:
             print(f"integrity violation (strict) in {name}:",
                   file=sys.stderr)
             print(f"  {error.violation}", file=sys.stderr)
-            return 4
+            return ExitCode.STRICT_ABORT
         elapsed = time.time() - started
         print(output)
         print(f"[{name} completed in {elapsed:.1f}s]")
@@ -844,7 +849,7 @@ def main(argv=None) -> int:
             args.metrics_out,
             extra={"experiments": names, "quick": args.quick,
                    "jobs": args.jobs,
-                   "cache_dir": engine["cache"] or ""},
+                   "cache_dir": options.cache or ""},
         )
     if args.openmetrics:
         registry.write_openmetrics(args.openmetrics)
@@ -855,8 +860,8 @@ def main(argv=None) -> int:
         )
         for failure in harness.failed_cells:
             print(f"  {failure.describe()}", file=sys.stderr)
-        return 3
-    return 0
+        return ExitCode.FAILED_CELLS
+    return ExitCode.OK
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ from repro.core.features import ALL_FEATURES, FeatureSet
 from repro.core.simalpha import SimAlpha
 from repro.core.siminitial import make_sim_initial, make_sim_with_bugs
 from repro.core.simstripped import make_sim_minus_feature, make_sim_stripped
+from repro.exec.spec import RunOptions
 from repro.functional.machine import run_program
 from repro.isa.instructions import InstrClass, LATENCY, Opcode
 from repro.isa.program import ProgramBuilder
@@ -202,14 +203,14 @@ def table2_micro(
     harness: Optional[Harness] = None,
     benchmarks: Optional[Sequence[str]] = None,
     *,
-    jobs: int = 1,
-    cache=None,
+    options: Optional[RunOptions] = None,
 ) -> Table2Result:
     """Native vs sim-initial vs sim-alpha vs sim-outorder on the 21
     microbenchmarks.
 
-    ``jobs`` / ``cache`` select the parallel cached execution engine
-    (see :meth:`Harness.run_grid`); the defaults run serially.
+    ``options`` picks the execution engine (``jobs``, ``cache``,
+    ``shards`` — see :class:`~repro.exec.spec.RunOptions`); by default
+    the grid inherits the harness's own options.
     """
     harness = harness or Harness()
     names = list(benchmarks or micro_names())
@@ -219,7 +220,7 @@ def table2_micro(
         SimAlpha,
         SimOutOrder,
     ]
-    grid = harness.run_grid(factories, names, jobs=jobs, cache=cache)
+    grid = harness.run_grid(factories, names, options)
     rows: List[Table2Row] = []
     for name in names:
         native = grid.get("DS-10L", name)
@@ -308,15 +309,14 @@ def table3_macro(
     harness: Optional[Harness] = None,
     benchmarks: Optional[Sequence[str]] = None,
     *,
-    jobs: int = 1,
-    cache=None,
+    options: Optional[RunOptions] = None,
 ) -> Table3Result:
     """Native vs sim-alpha vs sim-stripped vs sim-outorder on the
     SPEC2000 proxies."""
     harness = harness or Harness()
     names = list(benchmarks or spec2000_names())
     factories = [NativeMachine, SimAlpha, make_sim_stripped, SimOutOrder]
-    grid = harness.run_grid(factories, names, jobs=jobs, cache=cache)
+    grid = harness.run_grid(factories, names, options)
     rows: List[Table3Row] = []
     for name in names:
         native = grid.get("DS-10L", name)
@@ -392,8 +392,7 @@ def table4_features(
     benchmarks: Optional[Sequence[str]] = None,
     features: Optional[Sequence[str]] = None,
     *,
-    jobs: int = 1,
-    cache=None,
+    options: Optional[RunOptions] = None,
 ) -> Table4Result:
     """Remove each of the ten features from sim-alpha, one at a time."""
     harness = harness or Harness()
@@ -404,7 +403,7 @@ def table4_features(
     factories.extend(
         (lambda f=f: make_sim_minus_feature(f)) for f in feature_list
     )
-    grid = harness.run_grid(factories, names, jobs=jobs, cache=cache)
+    grid = harness.run_grid(factories, names, options)
 
     ref_ipcs = {n: grid.get("sim-alpha", n).ipc for n in names}
     columns: List[Table4Column] = []
@@ -516,8 +515,7 @@ def table5_stability(
     benchmarks: Optional[Sequence[str]] = None,
     features: Optional[Sequence[str]] = None,
     *,
-    jobs: int = 1,
-    cache=None,
+    options: Optional[RunOptions] = None,
 ) -> Table5Result:
     """Measure the three optimizations across 13 configurations.
 
@@ -544,7 +542,7 @@ def table5_stability(
     }
 
     def hm_ipc(factory: Callable[[], object]) -> float:
-        grid = harness.run_grid([factory], names, jobs=jobs, cache=cache)
+        grid = harness.run_grid([factory], names, options)
         ipcs = grid.ipcs(grid.simulators()[0])
         return harmonic_mean([ipcs[n] for n in names])
 
@@ -655,8 +653,7 @@ def figure2_regfile(
     harness: Optional[Harness] = None,
     benchmarks: Optional[Sequence[str]] = None,
     *,
-    jobs: int = 1,
-    cache=None,
+    options: Optional[RunOptions] = None,
 ) -> Figure2Result:
     """Three register-file configurations on the 8-way simulator and on
     sim-alpha, over the SPEC95 proxies."""
@@ -675,7 +672,7 @@ def figure2_regfile(
         grid = harness.run_grid(
             [lambda: EightWaySim(eight_config),
              lambda: SimAlpha(alpha_config)],
-            names, jobs=jobs, cache=cache,
+            names, options,
         )
         eight_name, alpha_name = grid.simulators()
         for name in names:
@@ -718,8 +715,7 @@ def bug_walk(
     benchmarks: Optional[Sequence[str]] = None,
     bugs: Optional[Sequence[str]] = None,
     *,
-    jobs: int = 1,
-    cache=None,
+    options: Optional[RunOptions] = None,
 ) -> BugWalkResult:
     """Inject each sim-initial bug alone and measure micro error."""
     harness = harness or Harness()
@@ -727,7 +723,7 @@ def bug_walk(
     bug_list = list(bugs or ALL_BUGS)
 
     def grid_results(factory: Callable[[], object]) -> Dict[str, SimResult]:
-        grid = harness.run_grid([factory], names, jobs=jobs, cache=cache)
+        grid = harness.run_grid([factory], names, options)
         simulator = grid.simulators()[0]
         return {n: grid.get(simulator, n) for n in names}
 

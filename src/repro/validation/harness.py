@@ -11,6 +11,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.exec.spec import RunOptions, fold_legacy_kwargs
 from repro.integrity.sanitizers import (
     IntegrityError,
     InvariantViolation,
@@ -44,6 +45,10 @@ SimulatorFactory = Callable[[], object]
 #: Backwards-compatible alias; the canonical list lives in
 #: :mod:`repro.result` so checkpoint merges share it.
 _VOLATILE_PROVENANCE_FIELDS = VOLATILE_PROVENANCE_FIELDS
+
+#: Distinguishes "not passed" from an explicit ``None`` (a ``None``
+#: watchdog/blockcache override is meaningful: disarmed / default).
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -275,47 +280,53 @@ class Harness:
     is what the CLI's exit status reports.
     """
 
+    #: Keywords the pre-RunOptions constructor accepted; still folded
+    #: in (with a DeprecationWarning) so old callers keep working.
+    _LEGACY_INIT = (
+        "watchdog_s", "checkpoint", "resume", "ledger", "live_progress",
+        "blockcache", "shards",
+    )
+    #: The historical ``run_grid`` keyword surface, now RunOptions.
+    _LEGACY_RUN_GRID = (
+        "jobs", "cache", "timeout", "retries", "checkpoint", "resume",
+        "ledger", "live_progress", "shards",
+    )
+
     def __init__(
         self,
         workloads: Optional[WorkloadSet] = None,
+        options: Optional[RunOptions] = None,
         *,
         metrics: Optional[MetricsRegistry] = None,
         sanitizers: Optional[Sanitizers] = None,
-        watchdog_s: Optional[float] = None,
-        checkpoint=None,
-        resume: bool = False,
-        ledger=None,
-        live_progress: bool = False,
-        blockcache=None,
-        shards: int = 1,
+        **legacy,
     ):
+        #: Harness-level execution defaults; per-call options merge
+        #: over these (see :meth:`run_grid`).
+        self.options = fold_legacy_kwargs(
+            options, legacy, allowed=self._LEGACY_INIT, owner="Harness()",
+        )
         self.workloads = workloads or WorkloadSet()
         #: Trace-compilation control forwarded to simulators whose
         #: ``run_trace`` accepts it: ``None`` leaves each simulator's
         #: own default (enabled), ``False`` forces the pure detailed
         #: loop (the CLI's ``--no-blockcache``), ``True`` or a
         #: :class:`repro.core.blockcache.BlockCacheConfig` forces it on.
-        self.blockcache = blockcache
+        self.blockcache = self.options.blockcache
         self.metrics = metrics if metrics is not None else (
             MetricsRegistry.disabled()
         )
         self.sanitizers = sanitizers if sanitizers is not None else (
-            Sanitizers.disabled()
+            self.options.sanitizer_bundle() or Sanitizers.disabled()
         )
-        self.watchdog_s = watchdog_s
-        #: Grid-level defaults used when :meth:`run_grid` is not given
-        #: its own ``checkpoint``/``resume`` (how the CLI threads one
-        #: journal through drivers that only pass jobs/cache).
-        self.checkpoint = checkpoint
-        self.resume = resume
-        #: Same grid-level-default pattern for the telemetry ledger and
-        #: the live progress line (``--ledger`` / ``--progress``).
-        self.ledger = ledger
-        self.live_progress = live_progress
-        #: Grid-level default shard count (the CLI's ``--shards``):
-        #: ``> 1`` routes grids through the crash-safe work-stealing
-        #: :class:`~repro.exec.coordinator.ShardCoordinator`.
-        self.shards = max(1, int(shards))
+        self.watchdog_s = self.options.watchdog_s
+        #: Views over :attr:`options`, kept for callers that still read
+        #: the old attributes.
+        self.checkpoint = self.options.checkpoint
+        self.resume = self.options.resume
+        self.ledger = self.options.ledger
+        self.live_progress = self.options.live_progress
+        self.shards = max(1, int(self.options.shards))
         #: Violations found by the most recent cell (empty when the
         #: sanitizers are disabled or the cell was clean).
         self.last_violations: List[InvariantViolation] = []
@@ -329,8 +340,27 @@ class Harness:
         trace,
         workload: str,
         instrumentation: Optional[Instrumentation],
+        *,
+        sanitizers: Optional[Sanitizers] = None,
+        watchdog_s=_UNSET,
+        blockcache=_UNSET,
     ) -> SimResult:
-        """Time one (simulator, workload) cell, instrumented."""
+        """Time one (simulator, workload) cell, instrumented.
+
+        The keyword overrides let a caller carry per-call
+        :class:`RunOptions` without mutating harness state (the job
+        service runs grids from worker threads); unset, the harness's
+        own settings apply.
+        """
+        sanitizer_bundle = (
+            sanitizers if sanitizers is not None else self.sanitizers
+        )
+        watchdog_budget = (
+            self.watchdog_s if watchdog_s is _UNSET else watchdog_s
+        )
+        blockcache_mode = (
+            self.blockcache if blockcache is _UNSET else blockcache
+        )
         observer = None
         run_trace = simulator.run_trace
         params = _signature_params(run_trace)
@@ -340,8 +370,8 @@ class Harness:
                 simulator=simulator.name, workload=workload
             )
         sanitizer = None
-        if self.sanitizers.enabled:
-            sanitizer = self.sanitizers.run_sanitizer(
+        if sanitizer_bundle.enabled:
+            sanitizer = sanitizer_bundle.run_sanitizer(
                 simulator=simulator.name, workload=workload
             )
             if "observer" in params:
@@ -357,10 +387,10 @@ class Harness:
         kwargs = {}
         if observer is not None:
             kwargs["observer"] = observer
-        if self.watchdog_s is not None and "watchdog" in params:
-            kwargs["watchdog"] = Watchdog(self.watchdog_s)
-        if self.blockcache is not None and "blockcache" in params:
-            kwargs["blockcache"] = self.blockcache
+        if watchdog_budget is not None and "watchdog" in params:
+            kwargs["watchdog"] = Watchdog(watchdog_budget)
+        if blockcache_mode is not None and "blockcache" in params:
+            kwargs["blockcache"] = blockcache_mode
         timer = self.metrics.timer(f"harness.cell.{simulator.name}.{workload}")
         probe = TelemetryProbe()
         with timer.time():
@@ -386,129 +416,127 @@ class Harness:
         return result
 
 
+    def _effective_sanitizers(self, options: RunOptions) -> Sanitizers:
+        """The sanitizer bundle one run should use: an explicitly
+        attached live bundle wins, else whatever ``options`` ask for."""
+        if self.sanitizers.enabled:
+            return self.sanitizers
+        return options.sanitizer_bundle() or self.sanitizers
+
     def run_one(
         self,
         factory: SimulatorFactory,
         workload: str,
         *,
         instrumentation: Optional[Instrumentation] = None,
+        options: Optional[RunOptions] = None,
     ) -> SimResult:
-        """Run one simulator (fresh instance) on one workload."""
+        """Run one simulator (fresh instance) on one workload.
+
+        ``options`` applies the single-cell view of a
+        :class:`RunOptions` (sanitize/strict, watchdog_s, blockcache —
+        see :meth:`RunOptions.trimmed`) for this call only, merged over
+        the harness-level defaults.
+        """
         simulator = factory()
         trace = self.workloads.trace(workload)
-        return self._run_cell(simulator, trace, workload, instrumentation)
+        if options is None:
+            return self._run_cell(
+                simulator, trace, workload, instrumentation
+            )
+        opts = options.merged_over(self.options).trimmed()
+        return self._run_cell(
+            simulator, trace, workload, instrumentation,
+            sanitizers=self._effective_sanitizers(opts),
+            watchdog_s=opts.watchdog_s,
+            blockcache=opts.blockcache,
+        )
 
     def run_grid(
         self,
         factories: Sequence[SimulatorFactory],
         workload_names: Iterable[str],
+        options: Optional[RunOptions] = None,
         *,
         progress: Optional[Callable[[str, str], None]] = None,
         instrumentation: Optional[Instrumentation] = None,
-        jobs: int = 1,
-        cache=None,
-        timeout: Optional[float] = None,
-        retries: int = 0,
-        checkpoint=None,
-        resume: bool = False,
-        ledger=None,
-        live_progress: bool = False,
-        shards: Optional[int] = None,
+        **legacy,
     ) -> ResultGrid:
         """Run every factory over every workload.
+
+        ``options`` (a :class:`repro.exec.spec.RunOptions`) carries
+        every execution knob — jobs, cache, timeout, retries,
+        checkpoint/resume, ledger, live_progress, shards, sanitize,
+        watchdog_s, blockcache — merged over the harness-level options
+        (a field left at its default inherits the harness's value).
+        The historical keyword arguments (``jobs=``, ``cache=``, ...)
+        still work through a deprecation shim that folds them into the
+        options object and warns once per call.
 
         ``progress(simulator, workload)`` is called before each cell;
         with a metrics registry attached, each cell's wall time is also
         recorded under ``harness.cell.<simulator>.<workload>``.
 
-        ``jobs > 1`` fans the cells out over a process pool, and
-        ``cache`` (a :class:`repro.exec.ResultCache` or a directory
-        path) memoizes cell results on disk across runs; either option
-        — as does ``checkpoint`` (a
-        :class:`repro.integrity.GridCheckpoint` or journal path, with
-        ``resume=True`` to skip cells it already holds) — delegates to
-        the execution engine (:mod:`repro.exec.engine`), which also
-        honours the per-cell ``timeout`` (seconds) and ``retries``
-        budget and records failed cells as :class:`CellFailure`
-        entries on the returned grid.  The default (``jobs=1``, no
-        cache, no checkpoint) is the in-process serial path, where a
-        failing cell raises — except for integrity quarantines and
-        detected livelocks, which are isolated per cell in every mode.
+        Execution backend, chosen from the merged options:
+
+        * ``shards > 1`` routes the grid through the crash-safe
+          work-stealing :class:`~repro.exec.coordinator.
+          ShardCoordinator` (runner loss recovered from fsynced shard
+          journals; results byte-identical to the serial path);
+        * ``jobs > 1``, a ``cache``, or a ``checkpoint`` delegates to
+          the execution engine (:mod:`repro.exec.engine`), which also
+          honours the per-cell ``timeout`` and ``retries`` budget and
+          records failed cells as :class:`CellFailure` entries;
+        * otherwise the in-process serial path runs, where a failing
+          cell raises — except for integrity quarantines and detected
+          livelocks, which are isolated per cell in every mode.
 
         ``ledger`` (a :class:`~repro.obs.telemetry.RunLedger` or JSONL
         path) appends one per-cell telemetry record per settled cell;
         ``live_progress=True`` renders a live
         ``cells done/total, cells/s, ETA`` line on stderr.  Both work
         in every execution mode.
-
-        ``shards > 1`` (the CLI's ``--shards``) routes the grid
-        through the crash-safe work-stealing
-        :class:`~repro.exec.coordinator.ShardCoordinator`: runner loss
-        is recovered from fsynced shard journals, and a ``checkpoint``
-        journal makes the whole run resumable across coordinator
-        crashes.  Results are byte-identical (canonical serialisation)
-        to the serial path.
         """
         names = list(workload_names)
-        if checkpoint is None and self.checkpoint is not None:
-            checkpoint = self.checkpoint
-            resume = resume or self.resume
-        if ledger is None and self.ledger is not None:
-            ledger = self.ledger
-        live_progress = live_progress or self.live_progress
-        if shards is None:
-            shards = self.shards
-        if shards > 1:
+        opts = fold_legacy_kwargs(
+            options, legacy, allowed=self._LEGACY_RUN_GRID,
+            owner="Harness.run_grid()",
+        ).merged_over(self.options)
+        sanitizers = self._effective_sanitizers(opts)
+        if opts.shards > 1:
             from repro.exec.coordinator import ShardCoordinator
 
             coordinator = ShardCoordinator(
-                self.workloads,
-                shards=shards,
-                cache=cache,
-                metrics=self.metrics,
-                sanitizers=self.sanitizers,
-                watchdog_s=self.watchdog_s,
-                retries=retries,
-                checkpoint=checkpoint,
-                resume=resume,
-                blockcache=self.blockcache,
+                self.workloads, opts,
+                metrics=self.metrics, sanitizers=sanitizers,
             )
             grid = coordinator.run_grid(
                 factories, names,
                 instrumentation=instrumentation, progress=progress,
-                ledger=ledger, live_progress=live_progress,
             )
             self.failed_cells.extend(grid.failures)
             return grid
-        if jobs > 1 or cache is not None or checkpoint is not None:
+        if (opts.jobs > 1 or opts.cache is not None
+                or opts.checkpoint is not None):
             from repro.exec.engine import ExperimentEngine
 
             engine = ExperimentEngine(
-                self.workloads,
-                jobs=jobs,
-                cache=cache,
-                timeout=timeout,
-                retries=retries,
-                metrics=self.metrics,
-                sanitizers=self.sanitizers,
-                watchdog_s=self.watchdog_s,
-                checkpoint=checkpoint,
-                resume=resume,
-                blockcache=self.blockcache,
+                self.workloads, opts,
+                metrics=self.metrics, sanitizers=sanitizers,
             )
             grid = engine.run_grid(
                 factories, names,
                 instrumentation=instrumentation, progress=progress,
-                ledger=ledger, live_progress=live_progress,
             )
             self.failed_cells.extend(grid.failures)
             return grid
+        ledger = opts.ledger
         owns_ledger = isinstance(ledger, (str, os.PathLike))
         if owns_ledger:
             ledger = RunLedger(ledger)
         progress_line = (
             GridProgress(len(names) * len(factories))
-            if live_progress else None
+            if opts.live_progress else None
         )
 
         def note(simulator: str, workload: str, status: str,
@@ -531,14 +559,17 @@ class Harness:
                         progress(simulator.name, name)
                     try:
                         result = self._run_cell(
-                            simulator, trace, name, instrumentation
+                            simulator, trace, name, instrumentation,
+                            sanitizers=sanitizers,
+                            watchdog_s=opts.watchdog_s,
+                            blockcache=opts.blockcache,
                         )
                     except IntegrityError as exc:
                         # Fatal violation mid-run: quarantine the cell
                         # (strict bundles never get here — the
                         # sanitizer's raise propagates before the
                         # result exists).
-                        if self.sanitizers.strict:
+                        if sanitizers.strict:
                             raise
                         grid.failures.append(quarantine_failure(
                             [exc.violation],

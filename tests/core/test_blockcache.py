@@ -181,8 +181,10 @@ class TestCacheKeyVersioning:
     def _key(self, blockcache):
         from repro.exec.engine import ExperimentEngine
 
+        from repro.exec.spec import RunOptions
+
         engine = ExperimentEngine(
-            WorkloadSet(), jobs=1, blockcache=blockcache
+            WorkloadSet(), RunOptions(jobs=1, blockcache=blockcache)
         )
         return engine._cell_key("sim-alpha", "cfg", "M-I", "fp")
 

@@ -6,6 +6,7 @@ import pytest
 
 from exec_fakes import fake_factory
 from repro.exec.engine import ExperimentEngine, RetryBackoff
+from repro.exec.spec import RunOptions
 
 
 class TestRetryBackoff:
@@ -80,7 +81,7 @@ class TestEngineUsesBackoff:
         sleeps = []
         monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
         engine = ExperimentEngine(
-            retries=2,
+            options=RunOptions(retries=2),
             backoff=RetryBackoff(base_s=0.05, cap_s=2.0, jitter=0.0),
         )
         grid = engine.run_grid(

@@ -7,6 +7,7 @@ import pytest
 
 from exec_fakes import FakeConfig, FakeSim, fake_factory
 from repro.exec.engine import ExperimentEngine
+from repro.exec.spec import RunOptions
 from repro.obs.observer import Instrumentation
 from repro.obs.registry import MetricsRegistry
 from repro.validation.harness import ResultGrid
@@ -19,7 +20,7 @@ class TestDeterminism:
         factories = [fake_factory("fake-a"), fake_factory("fake-b", cpi=3.0)]
         names = ["C-R", "E-I", "M-D"]
         serial = harness.run_grid(factories, names)
-        parallel = harness.run_grid(factories, names, jobs=4)
+        parallel = harness.run_grid(factories, names, RunOptions(jobs=4))
         assert parallel.to_json(canonical=True) == \
             serial.to_json(canonical=True)
         assert parallel.simulators() == serial.simulators()
@@ -38,7 +39,8 @@ class TestDeterminism:
             factories, QUICK, instrumentation=Instrumentation()
         )
         parallel = harness.run_grid(
-            factories, QUICK, jobs=4, instrumentation=Instrumentation()
+            factories, QUICK, RunOptions(jobs=4),
+            instrumentation=Instrumentation(),
         )
         assert parallel.to_json(canonical=True) == \
             serial.to_json(canonical=True)
@@ -51,7 +53,7 @@ class TestFaultIsolation:
     def test_raising_cell_becomes_exception_failure(self, harness):
         grid = harness.run_grid(
             [fake_factory("fake-ok"), fake_factory("fake-bad", "raise")],
-            QUICK, jobs=2,
+            QUICK, RunOptions(jobs=2),
         )
         assert sorted(grid.ipcs("fake-ok")) == sorted(QUICK)
         assert list(grid.ipcs("fake-bad")) == ["C-R"]
@@ -64,7 +66,7 @@ class TestFaultIsolation:
     def test_crashing_worker_becomes_crash_failure(self, harness):
         grid = harness.run_grid(
             [fake_factory("fake-ok"), fake_factory("fake-dead", "crash")],
-            QUICK, jobs=2,
+            QUICK, RunOptions(jobs=2),
         )
         assert sorted(grid.ipcs("fake-ok")) == sorted(QUICK)
         [failure] = grid.failures
@@ -74,7 +76,7 @@ class TestFaultIsolation:
     def test_hanging_cell_is_terminated_on_timeout(self, harness):
         grid = harness.run_grid(
             [fake_factory("fake-ok"), fake_factory("fake-hung", "hang")],
-            QUICK, jobs=2, timeout=1.0,
+            QUICK, RunOptions(jobs=2, timeout=1.0),
         )
         assert sorted(grid.ipcs("fake-ok")) == sorted(QUICK)
         [failure] = grid.failures
@@ -87,7 +89,8 @@ class TestFaultIsolation:
         SimulationStuck diagnosis home before the parent kills it."""
         registry = MetricsRegistry()
         engine = ExperimentEngine(
-            harness.workloads, jobs=2, timeout=1.0, metrics=registry,
+            harness.workloads, RunOptions(jobs=2, timeout=1.0),
+            metrics=registry,
         )
         grid = engine.run_grid(
             [fake_factory("fake-ok"), fake_factory("fake-hung", "hang")],
@@ -121,8 +124,8 @@ class TestFaultIsolation:
                 return super().run_trace(trace, workload)
 
         engine = ExperimentEngine(
-            harness.workloads, jobs=2, timeout=0.5,
-            escalation_grace_s=0.2,
+            harness.workloads,
+            RunOptions(jobs=2, timeout=0.5, escalation_grace_s=0.2),
         )
         started = time_module.perf_counter()
         grid = engine.run_grid(
@@ -149,7 +152,8 @@ class TestFaultIsolation:
 
     def test_failures_survive_json_round_trip(self, harness):
         grid = harness.run_grid(
-            [fake_factory("fake-bad", "raise")], ["E-I"], jobs=2,
+            [fake_factory("fake-bad", "raise")], ["E-I"],
+            RunOptions(jobs=2),
         )
         restored = ResultGrid.from_json(grid.to_json())
         assert restored.failures == grid.failures
@@ -159,7 +163,8 @@ class TestRetries:
     def test_exhausted_retries_count_attempts(self, harness):
         registry = MetricsRegistry()
         engine = ExperimentEngine(
-            harness.workloads, jobs=2, retries=2, metrics=registry
+            harness.workloads, RunOptions(jobs=2, retries=2),
+            metrics=registry,
         )
         grid = engine.run_grid([fake_factory("fake-bad", "raise")], ["E-I"])
         [failure] = grid.failures
@@ -182,7 +187,8 @@ class TestRetries:
 
         registry = MetricsRegistry()
         engine = ExperimentEngine(
-            harness.workloads, jobs=2, retries=1, metrics=registry
+            harness.workloads, RunOptions(jobs=2, retries=1),
+            metrics=registry,
         )
         grid = engine.run_grid(
             [lambda: FlakyOnce(FakeConfig(name="flaky"))], ["C-R"]
@@ -203,7 +209,7 @@ class TestRetries:
                     raise RuntimeError("transient")
                 return super().run_trace(trace, workload)
 
-        engine = ExperimentEngine(harness.workloads, retries=1)
+        engine = ExperimentEngine(harness.workloads, RunOptions(retries=1))
         grid = engine.run_grid(
             [lambda: FlakyInProcess(FakeConfig(name="flaky"))], ["C-R"]
         )

@@ -8,6 +8,7 @@ healthy cell completes and the dead cell is recorded, not raised.
 import pytest
 
 from exec_fakes import fake_factory
+from repro.exec.spec import RunOptions
 
 pytestmark = pytest.mark.exec_pool
 
@@ -16,7 +17,7 @@ def test_pool_survives_crashing_simulator(harness):
     names = ["C-R", "E-I", "M-D"]
     grid = harness.run_grid(
         [fake_factory("fake-ok"), fake_factory("fake-dead", flavor="crash")],
-        names, jobs=2,
+        names, RunOptions(jobs=2),
     )
 
     assert sorted(grid.ipcs("fake-ok")) == sorted(names)

@@ -13,6 +13,7 @@ from repro.exec.cache import (
     instr_signature,
 )
 from repro.functional.trace import DynInstr
+from repro.exec.spec import RunOptions
 from repro.obs.registry import MetricsRegistry
 from repro.result import RunStats, SimResult
 
@@ -196,18 +197,27 @@ class TestEngineCaching:
         factories = [fake_factory("fake-a"), fake_factory("fake-b", cpi=3.0)]
         names = ["C-R", "M-D"]
         engine = ExperimentEngine(
-            harness.workloads, cache=ResultCache(tmp_path)
+            harness.workloads, RunOptions(cache=ResultCache(tmp_path))
         )
         first = engine.run_grid(factories, names)
         assert engine.cache.stats()["misses"] == 4
         second = engine.run_grid(factories, names)
         assert engine.cache.hits == 4
-        assert second.to_json() == first.to_json()
+        # Cache hits are stamped with their settling source; only the
+        # canonical form (telemetry blanked) is byte-stable.
+        assert second.to_json(canonical=True) == \
+            first.to_json(canonical=True)
+        assert all(
+            second.get(sim, name).telemetry.source == "cache"
+            for sim in second.simulators() for name in names
+        )
 
     def test_config_change_misses(self, tmp_path, harness):
         from repro.exec.engine import ExperimentEngine
 
-        engine = ExperimentEngine(harness.workloads, cache=str(tmp_path))
+        engine = ExperimentEngine(
+            harness.workloads, RunOptions(cache=str(tmp_path))
+        )
         engine.run_grid([fake_factory("fake-a", cpi=2.0)], ["C-R"])
         engine.run_grid([fake_factory("fake-a", cpi=9.0)], ["C-R"])
         assert engine.cache.hits == 0
@@ -217,11 +227,13 @@ class TestEngineCaching:
         from repro.exec.engine import ExperimentEngine
 
         cache = ResultCache(tmp_path)
-        ExperimentEngine(harness.workloads, cache=cache).run_grid(
+        ExperimentEngine(
+            harness.workloads, RunOptions(cache=cache)
+        ).run_grid(
             [fake_factory("fake-a")], ["C-R"]
         )
         refresher = ExperimentEngine(
-            harness.workloads, cache=cache, refresh=True
+            harness.workloads, RunOptions(cache=cache, refresh=True)
         )
         refresher.run_grid([fake_factory("fake-a")], ["C-R"])
         assert cache.invalidations == 1
@@ -231,7 +243,9 @@ class TestEngineCaching:
     def test_refresh_cell_replaces_in_grid(self, tmp_path, harness):
         from repro.exec.engine import ExperimentEngine
 
-        engine = ExperimentEngine(harness.workloads, cache=str(tmp_path))
+        engine = ExperimentEngine(
+            harness.workloads, RunOptions(cache=str(tmp_path))
+        )
         factory = fake_factory("fake-a")
         grid = engine.run_grid([factory], ["C-R"])
         before = grid.get("fake-a", "C-R")

@@ -19,6 +19,7 @@ import pytest
 from exec_fakes import fake_factory
 from repro.exec.coordinator import ShardCoordinator, shard_status
 from repro.exec.shard import PipeTransport, shard_journal_path
+from repro.exec.spec import RunOptions
 from repro.obs.registry import MetricsRegistry
 from repro.result import RunStats, SimResult
 from repro.validation.harness import Harness
@@ -115,7 +116,9 @@ class TestCleanShardedRun:
         serialisation."""
         serial = Harness().run_grid(fake_grid_factories(), WORKLOADS)
         metrics = MetricsRegistry()
-        coordinator = ShardCoordinator(shards=4, metrics=metrics)
+        coordinator = ShardCoordinator(
+            options=RunOptions(shards=4), metrics=metrics,
+        )
         grid = coordinator.run_grid(fake_grid_factories(), WORKLOADS)
         assert grid.to_json(canonical=True) == \
             serial.to_json(canonical=True)
@@ -134,22 +137,24 @@ class TestCleanShardedRun:
         from repro import SimAlpha
 
         serial = Harness().run_grid([SimAlpha], ["C-R"])
-        grid = ShardCoordinator(shards=2).run_grid([SimAlpha], ["C-R"])
+        grid = ShardCoordinator(
+            options=RunOptions(shards=2)
+        ).run_grid([SimAlpha], ["C-R"])
         assert grid.to_json(canonical=True) == \
             serial.to_json(canonical=True)
 
-    def test_harness_shards_keyword_routes_to_coordinator(self):
+    def test_harness_options_shards_route_to_coordinator(self):
         serial = Harness().run_grid(fake_grid_factories(), WORKLOADS)
-        sharded = Harness(shards=3).run_grid(
+        sharded = Harness(options=RunOptions(shards=3)).run_grid(
             fake_grid_factories(), WORKLOADS
         )
         assert sharded.to_json(canonical=True) == \
             serial.to_json(canonical=True)
 
-    def test_run_grid_shards_argument_overrides_default(self):
+    def test_run_grid_options_shards_override_default(self):
         serial = Harness().run_grid(fake_grid_factories(), WORKLOADS)
         sharded = Harness().run_grid(
-            fake_grid_factories(), WORKLOADS, shards=2
+            fake_grid_factories(), WORKLOADS, RunOptions(shards=2)
         )
         assert sharded.to_json(canonical=True) == \
             serial.to_json(canonical=True)
@@ -159,7 +164,7 @@ class TestFailureSettlement:
     def test_failing_cell_settles_as_cell_failure(self):
         """A raising cell must land as a diagnosable CellFailure on
         the grid (and on the harness), not hang or vanish."""
-        harness = Harness(shards=2)
+        harness = Harness(options=RunOptions(shards=2))
         factories = fake_grid_factories(2) + [
             fake_factory("fake-raise", flavor="raise")
         ]
@@ -179,8 +184,8 @@ class TestFailureSettlement:
         diagnosable, never a hang."""
         metrics = MetricsRegistry()
         coordinator = ShardCoordinator(
-            shards=1, max_respawns=0, lease_timeout_s=10.0,
-            metrics=metrics,
+            options=RunOptions(shards=1),
+            max_respawns=0, lease_timeout_s=10.0, metrics=metrics,
         )
         factories = [
             fake_factory("fake-ok"),
@@ -223,7 +228,8 @@ class TestWorkStealing:
 
         metrics = MetricsRegistry()
         coordinator = ShardCoordinator(
-            shards=2, max_respawns=0, lease_timeout_s=6.0,
+            options=RunOptions(shards=2),
+            max_respawns=0, lease_timeout_s=6.0,
             metrics=metrics, on_event=on_event,
         )
         grid = coordinator.run_grid(
@@ -252,7 +258,8 @@ class TestDuplicateCommits:
 
         metrics = MetricsRegistry()
         coordinator = ShardCoordinator(
-            shards=2, metrics=metrics, transport_wrapper=wrapper,
+            options=RunOptions(shards=2),
+            metrics=metrics, transport_wrapper=wrapper,
         )
         grid = coordinator.run_grid(fake_grid_factories(), WORKLOADS)
         assert grid.to_json(canonical=True) == \
@@ -271,7 +278,8 @@ class TestCheckpointResume:
         base = str(tmp_path / "grid.journal")
         first_metrics = MetricsRegistry()
         first = ShardCoordinator(
-            shards=2, metrics=first_metrics, checkpoint=base,
+            options=RunOptions(shards=2, checkpoint=base),
+            metrics=first_metrics,
         ).run_grid(fake_grid_factories(), WORKLOADS)
         total = len(WORKLOADS) * 3
         assert counters(first_metrics)["shard.cells.computed"] == total
@@ -281,8 +289,8 @@ class TestCheckpointResume:
 
         second_metrics = MetricsRegistry()
         second = ShardCoordinator(
-            shards=2, metrics=second_metrics, checkpoint=base,
-            resume=True,
+            options=RunOptions(shards=2, checkpoint=base, resume=True),
+            metrics=second_metrics,
         ).run_grid(fake_grid_factories(), WORKLOADS)
         seen = counters(second_metrics)
         assert seen["shard.cells.recovered"] == total
@@ -298,15 +306,16 @@ class TestCheckpointResume:
         import json
 
         base = str(tmp_path / "grid.journal")
-        done = ShardCoordinator(shards=2, checkpoint=base).run_grid(
-            fake_grid_factories(), WORKLOADS
-        )
+        done = ShardCoordinator(
+            options=RunOptions(shards=2, checkpoint=base)
+        ).run_grid(fake_grid_factories(), WORKLOADS)
         # Simulate the pre-merge crash state: move the merged journal
         # back out to a shard journal.
         os.replace(base, shard_journal_path(base, 0))
         metrics = MetricsRegistry()
         resumed = ShardCoordinator(
-            shards=2, checkpoint=base, resume=True, metrics=metrics,
+            options=RunOptions(shards=2, checkpoint=base, resume=True),
+            metrics=metrics,
         ).run_grid(fake_grid_factories(), WORKLOADS)
         assert resumed.to_json(canonical=True) == \
             done.to_json(canonical=True)
@@ -326,9 +335,9 @@ class TestCheckpointResume:
         stale = shard_journal_path(base, 7)
         with open(stale, "w", encoding="utf-8") as handle:
             handle.write("{not a journal")
-        ShardCoordinator(shards=2, checkpoint=base).run_grid(
-            fake_grid_factories(2), WORKLOADS
-        )
+        ShardCoordinator(
+            options=RunOptions(shards=2, checkpoint=base)
+        ).run_grid(fake_grid_factories(2), WORKLOADS)
         assert not os.path.exists(stale)
         assert os.path.exists(stale + ".stale")
 
@@ -336,9 +345,9 @@ class TestCheckpointResume:
 class TestShardStatus:
     def test_reports_entries_and_corruption(self, tmp_path):
         base = str(tmp_path / "grid.journal")
-        ShardCoordinator(shards=2, checkpoint=base).run_grid(
-            fake_grid_factories(2), WORKLOADS
-        )
+        ShardCoordinator(
+            options=RunOptions(shards=2, checkpoint=base)
+        ).run_grid(fake_grid_factories(2), WORKLOADS)
         with open(shard_journal_path(base, 9), "w",
                   encoding="utf-8") as handle:
             handle.write("{corrupt")

@@ -6,6 +6,7 @@ import os
 
 from exec_fakes import fake_factory
 from repro.obs.registry import MetricsRegistry
+from repro.exec.spec import RunOptions
 from repro.validation.harness import Harness, ResultGrid
 
 NAMES = ["C-R", "E-I", "M-D"]
@@ -26,7 +27,7 @@ class TestCanonicalDeterminism:
                 assert telemetry.pid == os.getpid()
 
     def test_worker_telemetry_names_the_worker_process(self, harness):
-        grid = harness.run_grid(factories(), NAMES, jobs=2)
+        grid = harness.run_grid(factories(), NAMES, RunOptions(jobs=2))
         pids = {
             grid.get(simulator, workload).telemetry.pid
             for simulator in grid.simulators()
@@ -39,7 +40,7 @@ class TestCanonicalDeterminism:
         jobs=2 grid and a serial grid produce byte-identical canonical
         JSON — canonical blanks the volatile telemetry."""
         serial = harness.run_grid(factories(), NAMES)
-        parallel = harness.run_grid(factories(), NAMES, jobs=2)
+        parallel = harness.run_grid(factories(), NAMES, RunOptions(jobs=2))
         assert parallel.to_json(canonical=True) == \
             serial.to_json(canonical=True)
 
@@ -75,7 +76,7 @@ class TestRunLedger:
     def test_serial_grid_writes_one_line_per_cell(self, harness,
                                                   tmp_path):
         path = tmp_path / "serial.jsonl"
-        harness.run_grid(factories(), NAMES, ledger=path)
+        harness.run_grid(factories(), NAMES, RunOptions(ledger=path))
         cells = self.read(path)
         assert len(cells) == len(NAMES) * 2
         assert all(cell["status"] == "ok" for cell in cells)
@@ -86,7 +87,9 @@ class TestRunLedger:
     def test_parallel_grid_ledger_covers_every_cell(self, harness,
                                                     tmp_path):
         path = tmp_path / "parallel.jsonl"
-        harness.run_grid(factories(), NAMES, jobs=2, ledger=path)
+        harness.run_grid(
+            factories(), NAMES, RunOptions(jobs=2, ledger=path)
+        )
         cells = self.read(path)
         assert len(cells) == len(NAMES) * 2
         settled = {(c["simulator"], c["workload"]) for c in cells}
@@ -95,10 +98,14 @@ class TestRunLedger:
     def test_cache_hits_are_attributed_to_the_cache(self, harness,
                                                     tmp_path):
         cache_dir = tmp_path / "cache"
-        harness.run_grid(factories(), ["C-R"], cache=str(cache_dir))
+        harness.run_grid(
+            factories(), ["C-R"], RunOptions(cache=str(cache_dir))
+        )
         path = tmp_path / "warm.jsonl"
-        harness.run_grid(factories(), ["C-R"], cache=str(cache_dir),
-                         ledger=path)
+        harness.run_grid(
+            factories(), ["C-R"],
+            RunOptions(cache=str(cache_dir), ledger=path),
+        )
         cells = self.read(path)
         assert all(cell["source"] == "cache" for cell in cells)
         assert all(cell["telemetry"] is not None for cell in cells)
@@ -108,7 +115,7 @@ class TestRunLedger:
         path = tmp_path / "failing.jsonl"
         harness.run_grid(
             [fake_factory("fake-bad", "raise")], ["C-R", "E-I"],
-            jobs=2, ledger=path,
+            RunOptions(jobs=2, ledger=path),
         )
         by_workload = {c["workload"]: c for c in self.read(path)}
         assert by_workload["C-R"]["status"] == "ok"
@@ -119,7 +126,7 @@ class TestOpenMetricsStability:
     def run_registry(self, jobs=1):
         registry = MetricsRegistry()
         harness = Harness(metrics=registry)
-        harness.run_grid(factories(), NAMES, jobs=jobs)
+        harness.run_grid(factories(), NAMES, RunOptions(jobs=jobs))
         return registry
 
     def test_render_is_deterministic_for_one_registry(self):

@@ -7,6 +7,7 @@ import pytest
 
 from repro import SimAlpha
 from repro.integrity.checkpoint import GridCheckpoint
+from repro.exec.spec import RunOptions
 from repro.result import SimResult
 from repro.validation.harness import Harness, ResultGrid
 
@@ -168,7 +169,7 @@ class TestGC:
         path = tmp_path / "grid.ckpt"
         uninterrupted = Harness().run_grid(
             [SimAlpha], ["C-Ca", "E-I"],
-            checkpoint=GridCheckpoint(path),
+            RunOptions(checkpoint=GridCheckpoint(path)),
         )
 
         checkpoint = GridCheckpoint(path)
@@ -179,7 +180,7 @@ class TestGC:
 
         resumed = Harness().run_grid(
             [SimAlpha], ["C-Ca", "E-I"],
-            checkpoint=GridCheckpoint(path), resume=True,
+            RunOptions(checkpoint=GridCheckpoint(path), resume=True),
         )
         assert resumed.to_json(canonical=True) == \
             uninterrupted.to_json(canonical=True)
@@ -195,9 +196,8 @@ class TestResume:
         path = tmp_path / "grid.ckpt"
 
         uninterrupted = Harness().run_grid(
-            [SimAlpha], self.WORKLOADS, checkpoint=GridCheckpoint(
-                tmp_path / "full.ckpt"
-            ),
+            [SimAlpha], self.WORKLOADS,
+            RunOptions(checkpoint=GridCheckpoint(tmp_path / "full.ckpt")),
         )
 
         # The "interrupted" journal holds only the first cell.
@@ -208,7 +208,7 @@ class TestResume:
 
         resumed = Harness().run_grid(
             [SimAlpha], self.WORKLOADS,
-            checkpoint=GridCheckpoint(path), resume=True,
+            RunOptions(checkpoint=GridCheckpoint(path), resume=True),
         )
         assert resumed.to_json(canonical=True) == \
             uninterrupted.to_json(canonical=True)
@@ -217,7 +217,8 @@ class TestResume:
         path = tmp_path / "grid.ckpt"
         harness = Harness()
         harness.run_grid(
-            [SimAlpha], self.WORKLOADS, checkpoint=GridCheckpoint(path),
+            [SimAlpha], self.WORKLOADS,
+            RunOptions(checkpoint=GridCheckpoint(path)),
         )
 
         from repro.obs import MetricsRegistry
@@ -226,7 +227,7 @@ class TestResume:
         resumed_harness = Harness(metrics=registry)
         grid = resumed_harness.run_grid(
             [SimAlpha], self.WORKLOADS,
-            checkpoint=GridCheckpoint(path), resume=True,
+            RunOptions(checkpoint=GridCheckpoint(path), resume=True),
         )
         assert sorted(grid.workloads()) == sorted(self.WORKLOADS)
         snap = registry.snapshot()
@@ -237,14 +238,16 @@ class TestResume:
         path = tmp_path / "grid.ckpt"
         harness = Harness()
         harness.run_grid(
-            [SimAlpha], ["C-Ca"], checkpoint=GridCheckpoint(path),
+            [SimAlpha], ["C-Ca"],
+            RunOptions(checkpoint=GridCheckpoint(path)),
         )
 
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
         grid = Harness(metrics=registry).run_grid(
-            [SimAlpha], ["C-Ca"], checkpoint=GridCheckpoint(path),
+            [SimAlpha], ["C-Ca"],
+            RunOptions(checkpoint=GridCheckpoint(path)),
         )
         assert grid.workloads() == ["C-Ca"]
         snap = registry.snapshot()
@@ -254,7 +257,9 @@ class TestResume:
         """The CLI configures checkpoint/resume on the harness; grids
         run without explicit arguments must still journal."""
         path = tmp_path / "grid.ckpt"
-        harness = Harness(checkpoint=str(path), resume=True)
+        harness = Harness(
+            options=RunOptions(checkpoint=str(path), resume=True)
+        )
         harness.run_grid([SimAlpha], ["C-Ca"])
         assert len(GridCheckpoint(path).load()) == 1
 

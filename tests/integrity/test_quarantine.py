@@ -9,6 +9,7 @@ from repro.integrity.sanitizers import (
     Sanitizers,
 )
 from repro.result import SimResult
+from repro.exec.spec import RunOptions
 from repro.validation.harness import (
     CellFailure,
     Harness,
@@ -73,7 +74,7 @@ class TestQuarantine:
         cache = ResultCache(tmp_path / "cache")
         harness = Harness(sanitizers=Sanitizers())
         grid = harness.run_grid(
-            [LyingSim], ["C-R"], cache=cache, retries=2,
+            [LyingSim], ["C-R"], RunOptions(cache=cache, retries=2),
         )
         [failure] = grid.failures
         assert failure.attempts == 1
